@@ -1,0 +1,31 @@
+//! Figure 10: normalized average execution time of greedy, AutoBraid and
+//! RESCQ* (best k) at d = 7, p = 1e-4. The paper reports a 2× geomean
+//! speedup for RESCQ.
+
+use rescq_bench::{experiments, print_header};
+
+fn main() {
+    let scale = experiments::ExperimentScale::from_env();
+    print_header(
+        "Figure 10 — execution time vs baselines (d=7, p=1e-4)",
+        "normalized to greedy = 1.0; RESCQ* = best k in {25,50,100,200}",
+    );
+    let (rows, gm) = experiments::fig10(&scale).expect("fig10 experiment");
+    println!(
+        "{:<28} {:>9} {:>10} {:>9} {:>7} {:>9}",
+        "benchmark", "greedy", "autobraid", "rescq*", "k*", "speedup"
+    );
+    for r in &rows {
+        let base = r.mean_cycles[0];
+        println!(
+            "{:<28} {:>9.3} {:>10.3} {:>9.3} {:>7} {:>8.2}x",
+            r.name,
+            1.0,
+            r.mean_cycles[1] / base,
+            r.mean_cycles[2] / base,
+            r.best_k,
+            r.speedup()
+        );
+    }
+    println!("geomean RESCQ speedup over best baseline: {gm:.2}x (paper: ≈2x)");
+}

@@ -1,0 +1,26 @@
+//! Figure 11: sensitivity to code distance (p = 1e-4, k = 25).
+
+use rescq_bench::{experiments, print_header};
+
+fn main() {
+    let scale = experiments::ExperimentScale::from_env();
+    print_header(
+        "Figure 11 — sensitivity to code distance d",
+        "cycles fall with d for all schedulers; RESCQ is least sensitive",
+    );
+    let pts = experiments::fig11(&scale).expect("fig11 experiment");
+    println!(
+        "{:<20} {:>10} {:>4} {:>12} {:>8}",
+        "benchmark", "scheduler", "d", "cycles", "idle"
+    );
+    for p in &pts {
+        println!(
+            "{:<20} {:>10} {:>4} {:>12.0} {:>7.0}%",
+            p.name,
+            p.scheduler.to_string(),
+            p.x,
+            p.mean_cycles,
+            p.idle_fraction * 100.0
+        );
+    }
+}

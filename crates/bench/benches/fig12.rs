@@ -1,0 +1,26 @@
+//! Figure 12: sensitivity to physical error rate (d = 7, k = 25).
+
+use rescq_bench::{experiments, print_header};
+
+fn main() {
+    let scale = experiments::ExperimentScale::from_env();
+    print_header(
+        "Figure 12 — sensitivity to physical error rate p",
+        "all schemes relatively insensitive to p (paper §5.2.2)",
+    );
+    let pts = experiments::fig12(&scale).expect("fig12 experiment");
+    println!(
+        "{:<20} {:>10} {:>8} {:>12} {:>8}",
+        "benchmark", "scheduler", "p", "cycles", "idle"
+    );
+    for p in &pts {
+        println!(
+            "{:<20} {:>10} {:>8} {:>12.0} {:>7.0}%",
+            p.name,
+            p.scheduler.to_string(),
+            format!("1e-{:.0}", p.x),
+            p.mean_cycles,
+            p.idle_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 13: RESCQ's sensitivity to the MST recomputation period k.
+
+use rescq_bench::{experiments, print_header};
+
+fn main() {
+    let scale = experiments::ExperimentScale::from_env();
+    print_header(
+        "Figure 13 — RESCQ sensitivity to k (MST period)",
+        "performance is near-optimal at k=25 and degrades negligibly (§5.2.3)",
+    );
+    let pts = experiments::fig13(&scale).expect("fig13 experiment");
+    println!("{:<20} {:>5} {:>4} {:>12}", "benchmark", "k", "d", "cycles");
+    for p in &pts {
+        let k = p.x.trunc() as u32;
+        let d = (p.x.fract() * 100.0).round() as u32;
+        println!("{:<20} {:>5} {:>4} {:>12.0}", p.name, k, d, p.mean_cycles);
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 14: sensitivity to grid compression (ancilla availability).
+
+use rescq_bench::{experiments, print_header};
+
+fn main() {
+    let scale = experiments::ExperimentScale::from_env();
+    print_header(
+        "Figure 14 — sensitivity to grid compression",
+        "RESCQ degrades mildly; baselines suffer congestion (§5.3)",
+    );
+    let pts = experiments::fig14(&scale).expect("fig14 experiment");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>12}",
+        "benchmark", "scheduler", "requested", "achieved", "cycles"
+    );
+    for p in &pts {
+        println!(
+            "{:<20} {:>10} {:>9.0}% {:>9.0}% {:>12.0}",
+            p.name,
+            p.scheduler.to_string(),
+            p.x,
+            p.achieved_compression * 100.0,
+            p.mean_cycles
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 16 + Table 1 + Appendix A.2: the RUS preparation/injection models.
+
+use rand::SeedableRng;
+use rescq_bench::{experiments, print_header};
+use rescq_rus::{InjectionStrategy, PreparationModel, RusParams};
+
+fn main() {
+    print_header(
+        "Figure 16 — |mθ⟩ preparation cost vs d and p",
+        "cycles fall with d (rise with p); attempts rise with d — with Monte-Carlo check",
+    );
+    println!(
+        "{:>4} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "d", "p", "E[cycles]", "MC cycles", "E[attempts]", "MC attempts"
+    );
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(161616);
+    for row in experiments::fig16() {
+        let m = PreparationModel::new(RusParams::new(row.d, row.p));
+        let n = 4000;
+        let mut rounds = 0u64;
+        let mut attempts = 0u64;
+        for _ in 0..n {
+            rounds += m.sample_prep_rounds(&mut rng);
+            attempts += m.sample_attempts(&mut rng);
+        }
+        println!(
+            "{:>4} {:>8.0e} {:>12.3} {:>12.3} {:>12.4} {:>12.4}",
+            row.d,
+            row.p,
+            row.expected_cycles,
+            rounds as f64 / n as f64 / row.d as f64,
+            row.expected_attempts,
+            attempts as f64 / n as f64
+        );
+    }
+
+    print_header("Table 1 — injection strategies", "");
+    println!("{:>10} {:>12} {:>10} {:>8}", "strategy", "exposed edge", "ancillas", "cycles");
+    for s in [InjectionStrategy::Zz, InjectionStrategy::Cnot] {
+        println!(
+            "{:>10} {:>12} {:>10} {:>8}",
+            s.to_string(),
+            s.exposed_edge_name(),
+            s.ancillas_required(),
+            s.cycles()
+        );
+    }
+
+    print_header("Appendix A.2 — |mθ⟩ vs T injection", "");
+    let a2 = experiments::appendix_a2();
+    println!("RUS Rz cost: {:.1} cycles (paper: ≈8.4)", a2.rus_cycles);
+    println!(
+        "Clifford+T Rz cost: {}–{} cycles (paper: 200–1300)",
+        a2.t_range.0, a2.t_range.1
+    );
+    println!(
+        "overhead: {:.0}×–{:.0}× (paper: 20–150×)",
+        a2.overhead.0, a2.overhead.1
+    );
+}

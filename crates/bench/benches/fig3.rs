@@ -1,0 +1,29 @@
+//! Figure 3: maximum rotation gates vs target fidelity, Clifford+Rz vs
+//! Clifford+T.
+
+use rescq_bench::print_header;
+use rescq_rus::fig3_series;
+
+fn main() {
+    print_header(
+        "Figure 3 — rotation budget vs logical error rate",
+        "Clifford+Rz (solid) vs Clifford+T (dashed); ratio ≈ 2 orders of magnitude",
+    );
+    for fidelity in [0.9, 0.99] {
+        println!("target fidelity {fidelity}:");
+        println!(
+            "{:>10} {:>16} {:>16} {:>8}",
+            "LER", "Rz rotations", "T rotations", "ratio"
+        );
+        let lers: Vec<f64> = (4..=12).map(|e| 10f64.powi(-e)).collect();
+        for row in fig3_series(fidelity, &lers) {
+            println!(
+                "{:>10.0e} {:>16} {:>16} {:>8.1}",
+                row.logical_error_rate,
+                row.rz_rotations,
+                row.t_rotations,
+                row.rz_rotations as f64 / row.t_rotations.max(1) as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 5: histograms of CNOT and Rz completion latency after scheduling,
+//! AutoBraid vs RESCQ, accumulated over benchmarks.
+
+use rescq_bench::{experiments, print_header};
+use rescq_sim::LatencyHistogram;
+
+fn print_hist(label: &str, h: &LatencyHistogram) {
+    println!(
+        "  {label}: n={} mean={:.2} p50={} p90={} ≤2cy={:.0}% ≤6cy={:.0}%",
+        h.count(),
+        h.mean(),
+        h.percentile(0.5),
+        h.percentile(0.9),
+        h.fraction_at_most(2) * 100.0,
+        h.fraction_at_most(6) * 100.0
+    );
+    let max = h.iter().map(|(_, n)| n).max().unwrap_or(1);
+    for (lat, n) in h.iter().take(16) {
+        let bar = "#".repeat((n * 40 / max.max(1)) as usize);
+        println!("    {lat:>3} cycles | {bar} {n}");
+    }
+}
+
+fn main() {
+    let scale = experiments::ExperimentScale::from_env();
+    print_header(
+        "Figure 5 — gate completion latency histograms",
+        "expected: RESCQ CNOTs mostly 2 cycles; AutoBraid modes at 5 and 8",
+    );
+    let data = experiments::fig5(&scale).expect("fig5 experiment");
+    for d in &data {
+        println!("{}:", d.scheduler);
+        print_hist("CNOT", &d.cnot);
+        print_hist("Rz  ", &d.rz);
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table 3: benchmark gate counts, paper vs our generators.
+
+use rescq_bench::{experiments, print_header};
+
+fn main() {
+    print_header(
+        "Table 3 — benchmark suite",
+        "paper (#Rz, #CNOT) vs generated; ✓ = exact match",
+    );
+    println!(
+        "{:<28} {:>6} {:>9} {:>9} {:>11} {:>11}  match",
+        "benchmark", "qubits", "paper Rz", "paper CX", "gen Rz", "gen CX"
+    );
+    let rows = experiments::table3();
+    let mut exact = 0;
+    for r in &rows {
+        let ok = r.paper == r.generated;
+        exact += usize::from(ok);
+        println!(
+            "{:<28} {:>6} {:>9} {:>9} {:>11} {:>11}  {}",
+            format!("{} ({})", r.name, r.suite),
+            r.qubits,
+            r.paper.0,
+            r.paper.1,
+            r.generated.0,
+            r.generated.1,
+            if ok { "✓" } else { "≈" }
+        );
+    }
+    println!("{exact}/{} rows exact", rows.len());
+}

@@ -1,0 +1,347 @@
+//! Rotation angles for `Rz(θ)` gates.
+//!
+//! The RESCQ execution model cares about one algebraic property of an angle:
+//! what happens under repeated *doubling*. A failed `|mθ⟩` injection applies
+//! `Rz(−θ)` instead of `Rz(θ)`, so the repeat-until-success ladder must next
+//! execute `Rz(2θ)`, then `Rz(4θ)`, … (paper §3.2). If some `Rz(2^k·θ)` is a
+//! Clifford gate the ladder terminates early because Cliffords are executed in
+//! software on the surface code, making the expected number of injections
+//! strictly less than 2 (paper Eq. 1 and the remark following it).
+//!
+//! [`Angle`] therefore distinguishes *dyadic multiples of π* — `num·π/2^k`,
+//! which reach a Clifford after finitely many doublings — from generic
+//! [`Angle::Radians`] values, which never do.
+
+use std::f64::consts::PI;
+use std::fmt;
+use std::ops::Add;
+
+/// A rotation angle, exact when it is a dyadic multiple of π.
+///
+/// Dyadic angles are kept normalized: the numerator is odd (or the angle is
+/// exactly zero with `k = 0`) and the value is wrapped into `(−2π, 2π]` — a
+/// `Rz` rotation is periodic in `2π` up to global phase.
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::Angle;
+///
+/// let t = Angle::T; // π/4
+/// assert!(!t.is_clifford());
+/// assert!(t.double().is_clifford()); // π/2 is the S gate
+/// assert_eq!(t.double(), Angle::dyadic_pi(1, 1));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum Angle {
+    /// Exactly `num·π / 2^k` radians.
+    DyadicPi {
+        /// Numerator; odd after normalization unless the angle is zero.
+        num: i64,
+        /// Power-of-two denominator exponent.
+        k: u32,
+    },
+    /// A generic angle in radians; never becomes Clifford under doubling.
+    Radians(f64),
+}
+
+impl Angle {
+    /// The zero rotation (identity).
+    pub const ZERO: Angle = Angle::DyadicPi { num: 0, k: 0 };
+    /// `π` — the Pauli-Z rotation (up to phase).
+    pub const PI: Angle = Angle::DyadicPi { num: 1, k: 0 };
+    /// `π/2` — the S gate.
+    pub const S: Angle = Angle::DyadicPi { num: 1, k: 1 };
+    /// `π/4` — the T gate, the canonical magic-state angle.
+    pub const T: Angle = Angle::DyadicPi { num: 1, k: 2 };
+
+    /// Creates the exact dyadic angle `num·π / 2^k`, normalized.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rescq_circuit::Angle;
+    /// // 4π/8 normalizes to π/2.
+    /// assert_eq!(Angle::dyadic_pi(4, 3), Angle::dyadic_pi(1, 1));
+    /// ```
+    pub fn dyadic_pi(num: i64, k: u32) -> Self {
+        Self::normalize(num, k)
+    }
+
+    /// Creates a generic angle from radians.
+    ///
+    /// Generic angles never terminate the correction ladder early; use
+    /// [`Angle::dyadic_pi`] for angles that are exact fractions of π.
+    pub fn radians(theta: f64) -> Self {
+        Angle::Radians(Self::wrap_radians(theta))
+    }
+
+    fn wrap_radians(theta: f64) -> f64 {
+        let tau = 2.0 * PI;
+        let mut r = theta % tau;
+        if r > PI {
+            r -= tau;
+        } else if r <= -PI {
+            r += tau;
+        }
+        r
+    }
+
+    fn normalize(num: i64, k: u32) -> Self {
+        let mut num = num as i128;
+        let mut k = k;
+        if num == 0 {
+            return Angle::DyadicPi { num: 0, k: 0 };
+        }
+        while num % 2 == 0 && k > 0 {
+            num /= 2;
+            k -= 1;
+        }
+        // Wrap modulo 2π: num·π/2^k ≡ (num mod 2^(k+1))·π/2^k, into (−2^k, 2^k].
+        let modulus: i128 = 1i128 << (k + 1);
+        let mut num = num.rem_euclid(modulus);
+        if num > modulus / 2 {
+            num -= modulus;
+        }
+        if num == 0 {
+            return Angle::DyadicPi { num: 0, k: 0 };
+        }
+        // Wrapping can re-introduce factors of two (e.g. 3π ≡ π).
+        let mut num = num as i64;
+        while num % 2 == 0 && k > 0 {
+            num /= 2;
+            k -= 1;
+        }
+        Angle::DyadicPi { num, k }
+    }
+
+    /// The angle after a failed injection: `2θ` (paper §3.2).
+    #[must_use]
+    pub fn double(self) -> Self {
+        match self {
+            Angle::DyadicPi { num, k } => {
+                if k > 0 {
+                    Self::normalize(num, k - 1)
+                } else {
+                    Self::normalize(num.wrapping_mul(2), 0)
+                }
+            }
+            Angle::Radians(theta) => Angle::radians(2.0 * theta),
+        }
+    }
+
+    /// Whether `Rz(self)` is a Clifford gate (a multiple of π/2): the surface
+    /// code executes it natively / in the Pauli frame, costing zero cycles.
+    pub fn is_clifford(self) -> bool {
+        match self {
+            Angle::DyadicPi { k, .. } => k <= 1,
+            Angle::Radians(theta) => theta == 0.0,
+        }
+    }
+
+    /// Whether the angle is exactly zero (identity rotation).
+    pub fn is_zero(self) -> bool {
+        match self {
+            Angle::DyadicPi { num, .. } => num == 0,
+            Angle::Radians(theta) => theta == 0.0,
+        }
+    }
+
+    /// Whether the rotation is a Pauli (multiple of π).
+    pub fn is_pauli(self) -> bool {
+        match self {
+            Angle::DyadicPi { k, .. } => k == 0,
+            Angle::Radians(theta) => theta == 0.0,
+        }
+    }
+
+    /// Number of doublings until the ladder reaches a Clifford angle, or
+    /// `None` for generic angles (never terminates early).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rescq_circuit::Angle;
+    /// assert_eq!(Angle::T.doublings_to_clifford(), Some(1));
+    /// assert_eq!(Angle::dyadic_pi(1, 5).doublings_to_clifford(), Some(4));
+    /// assert_eq!(Angle::radians(0.3).doublings_to_clifford(), None);
+    /// ```
+    pub fn doublings_to_clifford(self) -> Option<u32> {
+        match self {
+            Angle::DyadicPi { k, .. } => Some(k.saturating_sub(1)),
+            Angle::Radians(theta) if theta == 0.0 => Some(0),
+            Angle::Radians(_) => None,
+        }
+    }
+
+    /// Numeric value in radians, wrapped into `(−π, π]` for dyadic angles
+    /// ≤ 2π.
+    pub fn to_radians(self) -> f64 {
+        match self {
+            Angle::DyadicPi { num, k } => num as f64 * PI / (1u64 << k) as f64,
+            Angle::Radians(theta) => theta,
+        }
+    }
+
+    /// Whether this is an exact dyadic-π angle.
+    pub fn is_dyadic(self) -> bool {
+        matches!(self, Angle::DyadicPi { .. })
+    }
+}
+
+impl Default for Angle {
+    fn default() -> Self {
+        Angle::ZERO
+    }
+}
+
+impl PartialEq for Angle {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Angle::DyadicPi { num: n1, k: k1 }, Angle::DyadicPi { num: n2, k: k2 }) => {
+                n1 == n2 && k1 == k2
+            }
+            (Angle::Radians(a), Angle::Radians(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Add for Angle {
+    type Output = Angle;
+
+    /// Sum of two rotations (used when merging adjacent `Rz` gates).
+    fn add(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Angle::DyadicPi { num: n1, k: k1 }, Angle::DyadicPi { num: n2, k: k2 }) => {
+                let k = k1.max(k2);
+                let a = (n1 as i128) << (k - k1);
+                let b = (n2 as i128) << (k - k2);
+                let sum = a + b;
+                // The sum fits i64 after wrapping because both inputs are
+                // normalized into (−2^k, 2^k].
+                let modulus: i128 = 1i128 << (k + 1);
+                let mut wrapped = sum.rem_euclid(modulus);
+                if wrapped > modulus / 2 {
+                    wrapped -= modulus;
+                }
+                Angle::normalize(wrapped as i64, k)
+            }
+            (a, b) => Angle::radians(a.to_radians() + b.to_radians()),
+        }
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Angle::DyadicPi { num: 0, .. } => write!(f, "0"),
+            Angle::DyadicPi { num, k: 0 } => {
+                if num == 1 {
+                    write!(f, "pi")
+                } else if num == -1 {
+                    write!(f, "-pi")
+                } else {
+                    write!(f, "{num}*pi")
+                }
+            }
+            Angle::DyadicPi { num, k } => {
+                let den = 1u64 << k;
+                if num == 1 {
+                    write!(f, "pi/{den}")
+                } else if num == -1 {
+                    write!(f, "-pi/{den}")
+                } else {
+                    write!(f, "{num}*pi/{den}")
+                }
+            }
+            Angle::Radians(theta) => write!(f, "{theta}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_reduces_and_wraps() {
+        assert_eq!(Angle::dyadic_pi(4, 3), Angle::dyadic_pi(1, 1));
+        assert_eq!(Angle::dyadic_pi(8, 2), Angle::ZERO); // 2π ≡ 0
+        assert_eq!(Angle::dyadic_pi(3, 0), Angle::PI); // 3π ≡ π
+        assert_eq!(Angle::dyadic_pi(-1, 2), Angle::dyadic_pi(-1, 2));
+        assert_eq!(Angle::dyadic_pi(7, 2), Angle::dyadic_pi(-1, 2)); // 7π/4 ≡ −π/4
+    }
+
+    #[test]
+    fn doubling_ladder_reaches_clifford() {
+        let mut a = Angle::dyadic_pi(1, 4); // π/16
+        let mut steps = 0;
+        while !a.is_clifford() {
+            a = a.double();
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+        assert_eq!(a, Angle::S);
+        assert_eq!(Angle::dyadic_pi(1, 4).doublings_to_clifford(), Some(3));
+    }
+
+    #[test]
+    fn doubling_pauli_wraps_to_zero() {
+        assert_eq!(Angle::PI.double(), Angle::ZERO);
+        assert!(Angle::PI.is_clifford());
+    }
+
+    #[test]
+    fn radians_never_clifford() {
+        let a = Angle::radians(0.7);
+        assert!(!a.is_clifford());
+        assert_eq!(a.doublings_to_clifford(), None);
+        let d = a.double();
+        assert!((d.to_radians() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radians_wraps_into_pi_range() {
+        let a = Angle::radians(3.0 * PI);
+        assert!((a.to_radians() - PI).abs() < 1e-12);
+        let b = Angle::radians(-3.5 * PI);
+        assert!(b.to_radians().abs() <= PI + 1e-12);
+    }
+
+    #[test]
+    fn addition_merges_dyadics() {
+        let sum = Angle::T + Angle::T;
+        assert_eq!(sum, Angle::S);
+        let sum = Angle::dyadic_pi(1, 3) + Angle::dyadic_pi(1, 2);
+        assert_eq!(sum, Angle::dyadic_pi(3, 3));
+        let cancel = Angle::T + Angle::dyadic_pi(-1, 2);
+        assert!(cancel.is_zero());
+    }
+
+    #[test]
+    fn addition_falls_back_to_radians() {
+        let sum = Angle::T + Angle::radians(0.1);
+        assert!(!sum.is_dyadic());
+        assert!((sum.to_radians() - (PI / 4.0 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Angle::T.to_string(), "pi/4");
+        assert_eq!(Angle::dyadic_pi(-3, 3).to_string(), "-3*pi/8");
+        assert_eq!(Angle::PI.to_string(), "pi");
+        assert_eq!(Angle::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn large_k_does_not_overflow() {
+        let a = Angle::dyadic_pi(1, 60);
+        assert_eq!(a.doublings_to_clifford(), Some(59));
+        let mut b = a;
+        for _ in 0..59 {
+            b = b.double();
+        }
+        assert!(b.is_clifford());
+    }
+}

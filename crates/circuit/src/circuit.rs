@@ -1,0 +1,373 @@
+//! The [`Circuit`] container: an ordered gate list over `n` logical qubits.
+
+use crate::{Angle, Gate, GateId, QubitId};
+use std::fmt;
+
+/// Error raised when a gate references a qubit outside the circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QubitOutOfRange {
+    /// The offending qubit.
+    pub qubit: QubitId,
+    /// The circuit's qubit count.
+    pub num_qubits: u32,
+}
+
+impl fmt::Display for QubitOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "qubit {} out of range for circuit with {} qubits",
+            self.qubit, self.num_qubits
+        )
+    }
+}
+
+impl std::error::Error for QubitOutOfRange {}
+
+/// Gate-count statistics mirroring the columns of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateStats {
+    /// Total gates of all kinds.
+    pub total: usize,
+    /// Continuous-angle (non-Clifford) `Rz` gates — the paper's `#Rz` column.
+    pub rz: usize,
+    /// CNOT gates — the paper's `#CNOT` column.
+    pub cnot: usize,
+    /// Hadamard gates.
+    pub h: usize,
+    /// Pauli X/Z gates (zero-cost).
+    pub pauli: usize,
+    /// Clifford `Rz` gates (S, Z, identity — zero-cost).
+    pub clifford_rz: usize,
+}
+
+impl fmt::Display for GateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={} rz={} cnot={} h={} pauli={} clifford_rz={}",
+            self.total, self.rz, self.cnot, self.h, self.pauli, self.clifford_rz
+        )
+    }
+}
+
+/// An ordered list of gates over `num_qubits` logical qubits.
+///
+/// Gates are stored in program order; [`GateId`]s are indices into this order.
+/// The structural dependency view lives in [`crate::DependencyDag`].
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::{Angle, Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1).rz(1, Angle::radians(0.42));
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.stats().rz, 1);
+/// assert_eq!(c.depth(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: u32,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates a circuit from parts, validating qubit ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QubitOutOfRange`] if any gate references a qubit `≥ num_qubits`.
+    pub fn from_gates(
+        num_qubits: u32,
+        gates: impl IntoIterator<Item = Gate>,
+    ) -> Result<Self, QubitOutOfRange> {
+        let mut c = Circuit::new(num_qubits);
+        for g in gates {
+            c.try_push(g)?;
+        }
+        Ok(c)
+    }
+
+    /// Number of logical qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate(&self, id: GateId) -> Gate {
+        self.gates[id.index()]
+    }
+
+    /// Iterator over `(GateId, Gate)` pairs in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, Gate)> + '_ {
+        self.gates.iter().enumerate().map(|(i, g)| (GateId(i), *g))
+    }
+
+    /// Appends a gate, validating its qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QubitOutOfRange`] if the gate references a qubit `≥ num_qubits`.
+    pub fn try_push(&mut self, gate: Gate) -> Result<GateId, QubitOutOfRange> {
+        for q in gate.qubits() {
+            if q.0 >= self.num_qubits {
+                return Err(QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        self.gates.push(gate);
+        Ok(GateId(self.gates.len() - 1))
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit `≥ num_qubits`; use
+    /// [`Circuit::try_push`] for fallible insertion.
+    pub fn push(&mut self, gate: Gate) -> GateId {
+        self.try_push(gate).expect("gate qubits in range")
+    }
+
+    /// Appends `Rz(angle)` on `qubit`. Chainable.
+    pub fn rz(&mut self, qubit: impl Into<QubitId>, angle: Angle) -> &mut Self {
+        self.push(Gate::rz(qubit, angle));
+        self
+    }
+
+    /// Appends a Hadamard on `qubit`. Chainable.
+    pub fn h(&mut self, qubit: impl Into<QubitId>) -> &mut Self {
+        self.push(Gate::h(qubit));
+        self
+    }
+
+    /// Appends a Pauli-X on `qubit`. Chainable.
+    pub fn x(&mut self, qubit: impl Into<QubitId>) -> &mut Self {
+        self.push(Gate::x(qubit));
+        self
+    }
+
+    /// Appends a Pauli-Z on `qubit`. Chainable.
+    pub fn z(&mut self, qubit: impl Into<QubitId>) -> &mut Self {
+        self.push(Gate::z(qubit));
+        self
+    }
+
+    /// Appends `S = Rz(π/2)` on `qubit` (Clifford, zero-cost). Chainable.
+    pub fn s(&mut self, qubit: impl Into<QubitId>) -> &mut Self {
+        self.push(Gate::rz(qubit, Angle::S));
+        self
+    }
+
+    /// Appends `S† = Rz(−π/2)` on `qubit`. Chainable.
+    pub fn sdg(&mut self, qubit: impl Into<QubitId>) -> &mut Self {
+        self.push(Gate::rz(qubit, Angle::dyadic_pi(-1, 1)));
+        self
+    }
+
+    /// Appends `T = Rz(π/4)` on `qubit`. Chainable.
+    pub fn t(&mut self, qubit: impl Into<QubitId>) -> &mut Self {
+        self.push(Gate::rz(qubit, Angle::T));
+        self
+    }
+
+    /// Appends `T† = Rz(−π/4)` on `qubit`. Chainable.
+    pub fn tdg(&mut self, qubit: impl Into<QubitId>) -> &mut Self {
+        self.push(Gate::rz(qubit, Angle::dyadic_pi(-1, 2)));
+        self
+    }
+
+    /// Appends a CNOT. Chainable.
+    pub fn cnot(&mut self, control: impl Into<QubitId>, target: impl Into<QubitId>) -> &mut Self {
+        self.push(Gate::cnot(control, target));
+        self
+    }
+
+    /// Gate-count statistics (the paper's Table 3 columns).
+    pub fn stats(&self) -> GateStats {
+        let mut s = GateStats {
+            total: self.gates.len(),
+            ..GateStats::default()
+        };
+        for g in &self.gates {
+            match g {
+                Gate::Rz { angle, .. } => {
+                    if angle.is_clifford() {
+                        s.clifford_rz += 1;
+                    } else {
+                        s.rz += 1;
+                    }
+                }
+                Gate::Cnot { .. } => s.cnot += 1,
+                Gate::H { .. } => s.h += 1,
+                Gate::X { .. } | Gate::Z { .. } => s.pauli += 1,
+            }
+        }
+        s
+    }
+
+    /// Circuit depth: the length of the longest dependency chain, counting
+    /// every gate (including free ones) as one layer.
+    pub fn depth(&self) -> usize {
+        let mut qubit_depth = vec![0usize; self.num_qubits as usize];
+        let mut max = 0;
+        for g in &self.gates {
+            let d = 1 + g
+                .qubits()
+                .into_iter()
+                .map(|q| qubit_depth[q.index()])
+                .max()
+                .unwrap_or(0);
+            for q in g.qubits() {
+                qubit_depth[q.index()] = d;
+            }
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Appends all gates of `other` (same qubit indexing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than `self`.
+    pub fn append(&mut self, other: &Circuit) {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit uses {} qubits but target has {}",
+            other.num_qubits,
+            self.num_qubits
+        );
+        self.gates.extend_from_slice(&other.gates);
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl fmt::Display for Circuit {
+    /// Formats in the artifact's text format (§B.7): the gate count on the
+    /// first line, one gate per line after.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.gates.len())?;
+        for g in &self.gates {
+            writeln!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_stats() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cnot(0, 1)
+            .rz(1, Angle::radians(0.3))
+            .x(2)
+            .s(2)
+            .t(2);
+        let s = c.stats();
+        assert_eq!(s.total, 6);
+        assert_eq!(s.rz, 2); // radians(0.3) and T
+        assert_eq!(s.clifford_rz, 1); // S
+        assert_eq!(s.cnot, 1);
+        assert_eq!(s.h, 1);
+        assert_eq!(s.pauli, 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut c = Circuit::new(2);
+        let err = c.try_push(Gate::cnot(0, 2)).unwrap_err();
+        assert_eq!(err.qubit, QubitId(2));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn depth_tracks_chains() {
+        let mut c = Circuit::new(3);
+        // Parallel H's: depth 1.
+        c.h(0).h(1).h(2);
+        assert_eq!(c.depth(), 1);
+        // CNOT joins chains: depth 2; Rz extends: 3.
+        c.cnot(0, 1).rz(1, Angle::T);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(5);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.stats(), GateStats::default());
+    }
+
+    #[test]
+    fn append_merges() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cnot(0, 1);
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn display_round_trips_header() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let text = c.to_string();
+        assert!(text.starts_with("2\n"));
+        assert!(text.contains("h 0"));
+        assert!(text.contains("cx 0 1"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Gate dependency DAG: per-qubit predecessor chains, ASAP layering and
+//! critical-path depths.
+//!
+//! Static schedulers (greedy [18], AutoBraid [16]) execute the ASAP layers in
+//! lock-step: the next layer starts only once every gate of the current layer
+//! finished (paper §3.1). The realtime RESCQ scheduler instead consumes the
+//! per-qubit chains directly and uses [`DependencyDag::remaining_depth`] to
+//! prioritize gates that are likely on the critical path (paper Fig 7 caption).
+
+use crate::{Circuit, Gate, GateId};
+
+/// Dependency structure of a [`Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::{Angle, Circuit, DependencyDag, GateId};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).h(1).cnot(0, 1).rz(1, Angle::T);
+/// let dag = DependencyDag::new(&c);
+/// assert_eq!(dag.layers().len(), 3);
+/// assert_eq!(dag.asap_layer(GateId(2)), 1); // the CNOT waits for both H's
+/// assert!(dag.remaining_depth(GateId(0)) >= dag.remaining_depth(GateId(3)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DependencyDag {
+    /// For each gate, its immediate predecessor on each operand qubit.
+    preds: Vec<[Option<GateId>; 2]>,
+    /// For each gate, gates that list it as a predecessor.
+    succs: Vec<Vec<GateId>>,
+    /// ASAP layer index of each gate (0-based).
+    asap: Vec<u32>,
+    /// Longest chain from this gate (inclusive) to any sink.
+    remaining: Vec<u32>,
+    /// Gates grouped by ASAP layer.
+    layers: Vec<Vec<GateId>>,
+    /// Per-qubit program-order gate chains.
+    qubit_chains: Vec<Vec<GateId>>,
+}
+
+impl DependencyDag {
+    /// Builds the DAG for `circuit` in `O(gates)`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let nq = circuit.num_qubits() as usize;
+        let mut preds = vec![[None, None]; n];
+        let mut succs = vec![Vec::new(); n];
+        let mut asap = vec![0u32; n];
+        let mut last_on_qubit: Vec<Option<GateId>> = vec![None; nq];
+        let mut qubit_chains: Vec<Vec<GateId>> = vec![Vec::new(); nq];
+
+        for (id, gate) in circuit.iter() {
+            let mut layer = 0;
+            for (slot, q) in gate.qubits().into_iter().enumerate() {
+                if let Some(prev) = last_on_qubit[q.index()] {
+                    preds[id.index()][slot] = Some(prev);
+                    succs[prev.index()].push(id);
+                    layer = layer.max(asap[prev.index()] + 1);
+                }
+            }
+            asap[id.index()] = layer;
+            for q in gate.qubits() {
+                last_on_qubit[q.index()] = Some(id);
+                qubit_chains[q.index()].push(id);
+            }
+        }
+
+        let max_layer = asap.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut layers = vec![Vec::new(); max_layer];
+        for (i, &l) in asap.iter().enumerate() {
+            layers[l as usize].push(GateId(i));
+        }
+
+        // Remaining depth: reverse topological order = reverse program order.
+        let mut remaining = vec![1u32; n];
+        for i in (0..n).rev() {
+            let mut best = 1;
+            for &s in &succs[i] {
+                best = best.max(1 + remaining[s.index()]);
+            }
+            remaining[i] = best;
+        }
+
+        DependencyDag {
+            preds,
+            succs,
+            asap,
+            remaining,
+            layers,
+            qubit_chains,
+        }
+    }
+
+    /// Immediate predecessors of `gate` (one per operand qubit, when present).
+    pub fn preds(&self, gate: GateId) -> impl Iterator<Item = GateId> + '_ {
+        self.preds[gate.index()].into_iter().flatten()
+    }
+
+    /// Immediate successors of `gate`.
+    pub fn succs(&self, gate: GateId) -> &[GateId] {
+        &self.succs[gate.index()]
+    }
+
+    /// The ASAP layer of `gate` (0-based).
+    pub fn asap_layer(&self, gate: GateId) -> u32 {
+        self.asap[gate.index()]
+    }
+
+    /// Length of the longest dependency chain starting at `gate`, inclusive.
+    /// Larger values mean the gate is more likely on the critical path; the
+    /// RESCQ scheduler breaks simultaneous-scheduling ties with this.
+    pub fn remaining_depth(&self, gate: GateId) -> u32 {
+        self.remaining[gate.index()]
+    }
+
+    /// Gates grouped by ASAP layer, in layer order.
+    pub fn layers(&self) -> &[Vec<GateId>] {
+        &self.layers
+    }
+
+    /// Gates touching qubit `q`, in program order.
+    pub fn qubit_chain(&self, q: crate::QubitId) -> &[GateId] {
+        &self.qubit_chains[q.index()]
+    }
+
+    /// Number of gates in the DAG.
+    pub fn len(&self) -> usize {
+        self.asap.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.asap.is_empty()
+    }
+
+    /// Checks that `order` (a permutation of gate ids) respects dependencies.
+    /// Used by scheduler tests and property tests.
+    pub fn respects_dependencies(&self, order: &[GateId]) -> bool {
+        let mut pos = vec![usize::MAX; self.len()];
+        for (i, g) in order.iter().enumerate() {
+            pos[g.index()] = i;
+        }
+        if pos.iter().any(|&p| p == usize::MAX) {
+            return false;
+        }
+        (0..self.len()).all(|i| {
+            self.preds(GateId(i))
+                .all(|p| pos[p.index()] < pos[i])
+        })
+    }
+}
+
+/// Convenience: layered view where each entry is `(GateId, Gate)`.
+pub fn asap_layers(circuit: &Circuit) -> Vec<Vec<(GateId, Gate)>> {
+    let dag = DependencyDag::new(circuit);
+    dag.layers()
+        .iter()
+        .map(|layer| layer.iter().map(|&id| (id, circuit.gate(id))).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Angle;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0) // g0 layer 0
+            .h(1) // g1 layer 0
+            .cnot(0, 1) // g2 layer 1
+            .rz(2, Angle::T) // g3 layer 0
+            .cnot(1, 2) // g4 layer 2
+            .rz(2, Angle::T); // g5 layer 3
+        c
+    }
+
+    #[test]
+    fn layers_and_preds() {
+        let c = sample();
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.asap_layer(GateId(0)), 0);
+        assert_eq!(dag.asap_layer(GateId(2)), 1);
+        assert_eq!(dag.asap_layer(GateId(4)), 2);
+        assert_eq!(dag.asap_layer(GateId(5)), 3);
+        assert_eq!(dag.layers().len(), 4);
+        let preds: Vec<_> = dag.preds(GateId(4)).collect();
+        assert_eq!(preds, vec![GateId(2), GateId(3)]);
+        assert_eq!(dag.succs(GateId(4)), &[GateId(5)]);
+    }
+
+    #[test]
+    fn remaining_depth_is_critical_path() {
+        let c = sample();
+        let dag = DependencyDag::new(&c);
+        // g0 → g2 → g4 → g5 : depth 4 from g0.
+        assert_eq!(dag.remaining_depth(GateId(0)), 4);
+        assert_eq!(dag.remaining_depth(GateId(5)), 1);
+        assert_eq!(dag.remaining_depth(GateId(3)), 3); // g3 → g4 → g5
+    }
+
+    #[test]
+    fn qubit_chains_in_order() {
+        let c = sample();
+        let dag = DependencyDag::new(&c);
+        assert_eq!(
+            dag.qubit_chain(crate::QubitId(1)),
+            &[GateId(1), GateId(2), GateId(4)]
+        );
+        assert_eq!(
+            dag.qubit_chain(crate::QubitId(2)),
+            &[GateId(3), GateId(4), GateId(5)]
+        );
+    }
+
+    #[test]
+    fn program_order_respects_dependencies() {
+        let c = sample();
+        let dag = DependencyDag::new(&c);
+        let order: Vec<_> = (0..c.len()).map(GateId).collect();
+        assert!(dag.respects_dependencies(&order));
+        let mut bad = order.clone();
+        bad.swap(2, 4); // g4 before g2 violates the qubit-1 chain
+        assert!(!dag.respects_dependencies(&bad));
+    }
+
+    #[test]
+    fn empty_dag() {
+        let c = Circuit::new(2);
+        let dag = DependencyDag::new(&c);
+        assert!(dag.is_empty());
+        assert!(dag.layers().is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! Gates of the Clifford+Rz basis used by continuous-angle architectures.
+//!
+//! The paper compiles every benchmark into `{Rz, H, X, CNOT}` (§5.1); we add
+//! `Z` since the Pauli frame treats it identically to `X` (zero cycles) and it
+//! appears in decompositions. `S` gates are represented as `Rz(π/2)`, which
+//! [`Angle::is_clifford`] classifies as free.
+
+use crate::Angle;
+use std::fmt;
+
+/// Identifier of a logical program qubit (`0..n` within a [`crate::Circuit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QubitId(pub u32);
+
+impl QubitId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for QubitId {
+    fn from(v: u32) -> Self {
+        QubitId(v)
+    }
+}
+
+impl From<usize> for QubitId {
+    fn from(v: usize) -> Self {
+        QubitId(v as u32)
+    }
+}
+
+impl From<i32> for QubitId {
+    /// Ergonomic conversion for integer literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative values.
+    fn from(v: i32) -> Self {
+        assert!(v >= 0, "qubit index must be non-negative, got {v}");
+        QubitId(v as u32)
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identifier of a gate within a [`crate::Circuit`] (its position in program
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GateId(pub usize);
+
+impl GateId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A gate in the Clifford+Rz basis.
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::{Angle, Gate, QubitId};
+///
+/// let g = Gate::rz(0, Angle::T);
+/// assert!(g.is_rotation());
+/// assert!(g.is_continuous_rotation()); // T is non-Clifford: needs |mθ⟩
+/// assert!(Gate::rz(0, Angle::S).is_free()); // S is Clifford: software
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Arbitrary-angle Z rotation; non-Clifford angles require `|mθ⟩` states.
+    Rz {
+        /// The qubit rotated.
+        qubit: QubitId,
+        /// The rotation angle.
+        angle: Angle,
+    },
+    /// Hadamard: transversal on the surface code but swaps the X/Z boundary
+    /// orientation of the patch.
+    H {
+        /// The qubit acted on.
+        qubit: QubitId,
+    },
+    /// Pauli-X: tracked in the Pauli frame, zero cycles.
+    X {
+        /// The qubit acted on.
+        qubit: QubitId,
+    },
+    /// Pauli-Z: tracked in the Pauli frame, zero cycles.
+    Z {
+        /// The qubit acted on.
+        qubit: QubitId,
+    },
+    /// CNOT via lattice surgery (ZZ then XX measurement through an ancilla
+    /// path, 2 cycles when a path exists — paper Fig 2).
+    Cnot {
+        /// The control qubit (interacts through its Z edge).
+        control: QubitId,
+        /// The target qubit (interacts through its X edge).
+        target: QubitId,
+    },
+}
+
+impl Gate {
+    /// Convenience constructor for an `Rz`.
+    pub fn rz(qubit: impl Into<QubitId>, angle: Angle) -> Self {
+        Gate::Rz {
+            qubit: qubit.into(),
+            angle,
+        }
+    }
+
+    /// Convenience constructor for a Hadamard.
+    pub fn h(qubit: impl Into<QubitId>) -> Self {
+        Gate::H {
+            qubit: qubit.into(),
+        }
+    }
+
+    /// Convenience constructor for a Pauli-X.
+    pub fn x(qubit: impl Into<QubitId>) -> Self {
+        Gate::X {
+            qubit: qubit.into(),
+        }
+    }
+
+    /// Convenience constructor for a Pauli-Z.
+    pub fn z(qubit: impl Into<QubitId>) -> Self {
+        Gate::Z {
+            qubit: qubit.into(),
+        }
+    }
+
+    /// Convenience constructor for a CNOT.
+    pub fn cnot(control: impl Into<QubitId>, target: impl Into<QubitId>) -> Self {
+        Gate::Cnot {
+            control: control.into(),
+            target: target.into(),
+        }
+    }
+
+    /// The qubits the gate acts on, in (control, target) order for CNOT.
+    pub fn qubits(&self) -> GateQubits {
+        match *self {
+            Gate::Rz { qubit, .. } | Gate::H { qubit } | Gate::X { qubit } | Gate::Z { qubit } => {
+                GateQubits::One(qubit)
+            }
+            Gate::Cnot { control, target } => GateQubits::Two(control, target),
+        }
+    }
+
+    /// Whether this is a two-qubit gate.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cnot { .. })
+    }
+
+    /// Whether this is an `Rz` of any angle.
+    pub fn is_rotation(&self) -> bool {
+        matches!(self, Gate::Rz { .. })
+    }
+
+    /// Whether this is a *continuous-angle* rotation: an `Rz` whose angle is
+    /// not Clifford, i.e. one that requires RUS `|mθ⟩` preparation. These are
+    /// the gates counted in the paper's `#Rz` columns.
+    pub fn is_continuous_rotation(&self) -> bool {
+        matches!(self, Gate::Rz { angle, .. } if !angle.is_clifford())
+    }
+
+    /// Whether the gate costs zero lattice-surgery cycles (Pauli-frame or
+    /// Clifford-software gates).
+    pub fn is_free(&self) -> bool {
+        match self {
+            Gate::X { .. } | Gate::Z { .. } => true,
+            Gate::Rz { angle, .. } => angle.is_clifford(),
+            _ => false,
+        }
+    }
+
+    /// Lowercase mnemonic matching the artifact's text format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::Rz { .. } => "rz",
+            Gate::H { .. } => "h",
+            Gate::X { .. } => "x",
+            Gate::Z { .. } => "z",
+            Gate::Cnot { .. } => "cx",
+        }
+    }
+
+    /// The rotation angle, if this is an `Rz`.
+    pub fn angle(&self) -> Option<Angle> {
+        match self {
+            Gate::Rz { angle, .. } => Some(*angle),
+            _ => None,
+        }
+    }
+
+    /// Rewrites every qubit id through `f` (used when embedding circuits).
+    #[must_use]
+    pub fn map_qubits(self, mut f: impl FnMut(QubitId) -> QubitId) -> Self {
+        match self {
+            Gate::Rz { qubit, angle } => Gate::Rz {
+                qubit: f(qubit),
+                angle,
+            },
+            Gate::H { qubit } => Gate::H { qubit: f(qubit) },
+            Gate::X { qubit } => Gate::X { qubit: f(qubit) },
+            Gate::Z { qubit } => Gate::Z { qubit: f(qubit) },
+            Gate::Cnot { control, target } => Gate::Cnot {
+                control: f(control),
+                target: f(target),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Rz { qubit, angle } => write!(f, "rz {} {}", qubit.0, angle),
+            Gate::H { qubit } => write!(f, "h {}", qubit.0),
+            Gate::X { qubit } => write!(f, "x {}", qubit.0),
+            Gate::Z { qubit } => write!(f, "z {}", qubit.0),
+            Gate::Cnot { control, target } => write!(f, "cx {} {}", control.0, target.0),
+        }
+    }
+}
+
+/// The operand qubits of a gate, avoiding allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateQubits {
+    /// Single-qubit gate operand.
+    One(QubitId),
+    /// Two-qubit gate operands in (control, target) order.
+    Two(QubitId, QubitId),
+}
+
+impl GateQubits {
+    /// Number of operands (1 or 2).
+    pub fn len(&self) -> usize {
+        match self {
+            GateQubits::One(_) => 1,
+            GateQubits::Two(..) => 2,
+        }
+    }
+
+    /// Always false; gates have at least one operand.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `q` is among the operands.
+    pub fn contains(&self, q: QubitId) -> bool {
+        match *self {
+            GateQubits::One(a) => a == q,
+            GateQubits::Two(a, b) => a == q || b == q,
+        }
+    }
+
+    /// Iterator over the operands.
+    pub fn iter(&self) -> impl Iterator<Item = QubitId> + '_ {
+        let (a, b) = match *self {
+            GateQubits::One(a) => (a, None),
+            GateQubits::Two(a, b) => (a, Some(b)),
+        };
+        std::iter::once(a).chain(b)
+    }
+}
+
+impl IntoIterator for GateQubits {
+    type Item = QubitId;
+    type IntoIter = std::iter::Chain<std::iter::Once<QubitId>, std::option::IntoIter<QubitId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let (a, b) = match self {
+            GateQubits::One(a) => (a, None),
+            GateQubits::Two(a, b) => (a, Some(b)),
+        };
+        std::iter::once(a).chain(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Gate::rz(0, Angle::radians(0.3)).is_continuous_rotation());
+        assert!(Gate::rz(0, Angle::T).is_continuous_rotation());
+        assert!(!Gate::rz(0, Angle::S).is_continuous_rotation());
+        assert!(Gate::rz(0, Angle::S).is_free());
+        assert!(Gate::x(0).is_free());
+        assert!(Gate::z(0).is_free());
+        assert!(!Gate::h(0).is_free());
+        assert!(Gate::cnot(0, 1).is_two_qubit());
+    }
+
+    #[test]
+    fn qubit_access() {
+        let g = Gate::cnot(2, 5);
+        let qs: Vec<_> = g.qubits().into_iter().collect();
+        assert_eq!(qs, vec![QubitId(2), QubitId(5)]);
+        assert!(g.qubits().contains(QubitId(5)));
+        assert!(!g.qubits().contains(QubitId(3)));
+        assert_eq!(g.qubits().len(), 2);
+        assert_eq!(Gate::h(1).qubits().len(), 1);
+    }
+
+    #[test]
+    fn map_qubits_shifts() {
+        let g = Gate::cnot(0, 1).map_qubits(|q| QubitId(q.0 + 10));
+        assert_eq!(g, Gate::cnot(10, 11));
+    }
+
+    #[test]
+    fn display_matches_artifact_format() {
+        assert_eq!(Gate::rz(3, Angle::T).to_string(), "rz 3 pi/4");
+        assert_eq!(Gate::cnot(0, 1).to_string(), "cx 0 1");
+        assert_eq!(Gate::h(7).to_string(), "h 7");
+    }
+}

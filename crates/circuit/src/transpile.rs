@@ -1,0 +1,260 @@
+//! Decompositions into the Clifford+Rz basis and peephole rotation merging.
+//!
+//! The workload generators (Table 3) build circuits from higher-level gates
+//! (`Ry`, `U3`, controlled-phase, Toffoli, …); this module lowers them the same
+//! way Qiskit's `transpile(..., basis_gates=['rz','h','x','cx'])` does, so the
+//! generated gate counts line up with the paper's table.
+
+use crate::{Angle, Circuit, Gate, QubitId};
+
+/// Appends `Rx(θ) = H · Rz(θ) · H` on `q`.
+pub fn rx(c: &mut Circuit, q: impl Into<QubitId>, theta: Angle) {
+    let q = q.into();
+    c.h(q).rz(q, theta).h(q);
+}
+
+/// Appends `Ry(θ) = S · H · Rz(θ) · H · S†` on `q` (one continuous rotation
+/// plus free Cliffords).
+pub fn ry(c: &mut Circuit, q: impl Into<QubitId>, theta: Angle) {
+    let q = q.into();
+    c.s(q).h(q).rz(q, theta).h(q).sdg(q);
+}
+
+/// Appends `U3(θ, φ, λ) = Rz(φ) · Ry(θ) · Rz(λ)` on `q`: three continuous
+/// rotations (for generic parameters) plus free Cliffords.
+pub fn u3(c: &mut Circuit, q: impl Into<QubitId>, theta: Angle, phi: Angle, lam: Angle) {
+    let q = q.into();
+    c.rz(q, lam);
+    ry(c, q, theta);
+    c.rz(q, phi);
+}
+
+/// Appends a controlled-phase `CP(λ)` in its full 3-rotation form:
+/// `Rz(λ/2) on c; CX; Rz(−λ/2) on t; CX; Rz(λ/2) on t` — 2 CNOTs + 3 Rz.
+pub fn cp(c: &mut Circuit, control: impl Into<QubitId>, target: impl Into<QubitId>, lam: Angle) {
+    let (ctl, tgt) = (control.into(), target.into());
+    let half = halve(lam);
+    let neg_half = negate(half);
+    c.rz(ctl, half);
+    c.cnot(ctl, tgt);
+    c.rz(tgt, neg_half);
+    c.cnot(ctl, tgt);
+    c.rz(tgt, half);
+}
+
+/// Appends `Rzz(θ) = CX; Rz(θ) on t; CX` — the two-qubit interaction used by
+/// Ising/QAOA circuits: 2 CNOTs + 1 Rz.
+pub fn rzz(c: &mut Circuit, a: impl Into<QubitId>, b: impl Into<QubitId>, theta: Angle) {
+    let (a, b) = (a.into(), b.into());
+    c.cnot(a, b).rz(b, theta).cnot(a, b);
+}
+
+/// Appends a Toffoli (CCX) in the standard Clifford+T decomposition:
+/// 6 CNOTs, 7 T/T† rotations, 2 Hadamards.
+pub fn toffoli(
+    c: &mut Circuit,
+    a: impl Into<QubitId>,
+    b: impl Into<QubitId>,
+    t: impl Into<QubitId>,
+) {
+    let (a, b, t) = (a.into(), b.into(), t.into());
+    c.h(t)
+        .cnot(b, t)
+        .tdg(t)
+        .cnot(a, t)
+        .t(t)
+        .cnot(b, t)
+        .tdg(t)
+        .cnot(a, t)
+        .t(b)
+        .t(t)
+        .h(t)
+        .cnot(a, b)
+        .t(a)
+        .tdg(b)
+        .cnot(a, b);
+}
+
+/// Appends a SWAP as 3 CNOTs.
+pub fn swap(c: &mut Circuit, a: impl Into<QubitId>, b: impl Into<QubitId>) {
+    let (a, b) = (a.into(), b.into());
+    c.cnot(a, b).cnot(b, a).cnot(a, b);
+}
+
+/// Appends a controlled-`Ry(θ)`: `Ry(θ/2) t; CX; Ry(−θ/2) t; CX` —
+/// 2 CNOTs + 2 continuous rotations (plus free Cliffords). W-state circuits
+/// are built from these.
+pub fn cry(c: &mut Circuit, control: impl Into<QubitId>, target: impl Into<QubitId>, theta: Angle) {
+    let (ctl, tgt) = (control.into(), target.into());
+    let half = halve(theta);
+    ry(c, tgt, half);
+    c.cnot(ctl, tgt);
+    ry(c, tgt, negate(half));
+    c.cnot(ctl, tgt);
+}
+
+/// Halves an angle exactly for dyadics (`num·π/2^k → num·π/2^(k+1)`), in
+/// floating point otherwise.
+pub fn halve(a: Angle) -> Angle {
+    match a {
+        Angle::DyadicPi { num, k } => Angle::dyadic_pi(num, k + 1),
+        Angle::Radians(r) => Angle::radians(r / 2.0),
+    }
+}
+
+/// Negates an angle.
+pub fn negate(a: Angle) -> Angle {
+    match a {
+        Angle::DyadicPi { num, k } => Angle::dyadic_pi(-num, k),
+        Angle::Radians(r) => Angle::radians(-r),
+    }
+}
+
+/// Merges adjacent `Rz` gates on the same qubit (no intervening gate on that
+/// qubit) and drops zero rotations, mimicking Qiskit's 1-qubit optimization
+/// pass. Returns the optimized circuit.
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::{transpile::merge_rotations, Angle, Circuit};
+///
+/// let mut c = Circuit::new(1);
+/// c.t(0).t(0); // two π/4 merge into π/2 (Clifford)
+/// let merged = merge_rotations(&c);
+/// assert_eq!(merged.len(), 1);
+/// assert_eq!(merged.stats().rz, 0);
+/// ```
+pub fn merge_rotations(circuit: &Circuit) -> Circuit {
+    let mut out: Vec<Gate> = Vec::with_capacity(circuit.len());
+    // For each qubit, the index in `out` of a trailing Rz that is still
+    // mergeable (no later gate touches that qubit).
+    let mut open_rz: Vec<Option<usize>> = vec![None; circuit.num_qubits() as usize];
+
+    for g in circuit.gates() {
+        match *g {
+            Gate::Rz { qubit, angle } => {
+                if let Some(idx) = open_rz[qubit.index()] {
+                    if let Gate::Rz { angle: prev, .. } = out[idx] {
+                        let merged = prev + angle;
+                        out[idx] = Gate::rz(qubit, merged);
+                        continue;
+                    }
+                }
+                out.push(*g);
+                open_rz[qubit.index()] = Some(out.len() - 1);
+            }
+            _ => {
+                for q in g.qubits() {
+                    open_rz[q.index()] = None;
+                }
+                out.push(*g);
+            }
+        }
+    }
+
+    let gates: Vec<Gate> = out
+        .into_iter()
+        .filter(|g| !matches!(g, Gate::Rz { angle, .. } if angle.is_zero()))
+        .collect();
+    Circuit::from_gates(circuit.num_qubits(), gates).expect("merged gates stay in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_ry_counts() {
+        let mut c = Circuit::new(1);
+        rx(&mut c, 0, Angle::radians(0.5));
+        assert_eq!(c.stats().rz, 1);
+        assert_eq!(c.stats().h, 2);
+
+        let mut c = Circuit::new(1);
+        ry(&mut c, 0, Angle::radians(0.5));
+        assert_eq!(c.stats().rz, 1);
+        assert_eq!(c.stats().clifford_rz, 2);
+    }
+
+    #[test]
+    fn u3_counts() {
+        let mut c = Circuit::new(1);
+        u3(
+            &mut c,
+            0,
+            Angle::radians(0.1),
+            Angle::radians(0.2),
+            Angle::radians(0.3),
+        );
+        assert_eq!(c.stats().rz, 3);
+    }
+
+    #[test]
+    fn cp_counts() {
+        let mut c = Circuit::new(2);
+        cp(&mut c, 0, 1, Angle::dyadic_pi(1, 2));
+        let s = c.stats();
+        assert_eq!(s.cnot, 2);
+        assert_eq!(s.rz, 3); // π/8 rotations, all non-Clifford
+    }
+
+    #[test]
+    fn rzz_counts() {
+        let mut c = Circuit::new(2);
+        rzz(&mut c, 0, 1, Angle::radians(1.0));
+        assert_eq!(c.stats().cnot, 2);
+        assert_eq!(c.stats().rz, 1);
+    }
+
+    #[test]
+    fn toffoli_counts() {
+        let mut c = Circuit::new(3);
+        toffoli(&mut c, 0, 1, 2);
+        let s = c.stats();
+        assert_eq!(s.cnot, 6);
+        assert_eq!(s.rz, 7); // T/T† are non-Clifford rotations
+        assert_eq!(s.h, 2);
+    }
+
+    #[test]
+    fn cry_counts() {
+        let mut c = Circuit::new(2);
+        cry(&mut c, 0, 1, Angle::radians(0.7));
+        assert_eq!(c.stats().cnot, 2);
+        assert_eq!(c.stats().rz, 2);
+    }
+
+    #[test]
+    fn merge_cancels_inverse_rotations() {
+        let mut c = Circuit::new(1);
+        c.t(0).tdg(0);
+        let m = merge_rotations(&c);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merge_respects_intervening_gates() {
+        let mut c = Circuit::new(2);
+        c.t(0).h(0).t(0).t(1).cnot(0, 1).t(1);
+        let m = merge_rotations(&c);
+        // t(0) and t(0)-after-h cannot merge; t(1)'s separated by cnot cannot.
+        assert_eq!(m.stats().rz, 4);
+    }
+
+    #[test]
+    fn merge_preserves_semantic_order() {
+        let mut c = Circuit::new(2);
+        c.rz(0, Angle::T).rz(0, Angle::T).cnot(0, 1);
+        let m = merge_rotations(&c);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.gates()[0], Gate::rz(0, Angle::S));
+    }
+
+    #[test]
+    fn halve_and_negate_dyadic() {
+        assert_eq!(halve(Angle::S), Angle::T);
+        assert_eq!(negate(Angle::T), Angle::dyadic_pi(-1, 2));
+        assert!((halve(Angle::radians(1.0)).to_radians() - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,212 @@
+//! The `sim` binary's config-file format: a tiny documented `key = value`
+//! dialect with `#` comments, mirroring the artifact's workflow without
+//! pulling a TOML dependency (see `DESIGN.md` §4.9).
+//!
+//! ```text
+//! # rescq simulation config
+//! benchmark = dnn_n16
+//! scheduler = rescq        # rescq | greedy | autobraid
+//! distance = 7
+//! physical_error_rate = 1e-4
+//! k = 25                   # or `k = dynamic`
+//! activity_window = 100
+//! compression = 0.0
+//! seeds = 10
+//! base_seed = 1
+//! ```
+
+use rescq_core::{KPolicy, SchedulerKind};
+use rescq_sim::SimConfig;
+use std::fmt;
+
+/// A parsed experiment request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Benchmark name from Table 3 (or `file:<path>` for a circuit file).
+    pub benchmark: String,
+    /// Simulation configuration.
+    pub config: SimConfig,
+    /// Number of seeded runs.
+    pub seeds: u64,
+    /// First seed.
+    pub base_seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            benchmark: "dnn_n16".to_string(),
+            config: SimConfig::default(),
+            seeds: 10,
+            base_seed: 1,
+        }
+    }
+}
+
+/// Error from config parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the config text into a [`RunSpec`]. Unknown keys are errors so
+/// typos surface immediately.
+pub fn parse_config(text: &str) -> Result<RunSpec, ConfigError> {
+    let mut spec = RunSpec::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+        let (key, value) = (key.trim(), value.trim());
+        let parse_f64 = |v: &str| -> Result<f64, ConfigError> {
+            v.parse().map_err(|_| err(lineno, format!("bad number `{v}`")))
+        };
+        let parse_u64 = |v: &str| -> Result<u64, ConfigError> {
+            v.parse().map_err(|_| err(lineno, format!("bad integer `{v}`")))
+        };
+        match key {
+            "benchmark" => spec.benchmark = value.to_string(),
+            "scheduler" => {
+                spec.config.scheduler = value
+                    .parse::<SchedulerKind>()
+                    .map_err(|e| err(lineno, e))?;
+            }
+            "distance" | "d" => spec.config.distance = parse_u64(value)? as u32,
+            "physical_error_rate" | "p" => {
+                spec.config.physical_error_rate = parse_f64(value)?;
+            }
+            "k" => {
+                spec.config.k_policy = if value.eq_ignore_ascii_case("dynamic") {
+                    KPolicy::Dynamic { max_concurrent: 2 }
+                } else {
+                    KPolicy::Fixed(parse_u64(value)? as u32)
+                };
+            }
+            "activity_window" | "c" => {
+                spec.config.activity_window = parse_u64(value)? as u32;
+            }
+            "compression" => spec.config.compression = parse_f64(value)?,
+            "compression_seed" => spec.config.compression_seed = parse_u64(value)?,
+            "seeds" | "number_of_runs" => spec.seeds = parse_u64(value)?.max(1),
+            "base_seed" | "seed" => spec.base_seed = parse_u64(value)?,
+            "max_cycles" => spec.config.max_cycles = parse_u64(value)?,
+            "block_columns" => {
+                spec.config.block_columns = Some(parse_u64(value)? as u32);
+            }
+            other => return Err(err(lineno, format!("unknown key `{other}`"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// Serializes a [`RunSpec`] back to config text (round-trip tested).
+pub fn write_config(spec: &RunSpec) -> String {
+    let k = match spec.config.k_policy {
+        KPolicy::Fixed(k) => k.to_string(),
+        KPolicy::Dynamic { .. } => "dynamic".to_string(),
+    };
+    let mut out = format!(
+        "benchmark = {}\nscheduler = {}\ndistance = {}\nphysical_error_rate = {:e}\nk = {}\nactivity_window = {}\ncompression = {}\nseeds = {}\nbase_seed = {}\n",
+        spec.benchmark,
+        spec.config.scheduler,
+        spec.config.distance,
+        spec.config.physical_error_rate,
+        k,
+        spec.config.activity_window,
+        spec.config.compression,
+        spec.seeds,
+        spec.base_seed,
+    );
+    if let Some(cols) = spec.config.block_columns {
+        out.push_str(&format!("block_columns = {cols}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+# an experiment
+benchmark = qft_n18
+scheduler = autobraid   # baseline
+distance = 9
+physical_error_rate = 1e-5
+k = 50
+activity_window = 100
+compression = 0.5
+seeds = 4
+base_seed = 7
+"#;
+        let spec = parse_config(text).unwrap();
+        assert_eq!(spec.benchmark, "qft_n18");
+        assert_eq!(spec.config.scheduler, SchedulerKind::Autobraid);
+        assert_eq!(spec.config.distance, 9);
+        assert_eq!(spec.config.k_policy, KPolicy::Fixed(50));
+        assert_eq!(spec.seeds, 4);
+        assert_eq!(spec.base_seed, 7);
+        assert!((spec.config.compression - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_k() {
+        let spec = parse_config("k = dynamic\n").unwrap();
+        assert!(matches!(spec.config.k_policy, KPolicy::Dynamic { .. }));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let e = parse_config("warp_speed = 9\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("warp_speed"));
+    }
+
+    #[test]
+    fn bad_value_reports_line() {
+        let e = parse_config("benchmark = x\ndistance = seven\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut spec = RunSpec::default();
+        spec.benchmark = "wstate_n27".into();
+        spec.config.distance = 11;
+        spec.config.compression = 0.25;
+        spec.seeds = 3;
+        let parsed = parse_config(&write_config(&spec)).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn artifact_alias_number_of_runs() {
+        let spec = parse_config("number_of_runs = 50\n").unwrap();
+        assert_eq!(spec.seeds, 50);
+    }
+}

@@ -1,0 +1,266 @@
+//! The `sim` binary: config-driven RESCQ simulations and figure
+//! regeneration, mirroring the paper artifact's workflow.
+//!
+//! ```text
+//! sim run <config-file> [--csv DIR]        one experiment from a config file
+//! sim bench <name> [options]               one Table 3 benchmark, all schedulers
+//! sim list                                  list Table 3 benchmarks
+//! sim fig <3|5|10|11|12|13|14|15|16|a2>     regenerate a figure (--full for paper scale)
+//! sim table3                                regenerate Table 3
+//! ```
+
+use rescq_bench::experiments::{self, ExperimentScale};
+use rescq_cli::{output, parse_config, RunSpec};
+use rescq_core::SchedulerKind;
+use rescq_sim::runner::run_seeds;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("table3") => cmd_table3(),
+        Some("fig") => cmd_fig(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `sim help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!("sim — RESCQ scheduling simulator (paper reproduction)");
+    println!();
+    println!("Usage:");
+    println!("  sim run <config-file> [--csv DIR]   run an experiment from a config file");
+    println!("  sim bench <name> [--seeds N] [--compression F] [--distance D] [--csv DIR]");
+    println!("  sim list                            list Table 3 benchmarks");
+    println!("  sim table3                          regenerate Table 3");
+    println!("  sim fig <3|5|10|11|12|13|14|15|16|a2> [--full]");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load_circuit(name: &str) -> Result<rescq_circuit::Circuit, String> {
+    if let Some(path) = name.strip_prefix("file:") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return rescq_circuit::parse_circuit(&text, None).map_err(|e| e.to_string());
+    }
+    rescq_workloads::generate(name, 1)
+        .ok_or_else(|| format!("unknown benchmark `{name}`; `sim list` shows the suite"))
+}
+
+fn run_spec(spec: &RunSpec, csv_dir: Option<PathBuf>) -> Result<(), String> {
+    let circuit = load_circuit(&spec.benchmark)?;
+    println!(
+        "{}: {} qubits, {} gates ({})",
+        spec.benchmark,
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.stats()
+    );
+    let summary = run_seeds(
+        &circuit,
+        &spec.config,
+        spec.base_seed,
+        spec.seeds,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    )
+    .map_err(|e| e.to_string())?;
+    for r in &summary.reports {
+        println!("  {}", output::summarize(r));
+    }
+    println!("  => {summary}");
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let base = dir.join(format!("{}_{}", spec.benchmark, spec.config.scheduler));
+        output::write_reports_csv(&base.with_extension("csv"), &summary.reports)
+            .map_err(|e| e.to_string())?;
+        output::write_histogram_csv(
+            &base.with_extension("cnot_hist.csv"),
+            &summary.merged_cnot_latency(),
+        )
+        .map_err(|e| e.to_string())?;
+        output::write_histogram_csv(
+            &base.with_extension("rz_hist.csv"),
+            &summary.merged_rz_latency(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("  csv written under {}", dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: sim run <config-file> [--csv DIR]")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = parse_config(&text).map_err(|e| e.to_string())?;
+    run_spec(&spec, flag_value(args, "--csv").map(PathBuf::from))
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: sim bench <name> [--seeds N] [--compression F] [--distance D]")?;
+    let mut spec = RunSpec {
+        benchmark: name.clone(),
+        ..RunSpec::default()
+    };
+    if let Some(s) = flag_value(args, "--seeds") {
+        spec.seeds = s.parse().map_err(|_| "bad --seeds")?;
+    }
+    if let Some(c) = flag_value(args, "--compression") {
+        spec.config.compression = c.parse().map_err(|_| "bad --compression")?;
+    }
+    if let Some(d) = flag_value(args, "--distance") {
+        spec.config.distance = d.parse().map_err(|_| "bad --distance")?;
+    }
+    let csv = flag_value(args, "--csv").map(PathBuf::from);
+    for sched in SchedulerKind::ALL {
+        spec.config.scheduler = sched;
+        run_spec(&spec, csv.clone())?;
+    }
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<28} {:>6} {:>8} {:>8} {:>10}",
+        "benchmark", "qubits", "#Rz", "#CNOT", "Rz/CNOT"
+    );
+    for b in rescq_workloads::ALL_BENCHMARKS {
+        println!(
+            "{:<28} {:>6} {:>8} {:>8} {:>10.2}",
+            b.name,
+            b.qubits,
+            b.paper_rz,
+            b.paper_cnot,
+            b.rz_per_cnot()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_table3() -> Result<(), String> {
+    for r in experiments::table3() {
+        let m = if r.paper == r.generated { "exact" } else { "approx" };
+        println!(
+            "{:<28} paper=({}, {}) generated=({}, {}) [{m}]",
+            r.name, r.paper.0, r.paper.1, r.generated.0, r.generated.1
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fig(args: &[String]) -> Result<(), String> {
+    let which = args.first().ok_or("usage: sim fig <N> [--full]")?;
+    let scale = if args.iter().any(|a| a == "--full") {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::reduced()
+    };
+    match which.as_str() {
+        "3" => {
+            let lers: Vec<f64> = (4..=12).map(|e| 10f64.powi(-e)).collect();
+            for row in rescq_rus::fig3_series(0.9, &lers) {
+                println!(
+                    "ler={:.0e} rz={} t={}",
+                    row.logical_error_rate, row.rz_rotations, row.t_rotations
+                );
+            }
+        }
+        "5" => {
+            for d in experiments::fig5(&scale).map_err(|e| e.to_string())? {
+                println!(
+                    "{}: cnot mean {:.2} (≤2cy {:.0}%), rz mean {:.2}",
+                    d.scheduler,
+                    d.cnot.mean(),
+                    d.cnot.fraction_at_most(2) * 100.0,
+                    d.rz.mean()
+                );
+            }
+        }
+        "10" => {
+            let (rows, gm) = experiments::fig10(&scale).map_err(|e| e.to_string())?;
+            for r in &rows {
+                println!(
+                    "{}: greedy={:.0} autobraid={:.0} rescq*={:.0} (k={}) speedup={:.2}x",
+                    r.name,
+                    r.mean_cycles[0],
+                    r.mean_cycles[1],
+                    r.mean_cycles[2],
+                    r.best_k,
+                    r.speedup()
+                );
+            }
+            println!("geomean speedup: {gm:.2}x");
+        }
+        "11" => print_sensitivity(experiments::fig11(&scale).map_err(|e| e.to_string())?),
+        "12" => print_sensitivity(experiments::fig12(&scale).map_err(|e| e.to_string())?),
+        "13" => print_sensitivity(experiments::fig13(&scale).map_err(|e| e.to_string())?),
+        "14" => print_sensitivity(experiments::fig14(&scale).map_err(|e| e.to_string())?),
+        "15" => {
+            for comp in experiments::COMPRESSIONS {
+                let mut l = rescq_lattice::Layout::new(rescq_lattice::LayoutKind::Star2x2, 8)
+                    .map_err(|e| e.to_string())?;
+                let achieved = l.compress(comp, 42);
+                println!(
+                    "-- {:.0}% requested, {:.0}% achieved --",
+                    comp * 100.0,
+                    achieved * 100.0
+                );
+                println!("{}", l.render_ascii());
+            }
+        }
+        "16" => {
+            for r in experiments::fig16() {
+                println!(
+                    "d={} p={:.0e}: E[cycles]={:.3} E[attempts]={:.4}",
+                    r.d, r.p, r.expected_cycles, r.expected_attempts
+                );
+            }
+        }
+        "a2" => {
+            let a2 = experiments::appendix_a2();
+            println!(
+                "RUS {:.1} cycles vs Clifford+T {}–{} cycles ⇒ {:.0}×–{:.0}×",
+                a2.rus_cycles, a2.t_range.0, a2.t_range.1, a2.overhead.0, a2.overhead.1
+            );
+        }
+        other => return Err(format!("unknown figure `{other}`")),
+    }
+    Ok(())
+}
+
+fn print_sensitivity(points: Vec<experiments::SensitivityPoint>) {
+    for p in points {
+        println!(
+            "{} {} x={:.2}: {:.0} cycles (idle {:.0}%)",
+            p.name,
+            p.scheduler,
+            p.x,
+            p.mean_cycles,
+            p.idle_fraction * 100.0
+        );
+    }
+}

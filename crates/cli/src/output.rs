@@ -1,0 +1,107 @@
+//! CSV and log emission for experiment results.
+
+use rescq_sim::{ExecutionReport, LatencyHistogram};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes per-run reports as CSV (one row per seed).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau"
+    )?;
+    for r in reports {
+        writeln!(
+            f,
+            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{}",
+            r.scheduler,
+            r.seed,
+            r.distance,
+            r.total_cycles(),
+            r.idle_fraction(),
+            r.gates_executed,
+            r.counters.injections,
+            r.counters.injection_failures,
+            r.counters.preps_started,
+            r.counters.preps_cancelled,
+            r.counters.edge_rotations,
+            r.counters.mst_computations,
+            r.k_used,
+            r.tau_used,
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a latency histogram as CSV (`latency_cycles,count`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_histogram_csv(path: &Path, hist: &LatencyHistogram) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "latency_cycles,count")?;
+    for (lat, n) in hist.iter() {
+        writeln!(f, "{lat},{n}")?;
+    }
+    Ok(())
+}
+
+/// Renders a one-line textual summary of a report.
+pub fn summarize(r: &ExecutionReport) -> String {
+    format!(
+        "{} seed={}: {:.0} cycles, idle {:.0}%, {} injections ({} failed), {} preps ({} reclaimed), {} edge rotations",
+        r.scheduler,
+        r.seed,
+        r.total_cycles(),
+        r.idle_fraction() * 100.0,
+        r.counters.injections,
+        r.counters.injection_failures,
+        r.counters.preps_started,
+        r.counters.preps_cancelled,
+        r.counters.edge_rotations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescq_circuit::{Angle, Circuit};
+    use rescq_sim::{simulate, SimConfig};
+
+    fn sample_report() -> ExecutionReport {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, Angle::T);
+        simulate(&c, &SimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let dir = std::env::temp_dir().join("rescq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runs.csv");
+        let r = sample_report();
+        write_reports_csv(&path, std::slice::from_ref(&r)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("scheduler,seed"));
+        assert!(text.contains("rescq"));
+
+        let hpath = dir.join("hist.csv");
+        write_histogram_csv(&hpath, &r.cnot_latency).unwrap();
+        let htext = std::fs::read_to_string(&hpath).unwrap();
+        assert!(htext.starts_with("latency_cycles,count"));
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let s = summarize(&sample_report());
+        assert!(s.contains("cycles"));
+        assert!(s.contains("injections"));
+    }
+}

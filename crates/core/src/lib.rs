@@ -1,0 +1,41 @@
+//! # rescq-core
+//!
+//! The RESCQ scheduling framework (the paper's primary contribution): the
+//! per-ancilla operation queues with in-place ladder rewriting
+//! ([`AncillaQueue`], §4.1), the sliding-window [`ActivityTracker`] and the
+//! pipelined stale-tolerant [`MstPipeline`] (§4.2 / Fig 8), Algorithm-1
+//! routing with a per-generation [`PathCache`] ([`routing`]), and the
+//! baseline static-routing policy the evaluation compares against.
+//!
+//! The cycle-accurate engine that drives these structures lives in
+//! `rescq-sim`; everything here is deterministic, pure scheduling logic and
+//! is unit-testable in isolation.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rescq_circuit::Angle;
+//! use rescq_core::{AncillaQueue, QueueEntry, Role, TaskId};
+//!
+//! let mut queue = AncillaQueue::new();
+//! queue.push(QueueEntry::new(TaskId(0), Role::PrepZz, Angle::radians(0.3)));
+//! // A sibling ancilla finished preparing |mθ⟩ first: anticipate the
+//! // injection failure by retargeting this ancilla to |m2θ⟩ in place.
+//! queue.update_angle(TaskId(0), Angle::radians(0.3).double());
+//! assert_eq!(queue.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod activity;
+mod dynmst;
+mod queue;
+pub mod routing;
+mod types;
+
+pub use activity::ActivityTracker;
+pub use dynmst::{KPolicy, MstPipeline, TauModel};
+pub use queue::{AncillaQueue, EntryStatus, QueueEntry, Role};
+pub use routing::{plan_cnot_route, plan_static_route, PathCache, RoutePlan, StaticRouteOutcome};
+pub use types::{SchedulerKind, SurgeryCosts, TaskId};

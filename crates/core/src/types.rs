@@ -1,0 +1,134 @@
+//! Shared scheduling types: task identifiers, lattice-surgery gate costs, and
+//! the scheduler selector.
+
+use std::fmt;
+
+/// Identifier of a scheduled gate instance (a *task*) within one simulation.
+///
+/// Tasks are numbered in scheduling order, which makes queue seniority
+/// globally consistent (§4.1: "the priority of the gates is decided by
+/// seniority").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Lattice-surgery costs in cycles (paper Fig 2, Fig 4, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurgeryCosts {
+    /// CNOT via merge/split: 2 cycles.
+    pub cnot_cycles: u32,
+    /// Edge rotation to expose a boundary: 3 cycles.
+    pub edge_rotation_cycles: u32,
+    /// Transversal Hadamard (boundary swap is tracked as orientation): 1 cycle.
+    pub hadamard_cycles: u32,
+    /// ZZ injection (Fig 6a): 1 cycle.
+    pub zz_injection_cycles: u32,
+    /// CNOT injection (Fig 6b): 2 cycles.
+    pub cnot_injection_cycles: u32,
+}
+
+impl Default for SurgeryCosts {
+    fn default() -> Self {
+        SurgeryCosts {
+            cnot_cycles: 2,
+            edge_rotation_cycles: 3,
+            hadamard_cycles: 1,
+            zz_injection_cycles: 1,
+            cnot_injection_cycles: 2,
+        }
+    }
+}
+
+/// Which scheduler drives the execution (paper §5.1's three schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// The realtime scheduler of this paper (§4).
+    #[default]
+    Rescq,
+    /// Static greedy shortest-path baseline \[18\], layer-synchronized, naive
+    /// single-ancilla Rz protocol.
+    Greedy,
+    /// Static AutoBraid baseline \[16\]: distance-sorted edge-disjoint routing
+    /// within each layer, naive Rz protocol.
+    Autobraid,
+}
+
+impl SchedulerKind {
+    /// All schedulers, in the order the paper's figures list them.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Greedy,
+        SchedulerKind::Autobraid,
+        SchedulerKind::Rescq,
+    ];
+
+    /// Whether this is a static (layer-synchronized) baseline.
+    pub fn is_static(self) -> bool {
+        !matches!(self, SchedulerKind::Rescq)
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SchedulerKind::Rescq => "rescq",
+            SchedulerKind::Greedy => "greedy",
+            SchedulerKind::Autobraid => "autobraid",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rescq" => Ok(SchedulerKind::Rescq),
+            "greedy" => Ok(SchedulerKind::Greedy),
+            "autobraid" => Ok(SchedulerKind::Autobraid),
+            other => Err(format!("unknown scheduler `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_costs_match_paper() {
+        let c = SurgeryCosts::default();
+        assert_eq!(c.cnot_cycles, 2);
+        assert_eq!(c.edge_rotation_cycles, 3);
+        assert_eq!(c.zz_injection_cycles, 1);
+        assert_eq!(c.cnot_injection_cycles, 2);
+    }
+
+    #[test]
+    fn scheduler_parsing_round_trips() {
+        for k in SchedulerKind::ALL {
+            let parsed: SchedulerKind = k.to_string().parse().unwrap();
+            assert_eq!(parsed, k);
+        }
+        assert!("quantum".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn staticness() {
+        assert!(!SchedulerKind::Rescq.is_static());
+        assert!(SchedulerKind::Greedy.is_static());
+        assert!(SchedulerKind::Autobraid.is_static());
+    }
+}

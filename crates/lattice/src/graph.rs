@@ -1,0 +1,331 @@
+//! The ancilla routing graph: dense-indexed adjacency over ancilla tiles,
+//! shortest paths (for the greedy/AutoBraid baselines), and connectivity.
+
+use crate::{Grid, TileId};
+use std::collections::VecDeque;
+
+/// Disjoint-set forest with union by rank and path compression.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already merged.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (ra, rb) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[rb as usize] = ra;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[ra as usize] += 1;
+        }
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Dense index of an ancilla within an [`AncillaGraph`].
+pub type AncillaIndex = u32;
+
+/// The routing graph over the fabric's ancilla tiles.
+///
+/// Nodes are densely indexed `0..len`; edges connect grid-adjacent ancillas.
+///
+/// # Example
+///
+/// ```
+/// use rescq_lattice::{AncillaGraph, Layout, LayoutKind};
+///
+/// let layout = Layout::new(LayoutKind::Star2x2, 4).unwrap();
+/// let g = AncillaGraph::from_grid(layout.grid());
+/// assert_eq!(g.len(), 12);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AncillaGraph {
+    nodes: Vec<TileId>,
+    /// Per-tile dense index (`u32::MAX` = not an ancilla).
+    index: Vec<u32>,
+    adj: Vec<Vec<AncillaIndex>>,
+    /// Unique undirected edges, `a < b`.
+    edges: Vec<(AncillaIndex, AncillaIndex)>,
+}
+
+impl AncillaGraph {
+    /// Builds the graph from the current ancilla tiles of `grid`.
+    pub fn from_grid(grid: &Grid) -> Self {
+        let nodes: Vec<TileId> = grid.ancilla_tiles().collect();
+        let mut index = vec![u32::MAX; grid.len()];
+        for (i, &t) in nodes.iter().enumerate() {
+            index[t.index()] = i as u32;
+        }
+        let mut adj = vec![Vec::new(); nodes.len()];
+        let mut edges = Vec::new();
+        for (i, &t) in nodes.iter().enumerate() {
+            for n in grid.ancilla_neighbors(t) {
+                let j = index[n.index()];
+                debug_assert_ne!(j, u32::MAX);
+                adj[i].push(j);
+                if (i as u32) < j {
+                    edges.push((i as u32, j));
+                }
+            }
+        }
+        AncillaGraph {
+            nodes,
+            index,
+            adj,
+            edges,
+        }
+    }
+
+    /// Number of ancilla nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The tile backing dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tile(&self, i: AncillaIndex) -> TileId {
+        self.nodes[i as usize]
+    }
+
+    /// Dense index of `tile`, if it is an ancilla node.
+    pub fn index_of(&self, tile: TileId) -> Option<AncillaIndex> {
+        match self.index[tile.index()] {
+            u32::MAX => None,
+            i => Some(i),
+        }
+    }
+
+    /// Neighbours of node `i`.
+    pub fn neighbors(&self, i: AncillaIndex) -> &[AncillaIndex] {
+        &self.adj[i as usize]
+    }
+
+    /// Unique undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> &[(AncillaIndex, AncillaIndex)] {
+        &self.edges
+    }
+
+    /// Whether all ancilla nodes form a single connected component.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut uf = UnionFind::new(self.nodes.len());
+        for &(a, b) in &self.edges {
+            uf.union(a, b);
+        }
+        let root = uf.find(0);
+        (1..self.nodes.len() as u32).all(|i| uf.find(i) == root)
+    }
+
+    /// BFS shortest path from any node in `sources` to any node in `targets`,
+    /// avoiding nodes for which `blocked` returns `true`. Returns the node
+    /// sequence including both endpoints, or `None` when unreachable.
+    ///
+    /// Blocked sources/targets are skipped entirely.
+    pub fn shortest_path(
+        &self,
+        sources: &[AncillaIndex],
+        targets: &[AncillaIndex],
+        mut blocked: impl FnMut(AncillaIndex) -> bool,
+    ) -> Option<Vec<AncillaIndex>> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut is_target = vec![false; self.nodes.len()];
+        for &t in targets {
+            if !blocked(t) {
+                is_target[t as usize] = true;
+            }
+        }
+        let mut prev: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        for &s in sources {
+            if !seen[s as usize] && !blocked(s) {
+                seen[s as usize] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            if is_target[u as usize] {
+                let mut path = vec![u];
+                let mut cur = u;
+                while prev[cur as usize] != u32::MAX {
+                    cur = prev[cur as usize];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &v in &self.adj[u as usize] {
+                if !seen[v as usize] && !blocked(v) {
+                    seen[v as usize] = true;
+                    prev[v as usize] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Whether the grid's ancilla tiles form one connected component (used by
+/// [`crate::Layout::compress`] to veto disconnecting removals).
+pub fn ancilla_network_connected(grid: &Grid) -> bool {
+    let mut start = None;
+    let mut total = 0usize;
+    for t in grid.ancilla_tiles() {
+        total += 1;
+        if start.is_none() {
+            start = Some(t);
+        }
+    }
+    let Some(start) = start else { return true };
+    let mut seen = vec![false; grid.len()];
+    let mut queue = VecDeque::from([start]);
+    seen[start.index()] = true;
+    let mut count = 1usize;
+    while let Some(t) = queue.pop_front() {
+        for n in grid.ancilla_neighbors(t) {
+            if !seen[n.index()] {
+                seen[n.index()] = true;
+                count += 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    count == total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TileKind;
+
+    fn line_grid(n: u32) -> Grid {
+        Grid::filled(n, 1, TileKind::Ancilla)
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        uf.union(2, 3);
+        uf.union(0, 3);
+        assert!(uf.connected(1, 2));
+    }
+
+    #[test]
+    fn graph_from_line() {
+        let g = AncillaGraph::from_grid(&line_grid(5));
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edges().len(), 4);
+        assert!(g.is_connected());
+        let path = g.shortest_path(&[0], &[4], |_| false).unwrap();
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn blocked_node_forces_detour_or_failure() {
+        let g = AncillaGraph::from_grid(&line_grid(5));
+        assert!(g.shortest_path(&[0], &[4], |i| i == 2).is_none());
+
+        let grid = Grid::filled(3, 3, TileKind::Ancilla);
+        let g = AncillaGraph::from_grid(&grid);
+        let center = g.index_of(grid.tile_at(1, 1)).unwrap();
+        let from = g.index_of(grid.tile_at(0, 1)).unwrap();
+        let to = g.index_of(grid.tile_at(2, 1)).unwrap();
+        let direct = g.shortest_path(&[from], &[to], |_| false).unwrap();
+        assert_eq!(direct.len(), 3);
+        let detour = g.shortest_path(&[from], &[to], |i| i == center).unwrap();
+        assert_eq!(detour.len(), 5);
+    }
+
+    #[test]
+    fn multi_source_multi_target() {
+        let grid = Grid::filled(4, 4, TileKind::Ancilla);
+        let g = AncillaGraph::from_grid(&grid);
+        let s1 = g.index_of(grid.tile_at(0, 0)).unwrap();
+        let s2 = g.index_of(grid.tile_at(3, 3)).unwrap();
+        let t1 = g.index_of(grid.tile_at(3, 2)).unwrap();
+        let path = g.shortest_path(&[s1, s2], &[t1], |_| false).unwrap();
+        // s2 is adjacent to t1.
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0], s2);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = AncillaGraph::from_grid(&line_grid(3));
+        let p = g.shortest_path(&[1], &[1], |_| false).unwrap();
+        assert_eq!(p, vec![1]);
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let mut grid = Grid::filled(5, 1, TileKind::Ancilla);
+        grid.set_kind(grid.tile_at(2, 0), TileKind::Void);
+        assert!(!ancilla_network_connected(&grid));
+        let g = AncillaGraph::from_grid(&grid);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let grid = Grid::filled(2, 2, TileKind::Void);
+        assert!(ancilla_network_connected(&grid));
+        let g = AncillaGraph::from_grid(&grid);
+        assert!(g.is_connected());
+        assert!(g.is_empty());
+    }
+}

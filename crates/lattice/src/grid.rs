@@ -1,0 +1,193 @@
+//! The rectangular tile grid backing a surface-code fabric.
+
+use crate::{Corner, Side, TileId, TileKind};
+use rescq_circuit::QubitId;
+
+/// A `width × height` grid of surface-code tiles, row-major.
+///
+/// # Example
+///
+/// ```
+/// use rescq_lattice::{Grid, Side, TileKind};
+///
+/// let mut g = Grid::filled(3, 2, TileKind::Ancilla);
+/// let t = g.tile_at(1, 0);
+/// assert_eq!(g.neighbor(t, Side::East), Some(g.tile_at(2, 0)));
+/// assert_eq!(g.neighbor(g.tile_at(0, 0), Side::West), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    width: u32,
+    height: u32,
+    tiles: Vec<TileKind>,
+}
+
+impl Grid {
+    /// Creates a grid with every tile set to `kind`.
+    pub fn filled(width: u32, height: u32, kind: TileKind) -> Self {
+        Grid {
+            width,
+            height,
+            tiles: vec![kind; (width * height) as usize],
+        }
+    }
+
+    /// Grid width in tiles.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in tiles.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of tiles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the grid has zero tiles.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// The tile id at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn tile_at(&self, x: u32, y: u32) -> TileId {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of bounds");
+        TileId(y * self.width + x)
+    }
+
+    /// The `(x, y)` coordinates of a tile.
+    pub fn coords(&self, t: TileId) -> (u32, u32) {
+        (t.0 % self.width, t.0 / self.width)
+    }
+
+    /// The kind of tile `t`.
+    pub fn kind(&self, t: TileId) -> TileKind {
+        self.tiles[t.index()]
+    }
+
+    /// Sets the kind of tile `t`.
+    pub fn set_kind(&mut self, t: TileId, kind: TileKind) {
+        self.tiles[t.index()] = kind;
+    }
+
+    /// The neighbour across `side`, if inside the grid.
+    pub fn neighbor(&self, t: TileId, side: Side) -> Option<TileId> {
+        let (x, y) = self.coords(t);
+        let (dx, dy) = side.delta();
+        self.offset(x, y, dx, dy)
+    }
+
+    /// The diagonal neighbour at `corner`, if inside the grid.
+    pub fn diag_neighbor(&self, t: TileId, corner: Corner) -> Option<TileId> {
+        let (x, y) = self.coords(t);
+        let (dx, dy) = corner.delta();
+        self.offset(x, y, dx, dy)
+    }
+
+    fn offset(&self, x: u32, y: u32, dx: i32, dy: i32) -> Option<TileId> {
+        let nx = x as i64 + dx as i64;
+        let ny = y as i64 + dy as i64;
+        if nx < 0 || ny < 0 || nx >= self.width as i64 || ny >= self.height as i64 {
+            None
+        } else {
+            Some(self.tile_at(nx as u32, ny as u32))
+        }
+    }
+
+    /// The four edge-adjacent neighbours (fewer at borders).
+    pub fn neighbors(&self, t: TileId) -> impl Iterator<Item = TileId> + '_ {
+        Side::ALL.into_iter().filter_map(move |s| self.neighbor(t, s))
+    }
+
+    /// Edge-adjacent *ancilla* neighbours.
+    pub fn ancilla_neighbors(&self, t: TileId) -> impl Iterator<Item = TileId> + '_ {
+        self.neighbors(t).filter(|&n| self.kind(n).is_ancilla())
+    }
+
+    /// Iterator over all tile ids.
+    pub fn tiles(&self) -> impl Iterator<Item = TileId> {
+        (0..self.tiles.len() as u32).map(TileId)
+    }
+
+    /// Iterator over ancilla tile ids.
+    pub fn ancilla_tiles(&self) -> impl Iterator<Item = TileId> + '_ {
+        self.tiles().filter(|&t| self.kind(t).is_ancilla())
+    }
+
+    /// Iterator over `(TileId, QubitId)` for data tiles.
+    pub fn data_tiles(&self) -> impl Iterator<Item = (TileId, QubitId)> + '_ {
+        self.tiles().filter_map(|t| match self.kind(t) {
+            TileKind::Data(q) => Some((t, q)),
+            _ => None,
+        })
+    }
+
+    /// Manhattan distance between two tiles.
+    pub fn manhattan(&self, a: TileId, b: TileId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The side of `a` that faces `b`, when edge-adjacent.
+    pub fn side_towards(&self, a: TileId, b: TileId) -> Option<Side> {
+        Side::ALL.into_iter().find(|&s| self.neighbor(a, s) == Some(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let g = Grid::filled(4, 3, TileKind::Ancilla);
+        for t in g.tiles() {
+            let (x, y) = g.coords(t);
+            assert_eq!(g.tile_at(x, y), t);
+        }
+    }
+
+    #[test]
+    fn border_neighbors_are_none() {
+        let g = Grid::filled(2, 2, TileKind::Ancilla);
+        let tl = g.tile_at(0, 0);
+        assert_eq!(g.neighbor(tl, Side::North), None);
+        assert_eq!(g.neighbor(tl, Side::West), None);
+        assert!(g.neighbor(tl, Side::East).is_some());
+        assert_eq!(g.neighbors(tl).count(), 2);
+        assert_eq!(g.diag_neighbor(tl, Corner::SouthEast), Some(g.tile_at(1, 1)));
+        assert_eq!(g.diag_neighbor(tl, Corner::NorthWest), None);
+    }
+
+    #[test]
+    fn kinds_and_filters() {
+        let mut g = Grid::filled(3, 1, TileKind::Ancilla);
+        g.set_kind(g.tile_at(1, 0), TileKind::Data(QubitId(7)));
+        g.set_kind(g.tile_at(2, 0), TileKind::Void);
+        assert_eq!(g.ancilla_tiles().count(), 1);
+        let data: Vec<_> = g.data_tiles().collect();
+        assert_eq!(data, vec![(g.tile_at(1, 0), QubitId(7))]);
+        assert_eq!(g.ancilla_neighbors(g.tile_at(1, 0)).count(), 1);
+    }
+
+    #[test]
+    fn manhattan_and_side_towards() {
+        let g = Grid::filled(5, 5, TileKind::Ancilla);
+        let a = g.tile_at(1, 1);
+        let b = g.tile_at(4, 3);
+        assert_eq!(g.manhattan(a, b), 5);
+        assert_eq!(
+            g.side_towards(a, g.tile_at(1, 2)),
+            Some(Side::South)
+        );
+        assert_eq!(g.side_towards(a, b), None);
+    }
+}

@@ -1,0 +1,430 @@
+//! Minimum spanning tree with the paper's incremental edge-weight updates
+//! (§4.2, §5.4.1).
+//!
+//! RESCQ routes CNOTs along the MST of the ancilla graph weighted by recent
+//! *activity*: the minimax-path property of MSTs guarantees the tree contains,
+//! for every node pair, the path minimizing the maximum edge weight — i.e. the
+//! path whose busiest ancilla was least busy (§4.2). Because activities change
+//! every cycle, §5.4.1 maintains the tree incrementally; only two of the four
+//! weight-update cases require structural work:
+//!
+//! 1. a **non-tree** edge's weight **decreases** → insert it, evict the
+//!    heaviest edge of the created cycle;
+//! 2. a **tree** edge's weight **increases** → remove it, reconnect the two
+//!    components with the lightest crossing edge.
+//!
+//! Ties are broken by edge id so the tree equals the unique Kruskal MST under
+//! the `(weight, id)` total order — property-tested in this module.
+
+use crate::graph::UnionFind;
+use std::collections::VecDeque;
+
+/// Identifier of an edge within an [`IncrementalMst`] (its index in the edge
+/// list passed at construction).
+pub type EdgeId = u32;
+
+/// Dense node index (matches [`crate::AncillaGraph`] indices).
+pub type NodeId = u32;
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    a: NodeId,
+    b: NodeId,
+    weight: u32,
+}
+
+/// A dynamically maintained minimum spanning forest over a fixed edge set.
+///
+/// Construction runs Kruskal; [`IncrementalMst::update_weight`] applies the
+/// §5.4.1 cases. On a connected graph the structure is a spanning tree.
+///
+/// # Example
+///
+/// ```
+/// use rescq_lattice::IncrementalMst;
+///
+/// // A 4-cycle: 0-1-2-3-0.
+/// let edges = vec![(0, 1, 5), (1, 2, 1), (2, 3, 1), (3, 0, 1)];
+/// let mut mst = IncrementalMst::new(4, &edges);
+/// assert!(!mst.contains_edge(0)); // the weight-5 edge is excluded
+///
+/// // Its weight drops below the others: it enters, evicting the heaviest
+/// // cycle edge.
+/// mst.update_weight(0, 0);
+/// assert!(mst.contains_edge(0));
+/// assert_eq!(mst.total_weight(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalMst {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    in_tree: Vec<bool>,
+    /// Tree adjacency: `(neighbor, edge id)`.
+    tree_adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl IncrementalMst {
+    /// Builds the MST of `(a, b, weight)` edges over `num_nodes` nodes via
+    /// Kruskal with `(weight, id)` tie-breaking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `≥ num_nodes`.
+    pub fn new(num_nodes: usize, edges: &[(NodeId, NodeId, u32)]) -> Self {
+        let edges: Vec<Edge> = edges
+            .iter()
+            .map(|&(a, b, weight)| {
+                assert!((a as usize) < num_nodes && (b as usize) < num_nodes);
+                Edge { a, b, weight }
+            })
+            .collect();
+        let mut mst = IncrementalMst {
+            num_nodes,
+            in_tree: vec![false; edges.len()],
+            tree_adj: vec![Vec::new(); num_nodes],
+            edges,
+        };
+        mst.rebuild();
+        mst
+    }
+
+    /// Recomputes the tree from scratch (Kruskal). Exposed for benchmarking
+    /// against the incremental path.
+    pub fn rebuild(&mut self) {
+        for v in &mut self.in_tree {
+            *v = false;
+        }
+        for adj in &mut self.tree_adj {
+            adj.clear();
+        }
+        let mut order: Vec<u32> = (0..self.edges.len() as u32).collect();
+        order.sort_by_key(|&i| (self.edges[i as usize].weight, i));
+        let mut uf = UnionFind::new(self.num_nodes);
+        for id in order {
+            let e = self.edges[id as usize];
+            if uf.union(e.a, e.b) {
+                self.link(id);
+            }
+        }
+    }
+
+    fn link(&mut self, id: EdgeId) {
+        let e = self.edges[id as usize];
+        self.in_tree[id as usize] = true;
+        self.tree_adj[e.a as usize].push((e.b, id));
+        self.tree_adj[e.b as usize].push((e.a, id));
+    }
+
+    fn unlink(&mut self, id: EdgeId) {
+        let e = self.edges[id as usize];
+        self.in_tree[id as usize] = false;
+        self.tree_adj[e.a as usize].retain(|&(_, eid)| eid != id);
+        self.tree_adj[e.b as usize].retain(|&(_, eid)| eid != id);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges in the underlying graph.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether edge `id` is currently in the tree.
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.in_tree[id as usize]
+    }
+
+    /// Current weight of edge `id`.
+    pub fn weight(&self, id: EdgeId) -> u32 {
+        self.edges[id as usize].weight
+    }
+
+    /// Endpoints of edge `id`.
+    pub fn endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        let e = self.edges[id as usize];
+        (e.a, e.b)
+    }
+
+    /// Sum of tree edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.edges
+            .iter()
+            .zip(&self.in_tree)
+            .filter(|(_, &t)| t)
+            .map(|(e, _)| e.weight as u64)
+            .sum()
+    }
+
+    /// Number of tree edges (`num_nodes − #components`).
+    pub fn tree_size(&self) -> usize {
+        self.in_tree.iter().filter(|&&t| t).count()
+    }
+
+    /// Updates edge `id` to `new_weight`, restructuring per §5.4.1.
+    ///
+    /// Only two cases do structural work; the other two just store the
+    /// weight. Amortized cost on grid graphs is `O(path length)`.
+    pub fn update_weight(&mut self, id: EdgeId, new_weight: u32) {
+        let old = self.edges[id as usize].weight;
+        self.edges[id as usize].weight = new_weight;
+        if new_weight < old && !self.in_tree[id as usize] {
+            // Case 1: cheaper non-tree edge. Insert and evict the heaviest
+            // edge on the tree path between its endpoints (the cycle).
+            let e = self.edges[id as usize];
+            let Some(path) = self.tree_path_edges(e.a, e.b) else {
+                // Endpoints were in different components: the edge now joins
+                // them.
+                self.link(id);
+                return;
+            };
+            let &worst = path
+                .iter()
+                .max_by_key(|&&eid| (self.edges[eid as usize].weight, eid))
+                .expect("cycle has at least one edge");
+            let worst_key = (self.edges[worst as usize].weight, worst);
+            if (new_weight, id) < worst_key {
+                self.unlink(worst);
+                self.link(id);
+            }
+        } else if new_weight > old && self.in_tree[id as usize] {
+            // Case 2: tree edge became heavier. Remove it and reconnect with
+            // the lightest crossing edge (possibly itself).
+            self.unlink(id);
+            let e = self.edges[id as usize];
+            let component = self.component_of(e.a);
+            let mut best: Option<(u32, EdgeId)> = Some((new_weight, id));
+            for (eid, edge) in self.edges.iter().enumerate() {
+                let eid = eid as EdgeId;
+                if self.in_tree[eid as usize] {
+                    continue;
+                }
+                if component[edge.a as usize] != component[edge.b as usize] {
+                    let key = (edge.weight, eid);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            if let Some((_, eid)) = best {
+                self.link(eid);
+            }
+        }
+    }
+
+    /// Marks nodes reachable from `start` using tree edges.
+    fn component_of(&self, start: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.num_nodes];
+        let mut queue = VecDeque::from([start]);
+        seen[start as usize] = true;
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &self.tree_adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The unique tree path between `a` and `b` as node ids (inclusive), or
+    /// `None` if they are in different components.
+    pub fn tree_path(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev: Vec<u32> = vec![u32::MAX; self.num_nodes];
+        let mut seen = vec![false; self.num_nodes];
+        seen[a as usize] = true;
+        let mut queue = VecDeque::from([a]);
+        while let Some(u) = queue.pop_front() {
+            if u == b {
+                let mut path = vec![b];
+                let mut cur = b;
+                while prev[cur as usize] != u32::MAX {
+                    cur = prev[cur as usize];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &(v, _) in &self.tree_adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    prev[v as usize] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// The edge ids along the tree path between `a` and `b`.
+    pub fn tree_path_edges(&self, a: NodeId, b: NodeId) -> Option<Vec<EdgeId>> {
+        let nodes = self.tree_path(a, b)?;
+        let mut out = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for pair in nodes.windows(2) {
+            let (u, v) = (pair[0], pair[1]);
+            let &(_, eid) = self.tree_adj[u as usize]
+                .iter()
+                .find(|&&(n, _)| n == v)
+                .expect("consecutive path nodes are tree-adjacent");
+            out.push(eid);
+        }
+        Some(out)
+    }
+
+    /// Maximum edge weight along the tree path (the minimax bottleneck).
+    pub fn bottleneck(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let edges = self.tree_path_edges(a, b)?;
+        Some(
+            edges
+                .iter()
+                .map(|&e| self.edges[e as usize].weight)
+                .max()
+                .unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_edges(w: u32, h: u32) -> Vec<(NodeId, NodeId, u32)> {
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if x + 1 < w {
+                    edges.push((i, i + 1, 1));
+                }
+                if y + 1 < h {
+                    edges.push((i, i + w, 1));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn kruskal_spans_connected_graph() {
+        let mst = IncrementalMst::new(9, &grid_edges(3, 3));
+        assert_eq!(mst.tree_size(), 8);
+        for a in 0..9 {
+            for b in 0..9 {
+                assert!(mst.tree_path(a, b).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn case1_insert_cheaper_edge() {
+        // Square cycle with one expensive edge.
+        let edges = vec![(0, 1, 10), (1, 2, 1), (2, 3, 1), (3, 0, 1)];
+        let mut mst = IncrementalMst::new(4, &edges);
+        assert!(!mst.contains_edge(0));
+        assert_eq!(mst.total_weight(), 3);
+        mst.update_weight(0, 0);
+        assert!(mst.contains_edge(0));
+        assert_eq!(mst.total_weight(), 2);
+        assert_eq!(mst.tree_size(), 3);
+    }
+
+    #[test]
+    fn case1_no_swap_when_still_heaviest() {
+        let edges = vec![(0, 1, 10), (1, 2, 1), (2, 3, 1), (3, 0, 1)];
+        let mut mst = IncrementalMst::new(4, &edges);
+        mst.update_weight(0, 5); // cheaper but still the worst
+        assert!(!mst.contains_edge(0));
+        assert_eq!(mst.total_weight(), 3);
+    }
+
+    #[test]
+    fn case2_tree_edge_heavier_gets_replaced() {
+        let edges = vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 5)];
+        let mut mst = IncrementalMst::new(4, &edges);
+        assert!(mst.contains_edge(1));
+        mst.update_weight(1, 100);
+        assert!(!mst.contains_edge(1));
+        assert!(mst.contains_edge(3)); // the weight-5 edge reconnects
+        assert_eq!(mst.tree_size(), 3);
+        assert_eq!(mst.total_weight(), 1 + 1 + 5);
+    }
+
+    #[test]
+    fn case2_no_alternative_keeps_edge() {
+        // A path graph: removing any edge cannot be repaired.
+        let edges = vec![(0, 1, 1), (1, 2, 1)];
+        let mut mst = IncrementalMst::new(3, &edges);
+        mst.update_weight(0, 50);
+        assert!(mst.contains_edge(0));
+        assert_eq!(mst.tree_size(), 2);
+    }
+
+    #[test]
+    fn passive_cases_do_not_restructure() {
+        let edges = vec![(0, 1, 10), (1, 2, 1), (2, 3, 1), (3, 0, 1)];
+        let mut mst = IncrementalMst::new(4, &edges);
+        let before: Vec<bool> = (0..4).map(|i| mst.contains_edge(i)).collect();
+        mst.update_weight(1, 0); // tree edge decreases: case 3, no-op
+        mst.update_weight(0, 20); // non-tree edge increases: case 4, no-op
+        let after: Vec<bool> = (0..4).map(|i| mst.contains_edge(i)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn bottleneck_is_minimax() {
+        let mut edges = grid_edges(3, 3);
+        // Make the direct edge 0-1 expensive; the detour 0-3-4-1 is cheaper.
+        edges[0].2 = 9;
+        let mst = IncrementalMst::new(9, &edges);
+        assert_eq!(mst.bottleneck(0, 1), Some(1));
+    }
+
+    #[test]
+    fn incremental_matches_fresh_kruskal_on_sequence() {
+        let mut edges = grid_edges(4, 4);
+        let mut inc = IncrementalMst::new(16, &edges);
+        // A fixed pseudo-random weight stream.
+        let mut state = 0x12345678u64;
+        for step in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let eid = (state >> 33) as usize % edges.len();
+            let w = ((state >> 16) % 50) as u32;
+            edges[eid].2 = w;
+            inc.update_weight(eid as u32, w);
+            let fresh = IncrementalMst::new(16, &edges);
+            assert_eq!(
+                inc.total_weight(),
+                fresh.total_weight(),
+                "diverged at step {step}"
+            );
+            assert_eq!(inc.tree_size(), 15);
+        }
+    }
+
+    #[test]
+    fn tree_path_endpoints() {
+        let mst = IncrementalMst::new(9, &grid_edges(3, 3));
+        let p = mst.tree_path(0, 8).unwrap();
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 8);
+        assert_eq!(mst.tree_path(4, 4).unwrap(), vec![4]);
+        let pe = mst.tree_path_edges(0, 8).unwrap();
+        assert_eq!(pe.len(), p.len() - 1);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let edges = vec![(0, 1, 1), (2, 3, 1)];
+        let mut mst = IncrementalMst::new(4, &edges);
+        assert_eq!(mst.tree_size(), 2);
+        assert!(mst.tree_path(0, 3).is_none());
+        mst.update_weight(0, 5);
+        assert!(mst.contains_edge(0)); // no alternative: stays
+    }
+}

@@ -1,0 +1,240 @@
+//! Tiles of the surface-code fabric and their boundary (edge) geometry.
+//!
+//! Each logical patch (tile) of the rotated surface code has four boundaries:
+//! two `X` edges and two `Z` edges on opposite sides (paper Fig 1a/2). In the
+//! *standard* orientation the horizontal boundaries (north/south sides) are
+//! `Z` edges and the vertical boundaries (east/west) are `X` edges, matching
+//! Fig 2's caption. A Hadamard or an edge-rotation gate swaps the roles
+//! ([`Orientation::flipped`]).
+
+use rescq_circuit::QubitId;
+use std::fmt;
+
+/// Index of a tile within a [`crate::Grid`] (row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileId(pub u32);
+
+impl TileId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One of the four sides of a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Towards decreasing row (up).
+    North,
+    /// Towards increasing column (right).
+    East,
+    /// Towards increasing row (down).
+    South,
+    /// Towards decreasing column (left).
+    West,
+}
+
+impl Side {
+    /// All four sides.
+    pub const ALL: [Side; 4] = [Side::North, Side::East, Side::South, Side::West];
+
+    /// The opposite side.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::North => Side::South,
+            Side::East => Side::West,
+            Side::South => Side::North,
+            Side::West => Side::East,
+        }
+    }
+
+    /// Whether the side's boundary runs horizontally (north/south sides).
+    pub fn is_horizontal_boundary(self) -> bool {
+        matches!(self, Side::North | Side::South)
+    }
+
+    /// Column/row delta of the neighbouring tile across this side.
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Side::North => (0, -1),
+            Side::East => (1, 0),
+            Side::South => (0, 1),
+            Side::West => (-1, 0),
+        }
+    }
+}
+
+/// A diagonal corner direction (used for diagonal prep ancillas, Fig 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Up-right.
+    NorthEast,
+    /// Down-right.
+    SouthEast,
+    /// Down-left.
+    SouthWest,
+    /// Up-left.
+    NorthWest,
+}
+
+impl Corner {
+    /// All four corners.
+    pub const ALL: [Corner; 4] = [
+        Corner::NorthEast,
+        Corner::SouthEast,
+        Corner::SouthWest,
+        Corner::NorthWest,
+    ];
+
+    /// Column/row delta of the diagonal neighbour.
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Corner::NorthEast => (1, -1),
+            Corner::SouthEast => (1, 1),
+            Corner::SouthWest => (-1, 1),
+            Corner::NorthWest => (-1, -1),
+        }
+    }
+
+    /// The two sides whose neighbours are edge-adjacent to both the tile and
+    /// this diagonal neighbour (the candidate helper positions).
+    pub fn adjacent_sides(self) -> [Side; 2] {
+        match self {
+            Corner::NorthEast => [Side::North, Side::East],
+            Corner::SouthEast => [Side::South, Side::East],
+            Corner::SouthWest => [Side::South, Side::West],
+            Corner::NorthWest => [Side::North, Side::West],
+        }
+    }
+}
+
+/// The boundary type of a tile edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeType {
+    /// `X` boundary — CNOT targets and CNOT-style injection attach here.
+    X,
+    /// `Z` boundary — CNOT controls and ZZ-style injection attach here.
+    Z,
+}
+
+impl EdgeType {
+    /// The other edge type.
+    pub fn opposite(self) -> EdgeType {
+        match self {
+            EdgeType::X => EdgeType::Z,
+            EdgeType::Z => EdgeType::X,
+        }
+    }
+}
+
+/// Orientation of a data patch: which sides carry the `Z` edges.
+///
+/// A Hadamard swaps the logical X/Z boundaries; an edge-rotation gate
+/// physically rotates the patch. Both are modelled as a flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// `Z` edges on the horizontal (north/south) boundaries — Fig 2's layout.
+    #[default]
+    Standard,
+    /// `Z` edges on the vertical (east/west) boundaries.
+    Rotated,
+}
+
+impl Orientation {
+    /// The boundary type exposed on `side` under this orientation.
+    pub fn edge_at(self, side: Side) -> EdgeType {
+        match (self, side.is_horizontal_boundary()) {
+            (Orientation::Standard, true) | (Orientation::Rotated, false) => EdgeType::Z,
+            _ => EdgeType::X,
+        }
+    }
+
+    /// Sides exposing edges of type `edge` under this orientation.
+    pub fn sides_with(self, edge: EdgeType) -> [Side; 2] {
+        match (self, edge) {
+            (Orientation::Standard, EdgeType::Z) | (Orientation::Rotated, EdgeType::X) => {
+                [Side::North, Side::South]
+            }
+            _ => [Side::East, Side::West],
+        }
+    }
+
+    /// The orientation after a Hadamard or edge rotation.
+    #[must_use]
+    pub fn flipped(self) -> Orientation {
+        match self {
+            Orientation::Standard => Orientation::Rotated,
+            Orientation::Rotated => Orientation::Standard,
+        }
+    }
+}
+
+/// What occupies a tile of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileKind {
+    /// A data patch holding the given program qubit.
+    Data(QubitId),
+    /// A logical ancilla tile: routing, prep, helper roles.
+    Ancilla,
+    /// Physically absent (removed by compression or outside the block map).
+    Void,
+}
+
+impl TileKind {
+    /// Whether the tile is an ancilla.
+    pub fn is_ancilla(self) -> bool {
+        matches!(self, TileKind::Ancilla)
+    }
+
+    /// Whether the tile holds a data qubit.
+    pub fn is_data(self) -> bool {
+        matches!(self, TileKind::Data(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_orientation_matches_fig2() {
+        let o = Orientation::Standard;
+        assert_eq!(o.edge_at(Side::North), EdgeType::Z);
+        assert_eq!(o.edge_at(Side::South), EdgeType::Z);
+        assert_eq!(o.edge_at(Side::East), EdgeType::X);
+        assert_eq!(o.edge_at(Side::West), EdgeType::X);
+    }
+
+    #[test]
+    fn flip_swaps_edges() {
+        let o = Orientation::Standard.flipped();
+        assert_eq!(o.edge_at(Side::North), EdgeType::X);
+        assert_eq!(o.edge_at(Side::East), EdgeType::Z);
+        assert_eq!(o.flipped(), Orientation::Standard);
+    }
+
+    #[test]
+    fn sides_with_are_consistent() {
+        for o in [Orientation::Standard, Orientation::Rotated] {
+            for e in [EdgeType::X, EdgeType::Z] {
+                for s in o.sides_with(e) {
+                    assert_eq!(o.edge_at(s), e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corners_and_sides() {
+        assert_eq!(Side::North.opposite(), Side::South);
+        assert_eq!(Corner::NorthEast.adjacent_sides(), [Side::North, Side::East]);
+        let (dx, dy) = Corner::SouthWest.delta();
+        assert_eq!((dx, dy), (-1, 1));
+    }
+}

@@ -1,0 +1,203 @@
+//! The Clifford+T comparator: T-factory timing, Rz synthesis cost, and the
+//! fidelity-vs-rotation-count model behind Fig 3 and Appendix A.2.
+//!
+//! The paper's argument for continuous-angle architectures is quantitative:
+//! synthesizing one `Rz(θ)` from T gates needs >100 T's \[5\] at 200–1300
+//! cycles total, versus ≈ 8.4 cycles for direct `|mθ⟩` injection — a 20–150×
+//! gap (Appendix A.2). Fig 3 translates the same gap into the maximum number
+//! of rotations executable at a target program fidelity.
+
+use crate::{PreparationModel, RusParams};
+
+/// Model of a T-state distillation factory (Appendix A.2, based on \[23\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TFactoryModel {
+    /// Cycles to prepare one T state (11 with 99.9 % success, \[23\]).
+    pub prep_cycles: u32,
+    /// Probability the distillation's error detection accepts.
+    pub accept_probability: f64,
+    /// Cycles to inject a prepared T state into a data qubit.
+    pub injection_cycles: u32,
+    /// T gates needed to synthesize one `Rz(θ)` at the target precision
+    /// (>100 per \[5\]).
+    pub t_per_rz: u32,
+}
+
+impl Default for TFactoryModel {
+    fn default() -> Self {
+        TFactoryModel {
+            prep_cycles: 11,
+            accept_probability: 0.999,
+            injection_cycles: 2,
+            t_per_rz: 100,
+        }
+    }
+}
+
+impl TFactoryModel {
+    /// Best-case cycles for one T gate: the factory had a state waiting
+    /// (2 cycles, Appendix A.2).
+    pub fn best_case_t_cycles(&self) -> u32 {
+        self.injection_cycles
+    }
+
+    /// Worst-case cycles for one T gate: preparation starts on demand
+    /// (2 + 11 = 13 cycles, Appendix A.2).
+    pub fn worst_case_t_cycles(&self) -> u32 {
+        self.injection_cycles + self.prep_cycles
+    }
+
+    /// Cycle range for one `Rz(θ)` in Clifford+T under the paper's generous
+    /// assumptions (dedicated factory, free routing): 200–1300.
+    pub fn rz_cycle_range(&self) -> (u64, u64) {
+        (
+            self.t_per_rz as u64 * self.best_case_t_cycles() as u64,
+            self.t_per_rz as u64 * self.worst_case_t_cycles() as u64,
+        )
+    }
+}
+
+/// Expected cycles for one `Rz(θ)` via continuous-angle RUS under a *baseline*
+/// schedule: 2 steps × (preparation + CNOT injection) — Appendix A.2's
+/// `2 × (2.2 + 2) = 8.4` with the worst-case Fig 16 preparation time.
+pub fn rus_rz_expected_cycles(prep: &PreparationModel) -> f64 {
+    2.0 * (prep.expected_cycles() + 2.0)
+}
+
+/// The Appendix A.2 headline: how many times more cycles Clifford+T spends
+/// per rotation than continuous-angle RUS. Returns `(low, high)` — the paper
+/// reports 20–150×.
+pub fn clifford_t_overhead(prep: &PreparationModel, factory: &TFactoryModel) -> (f64, f64) {
+    let rus = rus_rz_expected_cycles(prep);
+    let (lo, hi) = factory.rz_cycle_range();
+    (lo as f64 / rus, hi as f64 / rus)
+}
+
+/// Compilation scheme for the Fig 3 fidelity model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilationScheme {
+    /// Direct continuous-angle rotations (Clifford+Rz).
+    CliffordRz,
+    /// Synthesized rotations (Clifford+T).
+    CliffordT,
+}
+
+/// Logical space-time volume (cycle-equivalents) consumed per rotation gate
+/// under each scheme; the per-cycle logical error rate multiplies this.
+fn volume_per_rotation(scheme: CompilationScheme, factory: &TFactoryModel) -> f64 {
+    match scheme {
+        // 2 steps × (prep + injection) at the headline configuration.
+        CompilationScheme::CliffordRz => {
+            rus_rz_expected_cycles(&PreparationModel::new(RusParams::default()))
+        }
+        CompilationScheme::CliffordT => {
+            // Mid-range of the factory cost.
+            let (lo, hi) = factory.rz_cycle_range();
+            (lo + hi) as f64 / 2.0
+        }
+    }
+}
+
+/// Maximum number of rotation gates executable while keeping program fidelity
+/// ≥ `target_fidelity`, at per-cycle logical error rate `logical_error_rate`
+/// (Fig 3's qualitative model): solves `(1−LER)^(V·N) ≥ F`.
+///
+/// Returns 0 when even a single rotation breaks the target.
+pub fn max_rotations(
+    scheme: CompilationScheme,
+    target_fidelity: f64,
+    logical_error_rate: f64,
+    factory: &TFactoryModel,
+) -> u64 {
+    assert!((0.0..1.0).contains(&logical_error_rate));
+    assert!((0.0..=1.0).contains(&target_fidelity));
+    if target_fidelity == 0.0 {
+        return u64::MAX;
+    }
+    let v = volume_per_rotation(scheme, factory);
+    let n = target_fidelity.ln() / (v * (1.0 - logical_error_rate).ln());
+    n.max(0.0) as u64
+}
+
+/// One row of the Fig 3 series: logical error rate and the rotation budgets
+/// of both schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Row {
+    /// Per-cycle logical error rate.
+    pub logical_error_rate: f64,
+    /// Max rotations in Clifford+Rz.
+    pub rz_rotations: u64,
+    /// Max rotations in Clifford+T.
+    pub t_rotations: u64,
+}
+
+/// Generates the Fig 3 series over a log grid of logical error rates for a
+/// given target fidelity.
+pub fn fig3_series(target_fidelity: f64, lers: &[f64]) -> Vec<Fig3Row> {
+    let factory = TFactoryModel::default();
+    lers.iter()
+        .map(|&ler| Fig3Row {
+            logical_error_rate: ler,
+            rz_rotations: max_rotations(CompilationScheme::CliffordRz, target_fidelity, ler, &factory),
+            t_rotations: max_rotations(CompilationScheme::CliffordT, target_fidelity, ler, &factory),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_cycle_bounds_match_appendix() {
+        let f = TFactoryModel::default();
+        assert_eq!(f.best_case_t_cycles(), 2);
+        assert_eq!(f.worst_case_t_cycles(), 13);
+        assert_eq!(f.rz_cycle_range(), (200, 1300));
+    }
+
+    #[test]
+    fn rus_rz_cost_near_8_4_cycles() {
+        // Worst-case Fig 16 corner, matching Appendix A.2's arithmetic.
+        let prep = PreparationModel::new(RusParams::new(3, 1e-3));
+        let c = rus_rz_expected_cycles(&prep);
+        assert!((7.0..10.0).contains(&c), "got {c}");
+    }
+
+    #[test]
+    fn overhead_matches_20_to_150() {
+        let prep = PreparationModel::new(RusParams::new(3, 1e-3));
+        let (lo, hi) = clifford_t_overhead(&prep, &TFactoryModel::default());
+        assert!(lo > 15.0 && lo < 35.0, "low overhead {lo}");
+        assert!(hi > 100.0 && hi < 200.0, "high overhead {hi}");
+    }
+
+    #[test]
+    fn rz_scheme_executes_more_rotations() {
+        let factory = TFactoryModel::default();
+        for ler in [1e-6, 1e-8, 1e-10] {
+            let rz = max_rotations(CompilationScheme::CliffordRz, 0.9, ler, &factory);
+            let t = max_rotations(CompilationScheme::CliffordT, 0.9, ler, &factory);
+            assert!(
+                rz > 10 * t,
+                "Clifford+Rz should beat Clifford+T by ≈2 orders: {rz} vs {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_grows_as_ler_falls() {
+        let rows = fig3_series(0.9, &[1e-5, 1e-7, 1e-9]);
+        assert!(rows[0].rz_rotations < rows[1].rz_rotations);
+        assert!(rows[1].rz_rotations < rows[2].rz_rotations);
+        assert!(rows[0].t_rotations < rows[2].t_rotations);
+    }
+
+    #[test]
+    fn stricter_fidelity_allows_fewer_rotations() {
+        let factory = TFactoryModel::default();
+        let lo = max_rotations(CompilationScheme::CliffordRz, 0.99, 1e-8, &factory);
+        let hi = max_rotations(CompilationScheme::CliffordRz, 0.5, 1e-8, &factory);
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,271 @@
+//! `|mθ⟩` injection strategies and the repeat-until-success correction ladder
+//! (paper §3.2, Table 1, Eq. 1, Fig 6).
+//!
+//! Injecting `|mθ⟩` into a data qubit applies `Rz(±θ)` with equal probability;
+//! a −θ outcome is repaired by executing `Rz(2θ)`, itself via injection of
+//! `|m2θ⟩`, and so on. The ladder terminates early when some `Rz(2^k·θ)` is a
+//! Clifford (applied in software), which is why dyadic angles such as `T`
+//! average *fewer* than 2 injections (Eq. 1's remark).
+
+use rescq_circuit::Angle;
+use std::fmt;
+
+/// The two injection circuits of Fig 6 with their Table 1 costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionStrategy {
+    /// Fig 6a: `Z⊗Z` Pauli measurement through the data qubit's **Z** edge —
+    /// 1 ancilla, 1 lattice-surgery cycle.
+    Zz,
+    /// Fig 6b: CNOT between the prep ancilla and the data qubit through the
+    /// data qubit's **X** edge — 2 ancillas, 2 lattice-surgery cycles.
+    Cnot,
+}
+
+impl InjectionStrategy {
+    /// Lattice-surgery cycles of the injection (Table 1).
+    pub fn cycles(self) -> u32 {
+        match self {
+            InjectionStrategy::Zz => 1,
+            InjectionStrategy::Cnot => 2,
+        }
+    }
+
+    /// Ancilla tiles required, including the prep ancilla (Table 1).
+    pub fn ancillas_required(self) -> u32 {
+        match self {
+            InjectionStrategy::Zz => 1,
+            InjectionStrategy::Cnot => 2,
+        }
+    }
+
+    /// Name of the data-qubit edge the strategy attaches to (Table 1).
+    pub fn exposed_edge_name(self) -> &'static str {
+        match self {
+            InjectionStrategy::Zz => "Z",
+            InjectionStrategy::Cnot => "X",
+        }
+    }
+}
+
+impl fmt::Display for InjectionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectionStrategy::Zz => f.write_str("ZZ"),
+            InjectionStrategy::Cnot => f.write_str("CNOT"),
+        }
+    }
+}
+
+/// Result of feeding one measurement outcome to the ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LadderStep {
+    /// The rotation completed (successful injection, or the correction became
+    /// Clifford and was applied in software).
+    Done,
+    /// The injection failed; the next correction state `|m(2θ)⟩` must be
+    /// prepared and injected.
+    NeedCorrection(Angle),
+}
+
+/// The RUS correction ladder for one `Rz(θ)` gate.
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::Angle;
+/// use rescq_rus::{InjectionLadder, LadderStep};
+///
+/// // A T gate: a single failure makes the correction Clifford.
+/// let mut ladder = InjectionLadder::new(Angle::T);
+/// assert_eq!(ladder.record_outcome(false), LadderStep::Done);
+/// assert!(ladder.is_complete());
+///
+/// // A generic angle keeps doubling.
+/// let mut ladder = InjectionLadder::new(Angle::radians(0.3));
+/// match ladder.record_outcome(false) {
+///     LadderStep::NeedCorrection(next) => {
+///         assert!((next.to_radians() - 0.6).abs() < 1e-12)
+///     }
+///     _ => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionLadder {
+    current: Angle,
+    injections: u32,
+    complete: bool,
+}
+
+impl InjectionLadder {
+    /// Starts a ladder for `Rz(angle)`. Clifford angles complete immediately
+    /// (zero injections — the gate is software).
+    pub fn new(angle: Angle) -> Self {
+        InjectionLadder {
+            current: angle,
+            injections: 0,
+            complete: angle.is_clifford(),
+        }
+    }
+
+    /// The angle whose `|mθ⟩` state must be injected next.
+    pub fn current_angle(&self) -> Angle {
+        self.current
+    }
+
+    /// The correction angle needed if the *next* injection fails (what RESCQ
+    /// eagerly prepares during the injection, Fig 1e).
+    pub fn next_correction_angle(&self) -> Angle {
+        self.current.double()
+    }
+
+    /// Number of injections performed so far.
+    pub fn injections(&self) -> u32 {
+        self.injections
+    }
+
+    /// Whether the rotation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Records the measurement outcome of an injection of the current angle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder already completed.
+    pub fn record_outcome(&mut self, success: bool) -> LadderStep {
+        assert!(!self.complete, "ladder already complete");
+        self.injections += 1;
+        if success {
+            self.complete = true;
+            return LadderStep::Done;
+        }
+        let next = self.current.double();
+        if next.is_clifford() {
+            // The correction is a software gate: done.
+            self.complete = true;
+            LadderStep::Done
+        } else {
+            self.current = next;
+            LadderStep::NeedCorrection(next)
+        }
+    }
+}
+
+/// Expected number of injections for `Rz(angle)` (Eq. 1 and its Clifford
+/// refinement): exactly 2 for generic angles, `Σ_{i<m} i·2⁻ⁱ + m·2⁻⁽ᵐ⁻¹⁾` for
+/// a dyadic angle that reaches Clifford after `m` doublings, 0 for Clifford.
+pub fn expected_injections(angle: Angle) -> f64 {
+    match angle.doublings_to_clifford() {
+        Some(0) => 0.0,
+        Some(m) => {
+            let m = m as f64;
+            // Σ_{i=1}^{m-1} i/2^i + m/2^(m-1)
+            let mut sum = 0.0;
+            let mut i = 1.0;
+            while i < m {
+                sum += i / 2f64.powf(i);
+                i += 1.0;
+            }
+            sum + m / 2f64.powf(m - 1.0)
+        }
+        None => 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn table1_costs() {
+        assert_eq!(InjectionStrategy::Zz.cycles(), 1);
+        assert_eq!(InjectionStrategy::Zz.ancillas_required(), 1);
+        assert_eq!(InjectionStrategy::Zz.exposed_edge_name(), "Z");
+        assert_eq!(InjectionStrategy::Cnot.cycles(), 2);
+        assert_eq!(InjectionStrategy::Cnot.ancillas_required(), 2);
+        assert_eq!(InjectionStrategy::Cnot.exposed_edge_name(), "X");
+    }
+
+    #[test]
+    fn clifford_angle_completes_instantly() {
+        let ladder = InjectionLadder::new(Angle::S);
+        assert!(ladder.is_complete());
+        assert_eq!(ladder.injections(), 0);
+        assert_eq!(expected_injections(Angle::S), 0.0);
+    }
+
+    #[test]
+    fn t_gate_single_injection() {
+        // T: success → done; failure → correction is S (Clifford) → done.
+        for outcome in [true, false] {
+            let mut ladder = InjectionLadder::new(Angle::T);
+            assert_eq!(ladder.record_outcome(outcome), LadderStep::Done);
+            assert_eq!(ladder.injections(), 1);
+        }
+        assert_eq!(expected_injections(Angle::T), 1.0);
+    }
+
+    #[test]
+    fn generic_angle_expected_two() {
+        assert_eq!(expected_injections(Angle::radians(0.3)), 2.0);
+    }
+
+    #[test]
+    fn dyadic_expectation_interpolates() {
+        // m = 2 (π/8): E = 1·1/2 + 2·1/2 = 1.5
+        assert!((expected_injections(Angle::dyadic_pi(1, 3)) - 1.5).abs() < 1e-12);
+        // m → ∞ tends to 2.
+        let e = expected_injections(Angle::dyadic_pi(1, 40));
+        assert!((e - 2.0).abs() < 1e-9);
+        // Monotone in m.
+        let mut last = 0.0;
+        for k in 2..12 {
+            let e = expected_injections(Angle::dyadic_pi(1, k));
+            assert!(e > last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn ladder_follows_doubling() {
+        let mut ladder = InjectionLadder::new(Angle::dyadic_pi(1, 4)); // π/16
+        assert_eq!(
+            ladder.record_outcome(false),
+            LadderStep::NeedCorrection(Angle::dyadic_pi(1, 3))
+        );
+        assert_eq!(
+            ladder.record_outcome(false),
+            LadderStep::NeedCorrection(Angle::T)
+        );
+        // Failing the T injection leaves an S correction: free, complete.
+        assert_eq!(ladder.record_outcome(false), LadderStep::Done);
+        assert_eq!(ladder.injections(), 3);
+    }
+
+    #[test]
+    fn monte_carlo_injection_count_matches_eq1() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 40_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let mut ladder = InjectionLadder::new(Angle::radians(0.7));
+            while !ladder.is_complete() {
+                ladder.record_outcome(rng.gen_bool(0.5));
+            }
+            total += ladder.injections() as u64;
+        }
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "Eq. 1 expectation: {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already complete")]
+    fn outcome_after_completion_panics() {
+        let mut ladder = InjectionLadder::new(Angle::T);
+        ladder.record_outcome(true);
+        ladder.record_outcome(true);
+    }
+}

@@ -1,0 +1,255 @@
+//! Simulation configuration (mirrors the artifact's config files).
+
+use rescq_core::{KPolicy, SchedulerKind, SurgeryCosts, TauModel};
+use rescq_lattice::LayoutKind;
+use rescq_rus::{PrepCalibration, RusParams};
+use std::fmt;
+
+/// Full configuration of one simulation run.
+///
+/// Build with [`SimConfig::builder`]; defaults follow the paper's headline
+/// setup (`d = 7`, `p = 10⁻⁴`, RESCQ with `k = 25`, `c = 100`, uncompressed
+/// 2×2 STAR grid).
+///
+/// # Example
+///
+/// ```
+/// use rescq_core::SchedulerKind;
+/// use rescq_sim::SimConfig;
+///
+/// let cfg = SimConfig::builder()
+///     .distance(9)
+///     .physical_error_rate(1e-5)
+///     .scheduler(SchedulerKind::Greedy)
+///     .compression(0.5)
+///     .seed(3)
+///     .build();
+/// assert_eq!(cfg.distance, 9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Code distance `d`.
+    pub distance: u32,
+    /// Physical qubit error rate `p`.
+    pub physical_error_rate: f64,
+    /// Scheduler driving the run.
+    pub scheduler: SchedulerKind,
+    /// MST recomputation policy (RESCQ only).
+    pub k_policy: KPolicy,
+    /// Activity window `c` in cycles (RESCQ only).
+    pub activity_window: u32,
+    /// Fabric block shape.
+    pub layout: LayoutKind,
+    /// Explicit block-grid width (defaults to a near-square arrangement).
+    pub block_columns: Option<u32>,
+    /// Grid compression fraction in `[0, 1]` (§5.3).
+    pub compression: f64,
+    /// Seed for the compression procedure (independent of the run seed so
+    /// all schedulers see the same compressed grid).
+    pub compression_seed: u64,
+    /// Seed of the run's RUS outcome stream.
+    pub seed: u64,
+    /// Lattice-surgery cycle costs.
+    pub costs: SurgeryCosts,
+    /// RUS preparation calibration constants.
+    pub calibration: PrepCalibration,
+    /// Classical MST latency model.
+    pub tau_model: TauModel,
+    /// Watchdog: abort if the program exceeds this many cycles.
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// Starts a builder with paper-default values.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// The substrate parameters implied by this configuration.
+    pub fn rus_params(&self) -> RusParams {
+        RusParams::new(self.distance, self.physical_error_rate)
+    }
+
+    /// Rounds of syndrome measurement per lattice-surgery cycle.
+    pub fn rounds_per_cycle(&self) -> u32 {
+        self.distance
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::builder().build()
+    }
+}
+
+impl fmt::Display for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} d={} p={:.0e} compression={:.0}% seed={}",
+            self.scheduler,
+            self.distance,
+            self.physical_error_rate,
+            self.compression * 100.0,
+            self.seed
+        )
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            config: SimConfig {
+                distance: 7,
+                physical_error_rate: 1e-4,
+                scheduler: SchedulerKind::Rescq,
+                k_policy: KPolicy::Fixed(25),
+                activity_window: 100,
+                layout: LayoutKind::Star2x2,
+                block_columns: None,
+                compression: 0.0,
+                compression_seed: 0xC0FFEE,
+                seed: 1,
+                costs: SurgeryCosts::default(),
+                calibration: PrepCalibration::default(),
+                tau_model: TauModel::default(),
+                max_cycles: 50_000_000,
+            },
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the code distance.
+    pub fn distance(mut self, d: u32) -> Self {
+        self.config.distance = d;
+        self
+    }
+
+    /// Sets the physical error rate.
+    pub fn physical_error_rate(mut self, p: f64) -> Self {
+        self.config.physical_error_rate = p;
+        self
+    }
+
+    /// Sets the scheduler.
+    pub fn scheduler(mut self, s: SchedulerKind) -> Self {
+        self.config.scheduler = s;
+        self
+    }
+
+    /// Sets the MST recomputation policy.
+    pub fn k_policy(mut self, k: KPolicy) -> Self {
+        self.config.k_policy = k;
+        self
+    }
+
+    /// Sets the activity window `c`.
+    pub fn activity_window(mut self, c: u32) -> Self {
+        self.config.activity_window = c;
+        self
+    }
+
+    /// Sets the fabric layout kind.
+    pub fn layout(mut self, l: LayoutKind) -> Self {
+        self.config.layout = l;
+        self
+    }
+
+    /// Sets an explicit block-grid width.
+    pub fn block_columns(mut self, cols: u32) -> Self {
+        self.config.block_columns = Some(cols);
+        self
+    }
+
+    /// Sets the grid compression fraction.
+    pub fn compression(mut self, f: f64) -> Self {
+        self.config.compression = f;
+        self
+    }
+
+    /// Sets the compression seed.
+    pub fn compression_seed(mut self, s: u64) -> Self {
+        self.config.compression_seed = s;
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.config.seed = s;
+        self
+    }
+
+    /// Sets the surgery costs.
+    pub fn costs(mut self, c: SurgeryCosts) -> Self {
+        self.config.costs = c;
+        self
+    }
+
+    /// Sets the RUS calibration.
+    pub fn calibration(mut self, c: PrepCalibration) -> Self {
+        self.config.calibration = c;
+        self
+    }
+
+    /// Sets the τ model.
+    pub fn tau_model(mut self, m: TauModel) -> Self {
+        self.config.tau_model = m;
+        self
+    }
+
+    /// Sets the watchdog limit in cycles.
+    pub fn max_cycles(mut self, c: u64) -> Self {
+        self.config.max_cycles = c;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SimConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_headline() {
+        let c = SimConfig::default();
+        assert_eq!(c.distance, 7);
+        assert!((c.physical_error_rate - 1e-4).abs() < 1e-18);
+        assert_eq!(c.scheduler, SchedulerKind::Rescq);
+        assert_eq!(c.k_policy, KPolicy::Fixed(25));
+        assert_eq!(c.activity_window, 100);
+        assert_eq!(c.compression, 0.0);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = SimConfig::builder()
+            .distance(11)
+            .scheduler(SchedulerKind::Autobraid)
+            .compression(0.75)
+            .seed(99)
+            .build();
+        assert_eq!(c.distance, 11);
+        assert_eq!(c.scheduler, SchedulerKind::Autobraid);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.rounds_per_cycle(), 11);
+    }
+
+    #[test]
+    fn rus_params_derived() {
+        let c = SimConfig::builder().distance(5).physical_error_rate(1e-3).build();
+        let p = c.rus_params();
+        assert_eq!(p.distance, 5);
+        assert!((p.physical_error_rate - 1e-3).abs() < 1e-18);
+    }
+}

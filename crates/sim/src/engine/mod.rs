@@ -1,0 +1,185 @@
+//! The cycle-accurate symbolic execution engine.
+//!
+//! [`simulate`] builds the fabric from the configuration (layout +
+//! compression), then dispatches to the realtime RESCQ engine
+//! ([`realtime`]) or the layer-synchronized static baseline engine
+//! ([`static_sched`]). Time is tracked in *measurement rounds*; one
+//! lattice-surgery cycle is `d` rounds (§5.2.1).
+
+mod realtime;
+mod static_sched;
+
+use crate::fabric::Fabric;
+use crate::metrics::ExecutionReport;
+use crate::SimConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rescq_circuit::{Circuit, QubitId};
+use rescq_core::SchedulerKind;
+use rescq_lattice::Layout;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Errors from a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The circuit is empty or the layout could not host it.
+    BadInput(String),
+    /// A data qubit has no adjacent ancilla (over-compressed layout).
+    NoAncillaForQubit(QubitId),
+    /// No event is pending but gates remain — a scheduling deadlock.
+    Deadlock {
+        /// Round at which progress stopped.
+        round: u64,
+        /// Human-readable context.
+        detail: String,
+    },
+    /// The watchdog cycle limit was exceeded.
+    WatchdogExceeded {
+        /// Cycles executed when the watchdog fired.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadInput(m) => write!(f, "bad input: {m}"),
+            SimError::NoAncillaForQubit(q) => {
+                write!(f, "data qubit {q} has no adjacent ancilla")
+            }
+            SimError::Deadlock { round, detail } => {
+                write!(f, "scheduling deadlock at round {round}: {detail}")
+            }
+            SimError::WatchdogExceeded { cycles } => {
+                write!(f, "watchdog exceeded after {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A deterministic min-heap event queue keyed by `(round, insertion order)`.
+#[derive(Debug)]
+pub(crate) struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    payloads: Vec<Option<E>>,
+}
+
+impl<E> EventQueue<E> {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+        }
+    }
+
+    /// Schedules `ev` at `round`. Ties break by insertion order, keeping the
+    /// simulation deterministic.
+    pub(crate) fn push(&mut self, round: u64, ev: E) {
+        let seq = self.payloads.len() as u64;
+        self.payloads.push(Some(ev));
+        self.heap.push(Reverse((round, seq)));
+    }
+
+    /// Pops the earliest event.
+    pub(crate) fn pop(&mut self) -> Option<(u64, E)> {
+        loop {
+            let Reverse((round, seq)) = self.heap.pop()?;
+            if let Some(ev) = self.payloads[seq as usize].take() {
+                return Some((round, ev));
+            }
+        }
+    }
+
+    /// The round of the earliest pending event.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn peek_round(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((r, _))| *r)
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Builds the (possibly compressed) fabric for a configuration.
+pub(crate) fn build_fabric(circuit: &Circuit, config: &SimConfig) -> Result<Fabric, SimError> {
+    if circuit.num_qubits() == 0 {
+        return Err(SimError::BadInput("circuit has no qubits".into()));
+    }
+    let mut layout = match config.block_columns {
+        Some(cols) => Layout::with_block_columns(config.layout, circuit.num_qubits(), cols),
+        None => Layout::new(config.layout, circuit.num_qubits()),
+    }
+    .map_err(|e| SimError::BadInput(e.to_string()))?;
+    if config.compression > 0.0 {
+        layout.compress(config.compression, config.compression_seed);
+    }
+    if !layout.is_routable() {
+        return Err(SimError::BadInput("layout is not routable".into()));
+    }
+    Ok(Fabric::new(layout, config.rounds_per_cycle()))
+}
+
+/// Runs one seeded simulation of `circuit` under `config` and returns its
+/// [`ExecutionReport`].
+///
+/// The run is fully deterministic: the same circuit, configuration and seed
+/// always produce the same report.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on empty circuits, unroutable layouts, scheduling
+/// deadlocks, or watchdog expiry.
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::{Angle, Circuit};
+/// use rescq_sim::{simulate, SimConfig};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1).rz(1, Angle::radians(0.4));
+/// let report = simulate(&c, &SimConfig::default()).unwrap();
+/// assert!(report.total_cycles() > 0.0);
+/// ```
+pub fn simulate(circuit: &Circuit, config: &SimConfig) -> Result<ExecutionReport, SimError> {
+    let fabric = build_fabric(circuit, config)?;
+    // Separate RNG stream per (seed, scheduler) so schedulers see the same
+    // seed namespace but their own draw sequences don't alias.
+    let rng = ChaCha8Rng::seed_from_u64(config.seed);
+    match config.scheduler {
+        SchedulerKind::Rescq => realtime::run_realtime(circuit, config, fabric, rng),
+        kind => static_sched::run_static(circuit, config, kind, fabric, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_queue_orders_by_time_then_insertion() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.push(10, "b");
+        q.push(5, "a");
+        q.push(10, "c");
+        assert_eq!(q.peek_round(), Some(5));
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((10, "c")));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let c = Circuit::new(0);
+        let err = simulate(&c, &SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadInput(_)));
+    }
+}

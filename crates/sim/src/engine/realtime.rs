@@ -1,0 +1,1178 @@
+//! The RESCQ realtime engine (paper §4).
+//!
+//! Realtime behaviours implemented here, with their paper anchors:
+//!
+//! - gates are scheduled the moment the previous gate on their data qubit
+//!   allows it, not layer-by-layer (§3.1);
+//! - rotation gates are enqueued *preemptively* into every valid neighbouring
+//!   ancilla queue while the previous gate is still executing (§4.1, Fig 7);
+//! - multiple ancillas prepare `|mθ⟩` in parallel; the first success rewrites
+//!   the siblings' queue entries in place to the `|m2θ⟩` correction state
+//!   (eager preparation, Fig 1e);
+//! - injections choose the cheapest available strategy (ZZ through a Z-edge
+//!   neighbour, CNOT through an X-edge helper — Table 1);
+//! - CNOTs route along the activity-weighted MST using Algorithm 1, with the
+//!   stale pipelined recomputation of Fig 8;
+//! - ancillas stuck preparing while other operations queue behind them are
+//!   *reclaimed* when the rotation has other prep sites (§3.2's `n − m`
+//!   redistribution);
+//! - when several gates become schedulable simultaneously, qubits with
+//!   larger remaining circuit depth go first (Fig 7 caption).
+
+use crate::engine::EventQueue;
+use crate::fabric::Fabric;
+use crate::metrics::{ExecutionReport, LatencyHistogram, RunCounters};
+use crate::{SimConfig, SimError};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, QubitId};
+use rescq_core::{
+    plan_cnot_route, ActivityTracker, AncillaQueue, EntryStatus, MstPipeline, PathCache,
+    QueueEntry, Role, SchedulerKind, SurgeryCosts, TaskId,
+};
+use rescq_lattice::{AncillaIndex, EdgeType};
+use rescq_rus::{InjectionLadder, LadderStep, PreparationModel};
+
+/// Cycles without any gate completion before the stall breaker fires.
+const STALL_BREAK_CYCLES: u64 = 300;
+
+#[derive(Debug)]
+enum TaskBody {
+    Cnot {
+        control: QubitId,
+        target: QubitId,
+        path: Vec<AncillaIndex>,
+        rotating: bool,
+        surgery_started: bool,
+    },
+    Rz {
+        qubit: QubitId,
+        ladder: InjectionLadder,
+        /// Prep sites with whether they are side-adjacent to the data qubit
+        /// (side-adjacent sites can always inject on their own; diagonal
+        /// sites need a helper).
+        prep_sites: Vec<(AncillaIndex, bool)>,
+        helper_sites: Vec<AncillaIndex>,
+        /// Ancillas holding prepared states, with the angle they hold.
+        holders: Vec<(AncillaIndex, Angle)>,
+        injecting: bool,
+    },
+    Hadamard {
+        qubit: QubitId,
+        started: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Task {
+    gate: GateId,
+    sched_round: u64,
+    done: bool,
+    body: TaskBody,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    PrepDone {
+        ancilla: AncillaIndex,
+        task: TaskId,
+        angle: Angle,
+        epoch: u64,
+    },
+    InjectDone {
+        task: TaskId,
+        holder: AncillaIndex,
+    },
+    RotationDone {
+        task: TaskId,
+        qubit: QubitId,
+    },
+    SurgeryDone {
+        task: TaskId,
+    },
+    HDone {
+        task: TaskId,
+    },
+    CycleTick,
+}
+
+struct RtEngine<'a> {
+    circuit: &'a Circuit,
+    dag: DependencyDag,
+    fabric: Fabric,
+    costs: SurgeryCosts,
+    d: u32,
+    clock: u64,
+    rng: ChaCha8Rng,
+    prep_model: PreparationModel,
+
+    cursor: Vec<usize>,
+    gate_done: Vec<bool>,
+    gate_scheduled: Vec<bool>,
+    done_count: usize,
+    last_completion: u64,
+    /// Round of the most recent forward progress (gate completion or stall
+    /// break) — drives the stall breaker, not the makespan metric.
+    last_progress: u64,
+
+    tasks: Vec<Task>,
+    live_tasks: Vec<TaskId>,
+    queues: Vec<AncillaQueue>,
+    prep_epoch: Vec<u64>,
+    /// Angle currently being prepared on each ancilla, if any.
+    prepping: Vec<Option<Angle>>,
+
+    activity: ActivityTracker,
+    mst: MstPipeline,
+    path_cache: PathCache,
+    events: EventQueue<Ev>,
+    sched_worklist: Vec<QubitId>,
+
+    counters: RunCounters,
+    cnot_latency: LatencyHistogram,
+    rz_latency: LatencyHistogram,
+    gates_executed: usize,
+    /// Expected rounds an Rz queue entry occupies its ancilla (precomputed).
+    rz_entry_cost: u64,
+}
+
+/// Runs the realtime RESCQ schedule.
+pub(crate) fn run_realtime(
+    circuit: &Circuit,
+    config: &SimConfig,
+    fabric: Fabric,
+    rng: ChaCha8Rng,
+) -> Result<ExecutionReport, SimError> {
+    let dag = DependencyDag::new(circuit);
+    let d = config.rounds_per_cycle();
+    let prep_model = PreparationModel::with_calibration(config.rus_params(), config.calibration);
+    let num_ancillas = fabric.num_ancillas();
+    let edges: Vec<(u32, u32)> = fabric.graph.edges().to_vec();
+    let mst = MstPipeline::new(num_ancillas, &edges, config.k_policy, config.tau_model);
+    let activity = ActivityTracker::new(num_ancillas, config.activity_window.clamp(1, 128));
+    let rz_entry_cost = prep_model.expected_rounds().ceil() as u64
+        + 2 * config.costs.cnot_injection_cycles as u64 * d as u64;
+
+    let mut engine = RtEngine {
+        circuit,
+        dag,
+        fabric,
+        costs: config.costs,
+        d,
+        clock: 0,
+        rng,
+        prep_model,
+        cursor: vec![0; circuit.num_qubits() as usize],
+        gate_done: vec![false; circuit.len()],
+        gate_scheduled: vec![false; circuit.len()],
+        done_count: 0,
+        last_completion: 0,
+        last_progress: 0,
+        tasks: Vec::new(),
+        live_tasks: Vec::new(),
+        queues: vec![AncillaQueue::new(); num_ancillas],
+        prep_epoch: vec![0; num_ancillas],
+        prepping: vec![None; num_ancillas],
+        activity,
+        mst,
+        path_cache: PathCache::new(),
+        events: EventQueue::new(),
+        sched_worklist: Vec::new(),
+        counters: RunCounters::default(),
+        cnot_latency: LatencyHistogram::new(),
+        rz_latency: LatencyHistogram::new(),
+        gates_executed: 0,
+        rz_entry_cost,
+    };
+    engine.run(config)
+}
+
+impl RtEngine<'_> {
+    fn run(&mut self, config: &SimConfig) -> Result<ExecutionReport, SimError> {
+        let max_rounds = config.max_cycles.saturating_mul(self.d as u64);
+        for q in 0..self.circuit.num_qubits() {
+            self.sched_worklist.push(QubitId(q));
+        }
+        self.events.push(self.d as u64, Ev::CycleTick);
+
+        while self.done_count < self.circuit.len() {
+            self.dispatch();
+            if self.done_count >= self.circuit.len() {
+                break;
+            }
+            let Some((t, ev)) = self.events.pop() else {
+                return Err(SimError::Deadlock {
+                    round: self.clock,
+                    detail: format!(
+                        "{} of {} gates pending with no events",
+                        self.circuit.len() - self.done_count,
+                        self.circuit.len()
+                    ),
+                });
+            };
+            self.clock = t;
+            if self.clock > max_rounds {
+                if std::env::var("RESCQ_DEBUG_STUCK").is_ok() {
+                    self.dump_stuck_state();
+                }
+                return Err(SimError::WatchdogExceeded {
+                    cycles: self.clock / self.d as u64,
+                });
+            }
+            self.handle_event(ev);
+        }
+
+        Ok(ExecutionReport {
+            scheduler: SchedulerKind::Rescq,
+            seed: config.seed,
+            distance: self.d,
+            total_rounds: self.last_completion,
+            gates_executed: self.gates_executed,
+            cnot_latency: std::mem::take(&mut self.cnot_latency),
+            rz_latency: std::mem::take(&mut self.rz_latency),
+            data_busy_rounds: self.fabric.total_qubit_busy_rounds(),
+            num_qubits: self.circuit.num_qubits(),
+            achieved_compression: self.fabric.layout.compression(),
+            k_used: self.mst.k(),
+            tau_used: self.mst.tau(),
+            counters: {
+                let mut c = std::mem::take(&mut self.counters);
+                c.mst_computations = self.mst.completed_computations();
+                c.mst_incremental_updates = self.mst.incremental_updates();
+                c.path_cache_hits = self.path_cache.hits();
+                c.path_cache_misses = self.path_cache.misses();
+                c
+            },
+        })
+    }
+
+    /// Debug helper: prints the state of every incomplete task (enabled via
+    /// `RESCQ_DEBUG_STUCK=1`).
+    fn dump_stuck_state(&self) {
+        eprintln!("--- stuck at round {} ---", self.clock);
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.done {
+                continue;
+            }
+            if let TaskBody::Rz { qubit, ladder, holders, helper_sites, injecting, .. } = &t.body {
+                eprintln!(
+                    "rz-diag task {i}: injecting={injecting} complete={} qubit_free={} preds_done={}",
+                    ladder.is_complete(),
+                    self.fabric.qubit_free(*qubit, self.clock),
+                    self.dag.preds(t.gate).all(|p| self.gate_done[p.index()]),
+                );
+                let current = ladder.current_angle();
+                let data = self.fabric.layout.data_tile(*qubit);
+                for &(a, angle) in holders {
+                    let tile = self.fabric.graph.tile(a);
+                    let side = self.fabric.layout.grid().side_towards(data, tile);
+                    eprintln!(
+                        "  holder a={a} tile={tile} angle_match={} side={side:?}",
+                        angle == current
+                    );
+                    if side.is_none() {
+                        for &h in helper_sites {
+                            eprintln!(
+                                "    helper h={h} tile={} adj={} free={} top_is_task={}",
+                                self.fabric.graph.tile(h),
+                                self.fabric.graph.neighbors(h).contains(&a),
+                                self.fabric.ancilla_free(h, self.clock),
+                                self.queues[h as usize].top().map(|e| e.task.0).unwrap_or(9999)
+                            );
+                        }
+                        let adj = self.fabric.layout.data_adjacency(*qubit);
+                        for &(side, h_tile) in &adj.side {
+                            let h = self.fabric.graph.index_of(h_tile);
+                            eprintln!(
+                                "    chan side={side:?} tile={h_tile} dense={h:?} adj={:?} top={:?} free={:?}",
+                                h.map(|h| self.fabric.graph.neighbors(h).contains(&a)),
+                                h.map(|h| self.queues[h as usize].top().map(|e| e.task.0)),
+                                h.map(|h| self.fabric.ancilla_free(h, self.clock)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.done {
+                continue;
+            }
+            eprintln!("task {i} gate {:?} body {:?}", self.circuit.gate(t.gate), t.body);
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() {
+                let entries: Vec<String> = q
+                    .iter()
+                    .map(|e| format!("{}:{:?}:{:?}", e.task.0, e.role, e.status))
+                    .collect();
+                eprintln!(
+                    "queue {i} free_at={} held={} prepping={:?}: {entries:?}",
+                    self.fabric.ancilla_free_at(i as u32),
+                    self.fabric.is_held(i as u32),
+                    self.prepping[i]
+                );
+            }
+        }
+        for q in 0..self.circuit.num_qubits() {
+            let qq = QubitId(q);
+            let chain = self.dag.qubit_chain(qq);
+            if self.cursor[q as usize] < chain.len() {
+                eprintln!(
+                    "qubit {q} cursor {}/{} free={} next={:?}",
+                    self.cursor[q as usize],
+                    chain.len(),
+                    self.fabric.qubit_free(qq, self.clock),
+                    chain.get(self.cursor[q as usize]).map(|&g| self.circuit.gate(g)),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        loop {
+            let mut progress = false;
+            progress |= self.drain_sched_worklist();
+            // Real work (injections, surgeries) grabs resources before new
+            // speculative preparations are started.
+            for i in 0..self.live_tasks.len() {
+                let id = self.live_tasks[i];
+                progress |= self.try_start_task(id);
+            }
+            for a in 0..self.queues.len() as u32 {
+                progress |= self.dispatch_ancilla(a);
+            }
+            self.live_tasks.retain(|&id| !self.tasks[id.index()].done);
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Processes qubits waiting for scheduling, deepest-remaining-chain
+    /// first (Fig 7's priority rule).
+    fn drain_sched_worklist(&mut self) -> bool {
+        if self.sched_worklist.is_empty() {
+            return false;
+        }
+        let mut list = std::mem::take(&mut self.sched_worklist);
+        list.sort_by_key(|&q| {
+            let chain = self.dag.qubit_chain(q);
+            let depth = chain
+                .get(self.cursor[q.index()])
+                .map_or(0, |&g| self.dag.remaining_depth(g));
+            std::cmp::Reverse(depth)
+        });
+        list.dedup();
+        let mut progress = false;
+        for q in list {
+            progress |= self.advance_qubit(q);
+        }
+        progress
+    }
+
+    /// Scheduling for one qubit: completes free gates, creates tasks for the
+    /// cursor gate, and preemptively enqueues a following rotation.
+    fn advance_qubit(&mut self, q: QubitId) -> bool {
+        let mut progress = false;
+        loop {
+            let cursor = self.cursor[q.index()];
+            let (gid, next_gid) = {
+                let chain = self.dag.qubit_chain(q);
+                (chain.get(cursor).copied(), chain.get(cursor + 1).copied())
+            };
+            let Some(gid) = gid else {
+                return progress;
+            };
+            if self.gate_done[gid.index()] {
+                self.cursor[q.index()] += 1;
+                continue;
+            }
+            let gate = self.circuit.gate(gid);
+            let preds_done = self.dag.preds(gid).all(|p| self.gate_done[p.index()]);
+            if gate.is_free() {
+                if preds_done {
+                    self.complete_free_gate(gid);
+                    progress = true;
+                    continue;
+                }
+                return progress;
+            }
+            if !self.gate_scheduled[gid.index()] && preds_done {
+                self.schedule_gate(gid);
+                progress = true;
+            }
+            // Preemptive rotation enqueue: while the cursor gate is
+            // scheduled/executing, the following continuous rotation on this
+            // qubit already claims its prep ancillas (§4.1).
+            if self.gate_scheduled[gid.index()] {
+                if let Some(next) = next_gid {
+                    let g = self.circuit.gate(next);
+                    if g.is_continuous_rotation() && !self.gate_scheduled[next.index()] {
+                        self.schedule_gate(next);
+                        progress = true;
+                    }
+                }
+            }
+            return progress;
+        }
+    }
+
+    fn complete_free_gate(&mut self, gid: GateId) {
+        self.gate_done[gid.index()] = true;
+        self.done_count += 1;
+        self.gates_executed += 1;
+        self.last_completion = self.last_completion.max(self.clock);
+        self.last_progress = self.clock;
+        for q in self.circuit.gate(gid).qubits() {
+            self.sched_worklist.push(q);
+        }
+        for s in self.dag.succs(gid) {
+            for q in self.circuit.gate(*s).qubits() {
+                self.sched_worklist.push(q);
+            }
+        }
+    }
+
+    fn schedule_gate(&mut self, gid: GateId) {
+        self.gate_scheduled[gid.index()] = true;
+        let id = TaskId(self.tasks.len() as u32);
+        let body = match self.circuit.gate(gid) {
+            Gate::H { qubit } => TaskBody::Hadamard {
+                qubit,
+                started: false,
+            },
+            Gate::Rz { qubit, angle } => {
+                let (prep_sites, helper_sites) = self.enqueue_rz_sites(id, qubit, angle);
+                TaskBody::Rz {
+                    qubit,
+                    ladder: InjectionLadder::new(angle),
+                    prep_sites,
+                    helper_sites,
+                    holders: Vec::new(),
+                    injecting: false,
+                }
+            }
+            Gate::Cnot { control, target } => {
+                let path = self.plan_and_enqueue_cnot(id, control, target);
+                TaskBody::Cnot {
+                    control,
+                    target,
+                    path,
+                    rotating: false,
+                    surgery_started: false,
+                }
+            }
+            other => unreachable!("free gate {other} reached scheduling"),
+        };
+        self.tasks.push(Task {
+            gate: gid,
+            sched_round: self.clock,
+            done: false,
+            body,
+        });
+        self.live_tasks.push(id);
+    }
+
+    /// Enqueues a rotation into every valid neighbouring ancilla (Fig 7):
+    /// Z-edge neighbours prepare for ZZ injection, diagonals prepare for CNOT
+    /// injection through an X-edge helper, X-edge neighbours are reserved as
+    /// helpers (or become prep sites themselves when nothing better exists).
+    fn enqueue_rz_sites(
+        &mut self,
+        id: TaskId,
+        qubit: QubitId,
+        angle: Angle,
+    ) -> (Vec<(AncillaIndex, bool)>, Vec<AncillaIndex>) {
+        let orient = self.fabric.orientation[qubit.index()];
+        let adj = self.fabric.layout.data_adjacency(qubit);
+        let mut prep_sites = Vec::new();
+        let mut helper_sites = Vec::new();
+        let mut x_side: Vec<AncillaIndex> = Vec::new();
+
+        for &(side, tile) in &adj.side {
+            let Some(a) = self.fabric.graph.index_of(tile) else {
+                continue;
+            };
+            if orient.edge_at(side) == EdgeType::Z {
+                self.queues[a as usize].push(QueueEntry::new(id, Role::PrepZz, angle));
+                prep_sites.push((a, true));
+            } else {
+                x_side.push(a);
+            }
+        }
+        for &(_, tile, ref helpers) in &adj.diagonal {
+            let Some(a) = self.fabric.graph.index_of(tile) else {
+                continue;
+            };
+            let Some(h) = helpers
+                .iter()
+                .find_map(|&t| self.fabric.graph.index_of(t))
+            else {
+                continue;
+            };
+            self.queues[a as usize].push(QueueEntry::new(
+                id,
+                Role::PrepDiagonal {
+                    helper: self.fabric.graph.tile(h),
+                },
+                angle,
+            ));
+            prep_sites.push((a, false));
+        }
+        if prep_sites.is_empty() {
+            // Constrained geometry: prepare on the X-edge neighbours.
+            for &a in &x_side {
+                self.queues[a as usize].push(QueueEntry::new(id, Role::PrepX, angle));
+                prep_sites.push((a, true));
+            }
+        } else {
+            for &a in &x_side {
+                self.queues[a as usize].push(QueueEntry::new(id, Role::Helper, angle));
+                helper_sites.push(a);
+            }
+        }
+        (prep_sites, helper_sites)
+    }
+
+    fn plan_and_enqueue_cnot(
+        &mut self,
+        id: TaskId,
+        control: QubitId,
+        target: QubitId,
+    ) -> Vec<AncillaIndex> {
+        let expected_free = self.expected_free_vec();
+        let plan = plan_cnot_route(
+            &self.fabric.layout,
+            &self.fabric.graph,
+            self.mst.current(),
+            self.mst.generation(),
+            &mut self.path_cache,
+            control,
+            target,
+            &self.fabric.orientation,
+            &self.costs,
+            self.d,
+            |a| expected_free[a as usize],
+        );
+        let path = plan.map(|p| p.path).unwrap_or_default();
+        for &a in &path {
+            self.queues[a as usize].push(QueueEntry::new(id, Role::Route, Angle::ZERO));
+        }
+        path
+    }
+
+    /// `E[f_a]` for every ancilla: the sum of expected durations of its
+    /// queued operations (§4.2).
+    fn expected_free_vec(&self) -> Vec<u64> {
+        let d = self.d as u64;
+        let cnot = self.costs.cnot_cycles as u64 * d;
+        let inj = self.costs.cnot_injection_cycles as u64 * d;
+        let rz = self.rz_entry_cost;
+        (0..self.queues.len())
+            .map(|a| {
+                self.clock
+                    + self.queues[a].expected_free_rounds(|e| match e.role {
+                        Role::Route => cnot,
+                        Role::Helper => inj,
+                        Role::EdgeRotate => 3 * d,
+                        _ => rz,
+                    })
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Ancilla queue processing
+    // ------------------------------------------------------------------
+
+    fn dispatch_ancilla(&mut self, a: AncillaIndex) -> bool {
+        let ai = a as usize;
+        let Some(top) = self.queues[ai].top().copied() else {
+            return false;
+        };
+        if !top.role.is_prep() {
+            return false;
+        }
+        let task_id = top.task;
+        // Reclaim (§3.2): a still-preparing ancilla with work queued behind
+        // it is returned to the pool when the rotation has other prep sites
+        // *and* the remaining sites can still complete an injection (at
+        // least one side-adjacent site, or a diagonal site with helpers).
+        if self.queues[ai].len() > 1 && !self.is_holding(task_id, a) {
+            let can_reclaim = match &self.tasks[task_id.index()].body {
+                TaskBody::Rz {
+                    prep_sites,
+                    helper_sites,
+                    ..
+                } => {
+                    // The remaining sites must still be able to inject: a
+                    // side-adjacent site injects on its own; a diagonal site
+                    // needs a recorded helper it actually touches.
+                    prep_sites.iter().any(|&(s, side)| {
+                        s != a
+                            && (side
+                                || helper_sites.iter().any(|&h| {
+                                    self.fabric.graph.neighbors(h).contains(&s)
+                                }))
+                    })
+                }
+                _ => false,
+            };
+            if can_reclaim {
+                self.cancel_prep_for(a, task_id);
+                self.queues[ai].remove_task(task_id);
+                if let TaskBody::Rz { prep_sites, .. } = &mut self.tasks[task_id.index()].body {
+                    prep_sites.retain(|&(s, _)| s != a);
+                }
+                self.counters.preps_cancelled += 1;
+                return true;
+            }
+        }
+        // Start (or restart after an in-place angle rewrite) a preparation.
+        if self.is_holding(task_id, a) {
+            return false; // holding a finished state, waiting for injection
+        }
+        let owner = task_id.0 as u64;
+        match self.prepping[ai] {
+            Some(angle) if angle == top.angle => false, // already preparing it
+            Some(_) => {
+                // In-place rewrite hit a running preparation: restart it.
+                self.prep_epoch[ai] += 1;
+                self.counters.preps_cancelled += 1;
+                self.start_prep(a, task_id, top.angle);
+                true
+            }
+            None => {
+                if self.fabric.ancilla_free(a, self.clock)
+                    || self.fabric.is_held_by(a, owner)
+                {
+                    if !self.fabric.is_held_by(a, owner) {
+                        self.fabric.hold_ancilla(a, owner);
+                    }
+                    self.start_prep(a, task_id, top.angle);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn start_prep(&mut self, a: AncillaIndex, task: TaskId, angle: Angle) {
+        let rounds = self.prep_model.sample_prep_rounds(&mut self.rng);
+        self.prepping[a as usize] = Some(angle);
+        if let Some(e) = self.queues[a as usize].top_mut() {
+            e.status = EntryStatus::Preparing;
+        }
+        self.counters.preps_started += 1;
+        self.events.push(
+            self.clock + rounds,
+            Ev::PrepDone {
+                ancilla: a,
+                task,
+                angle,
+                epoch: self.prep_epoch[a as usize],
+            },
+        );
+    }
+
+    /// Cancels an in-flight preparation on `a` *if it belongs to `task`*
+    /// (preparations always serve the queue-top entry, so ownership is
+    /// checked against the top).
+    fn cancel_prep_for(&mut self, a: AncillaIndex, task: TaskId) {
+        let ai = a as usize;
+        if !self.queues[ai].top().is_some_and(|e| e.task == task) {
+            return;
+        }
+        if self.prepping[ai].is_some() {
+            self.prep_epoch[ai] += 1;
+            self.prepping[ai] = None;
+        }
+        if self.fabric.is_held_by(a, task.0 as u64) {
+            self.fabric.release_ancilla(a, self.clock);
+        }
+    }
+
+    fn is_holding(&self, task: TaskId, a: AncillaIndex) -> bool {
+        match &self.tasks[task.index()].body {
+            TaskBody::Rz { holders, .. } => holders.iter().any(|&(h, _)| h == a),
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task starts
+    // ------------------------------------------------------------------
+
+    fn try_start_task(&mut self, id: TaskId) -> bool {
+        if self.tasks[id.index()].done {
+            return false;
+        }
+        let gate = self.tasks[id.index()].gate;
+        let preds_done = self.dag.preds(gate).all(|p| self.gate_done[p.index()]);
+        match &self.tasks[id.index()].body {
+            TaskBody::Hadamard { qubit, started } => {
+                let (qubit, started) = (*qubit, *started);
+                if started || !preds_done || !self.fabric.qubit_free(qubit, self.clock) {
+                    return false;
+                }
+                let until = self.clock + self.costs.hadamard_cycles as u64 * self.d as u64;
+                self.fabric.occupy_qubit(qubit, self.clock, until);
+                if let TaskBody::Hadamard { started, .. } = &mut self.tasks[id.index()].body {
+                    *started = true;
+                }
+                self.events.push(until, Ev::HDone { task: id });
+                true
+            }
+            TaskBody::Rz { .. } => {
+                if !preds_done {
+                    return false;
+                }
+                self.try_start_injection(id)
+            }
+            TaskBody::Cnot { .. } => {
+                if !preds_done {
+                    return false;
+                }
+                self.try_start_surgery(id)
+            }
+        }
+    }
+
+    fn try_start_injection(&mut self, id: TaskId) -> bool {
+        let TaskBody::Rz {
+            qubit,
+            ref ladder,
+            ref holders,
+            ref helper_sites,
+            injecting,
+            ..
+        } = self.tasks[id.index()].body
+        else {
+            return false;
+        };
+        if injecting || ladder.is_complete() || !self.fabric.qubit_free(qubit, self.clock) {
+            return false;
+        }
+        let _ = helper_sites;
+        let current = ladder.current_angle();
+        let data = self.fabric.layout.data_tile(qubit);
+        let orient = self.fabric.orientation[qubit.index()];
+        let adj = self.fabric.layout.data_adjacency(qubit);
+
+        // Pick the cheapest feasible injection among ready holders (Table 1).
+        // Diagonal holders route through any side-adjacent ancilla touching
+        // them; the channel may even be one of our *own* eager-correction
+        // holders, whose state is then discarded ("any additional successful
+        // preparations can be discarded if necessary", §3.2).
+        let mut best: Option<(u32, AncillaIndex, Option<(AncillaIndex, bool)>)> = None;
+        for &(a, angle) in holders {
+            if angle != current {
+                continue;
+            }
+            let tile = self.fabric.graph.tile(a);
+            let option = match self.fabric.layout.grid().side_towards(data, tile) {
+                Some(side) if orient.edge_at(side) == EdgeType::Z => {
+                    Some((self.costs.zz_injection_cycles, a, None))
+                }
+                Some(_) => Some((self.costs.cnot_injection_cycles, a, None)),
+                None => {
+                    let mut channel: Option<(u32, AncillaIndex, bool)> = None;
+                    for &(side, h_tile) in &adj.side {
+                        let Some(h) = self.fabric.graph.index_of(h_tile) else {
+                            continue;
+                        };
+                        if !self.fabric.graph.neighbors(h).contains(&a) {
+                            continue;
+                        }
+                        // The channel must be available to us: our task is
+                        // at the head of its queue, nobody queued for it, or
+                        // every queued claimant is *younger* — seniority
+                        // entitles the older gate to the resource (§4.1).
+                        let top = self.queues[h as usize].top();
+                        if !(top.is_none() || top.is_some_and(|e| e.task == id || e.task > id)) {
+                            continue;
+                        }
+                        let ours = self.is_holding(id, h);
+                        if !ours && !self.fabric.ancilla_free(h, self.clock) {
+                            continue;
+                        }
+                        // A Z-side channel supports the 1-cycle ZZ merge
+                        // (Pauli products are distance-independent, §2); an
+                        // X-side channel is the Fig 6b CNOT injection.
+                        let cycles = if orient.edge_at(side) == EdgeType::Z {
+                            self.costs.zz_injection_cycles
+                        } else {
+                            self.costs.cnot_injection_cycles
+                        };
+                        if channel.is_none_or(|c| cycles < c.0) {
+                            channel = Some((cycles, h, ours));
+                        }
+                    }
+                    channel.map(|(cycles, h, ours)| (cycles, a, Some((h, ours))))
+                }
+            };
+            if let Some(opt) = option {
+                if best.as_ref().is_none_or(|b| opt.0 < b.0) {
+                    best = Some(opt);
+                }
+            }
+        }
+        let Some((cycles, holder, helper)) = best else {
+            return false;
+        };
+
+        let until = self.clock + cycles as u64 * self.d as u64;
+        self.fabric.occupy_qubit(qubit, self.clock, until);
+        if let Some((h, ours)) = helper {
+            if ours {
+                // Discard our own eager state blocking the channel.
+                self.fabric.release_ancilla(h, self.clock);
+                if let TaskBody::Rz { holders, .. } = &mut self.tasks[id.index()].body {
+                    holders.retain(|&(x, _)| x != h);
+                }
+                if let Some(e) = self.queues[h as usize].top_mut() {
+                    if e.task == id {
+                        e.status = EntryStatus::Ready;
+                    }
+                }
+                self.counters.states_discarded += 1;
+            }
+            self.fabric.occupy_ancilla(h, self.clock, until);
+        }
+        if let TaskBody::Rz {
+            holders, injecting, ..
+        } = &mut self.tasks[id.index()].body
+        {
+            holders.retain(|&(a, _)| a != holder);
+            *injecting = true;
+        }
+        if let Some(e) = self.queues[holder as usize].top_mut() {
+            e.status = EntryStatus::Executing;
+        }
+        self.counters.injections += 1;
+        self.events.push(until, Ev::InjectDone { task: id, holder });
+        true
+    }
+
+    fn try_start_surgery(&mut self, id: TaskId) -> bool {
+        let TaskBody::Cnot {
+            control,
+            target,
+            ref path,
+            rotating,
+            surgery_started,
+        } = self.tasks[id.index()].body
+        else {
+            return false;
+        };
+        if rotating || surgery_started || path.is_empty() {
+            return false;
+        }
+        if !self.fabric.qubit_free(control, self.clock)
+            || !self.fabric.qubit_free(target, self.clock)
+        {
+            return false;
+        }
+        let all_ready = path.iter().all(|&a| {
+            self.fabric.ancilla_free(a, self.clock)
+                && self.queues[a as usize].top().is_some_and(|e| e.task == id)
+        });
+        if !all_ready {
+            return false;
+        }
+        let path = path.clone();
+        // Validate boundary orientations at the endpoints; rotate lazily if a
+        // Hadamard (or an earlier rotation) flipped them since planning.
+        for (&endpoint, qubit, want) in [
+            (path.first().expect("non-empty"), control, EdgeType::Z),
+            (path.last().expect("non-empty"), target, EdgeType::X),
+        ]
+        .iter()
+        .map(|&(e, q, w)| (e, q, w))
+        {
+            let data = self.fabric.layout.data_tile(qubit);
+            let tile = self.fabric.graph.tile(endpoint);
+            let side = self
+                .fabric
+                .layout
+                .grid()
+                .side_towards(data, tile)
+                .expect("endpoint adjacent to its data qubit");
+            if self.fabric.orientation[qubit.index()].edge_at(side) != want {
+                let until = self.clock + self.costs.edge_rotation_cycles as u64 * self.d as u64;
+                self.fabric.occupy_qubit(qubit, self.clock, until);
+                self.fabric.occupy_ancilla(endpoint, self.clock, until);
+                if let TaskBody::Cnot { rotating, .. } = &mut self.tasks[id.index()].body {
+                    *rotating = true;
+                }
+                self.counters.edge_rotations += 1;
+                self.events.push(until, Ev::RotationDone { task: id, qubit });
+                return true;
+            }
+        }
+        // All clear: run the 2-cycle merge/split surgery.
+        let until = self.clock + self.costs.cnot_cycles as u64 * self.d as u64;
+        self.fabric.occupy_qubit(control, self.clock, until);
+        self.fabric.occupy_qubit(target, self.clock, until);
+        for &a in &path {
+            self.fabric.occupy_ancilla(a, self.clock, until);
+            if let Some(e) = self.queues[a as usize].top_mut() {
+                e.status = EntryStatus::Executing;
+            }
+        }
+        if let TaskBody::Cnot {
+            surgery_started, ..
+        } = &mut self.tasks[id.index()].body
+        {
+            *surgery_started = true;
+        }
+        self.counters.cnot_surgeries += 1;
+        self.events.push(until, Ev::SurgeryDone { task: id });
+        true
+    }
+
+    /// Last-resort stall breaker: when no gate has completed for
+    /// [`STALL_BREAK_CYCLES`], speculative eager-correction holds (states for
+    /// an angle the ladder does not currently need) are discarded so the
+    /// ancillas return to the pool — the paper's reclaim rule applied
+    /// globally. Real work restarts on the next dispatch.
+    fn break_stall(&mut self) {
+        for i in 0..self.tasks.len() {
+            if self.tasks[i].done {
+                continue;
+            }
+            let TaskBody::Rz {
+                ref ladder,
+                ref holders,
+                ..
+            } = self.tasks[i].body
+            else {
+                continue;
+            };
+            let current = ladder.current_angle();
+            let stale: Vec<AncillaIndex> = holders
+                .iter()
+                .filter(|&&(_, ang)| ang != current)
+                .map(|&(a, _)| a)
+                .collect();
+            for a in stale {
+                self.fabric.release_ancilla(a, self.clock);
+                if let Some(e) = self.queues[a as usize].top_mut() {
+                    if e.task.index() == i {
+                        e.status = EntryStatus::Ready;
+                    }
+                }
+                if let TaskBody::Rz { holders, .. } = &mut self.tasks[i].body {
+                    holders.retain(|&(x, _)| x != a);
+                }
+                self.counters.states_discarded += 1;
+            }
+        }
+        // Reset the stall clock so the breaker does not spin.
+        self.last_progress = self.clock;
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle_event(&mut self, ev: Ev) {
+        match ev {
+            Ev::CycleTick => {
+                let act = self.fabric.take_cycle_activity(self.clock);
+                self.activity.record_cycle(&act);
+                let cycle = self.clock / self.d as u64;
+                let activity = &self.activity;
+                self.mst
+                    .on_cycle(cycle, |edges| activity.edge_weights(edges));
+                if self.clock.saturating_sub(self.last_progress)
+                    > STALL_BREAK_CYCLES * self.d as u64
+                {
+                    self.break_stall();
+                }
+                if self.done_count < self.circuit.len() {
+                    self.events.push(self.clock + self.d as u64, Ev::CycleTick);
+                }
+            }
+            Ev::HDone { task } => {
+                let gate = self.tasks[task.index()].gate;
+                if let TaskBody::Hadamard { qubit, .. } = self.tasks[task.index()].body {
+                    self.fabric.flip_orientation(qubit);
+                }
+                self.complete_task(task, gate);
+            }
+            Ev::PrepDone {
+                ancilla,
+                task,
+                angle,
+                epoch,
+            } => self.on_prep_done(ancilla, task, angle, epoch),
+            Ev::InjectDone { task, holder } => self.on_inject_done(task, holder),
+            Ev::RotationDone { task, qubit } => {
+                self.fabric.flip_orientation(qubit);
+                if let TaskBody::Cnot { rotating, .. } = &mut self.tasks[task.index()].body {
+                    *rotating = false;
+                }
+            }
+            Ev::SurgeryDone { task } => {
+                let gate = self.tasks[task.index()].gate;
+                if let TaskBody::Cnot { ref path, .. } = self.tasks[task.index()].body {
+                    for &a in &path.clone() {
+                        self.queues[a as usize].remove_task(task);
+                    }
+                }
+                let latency = (self.clock - self.tasks[task.index()].sched_round)
+                    .div_ceil(self.d as u64);
+                self.cnot_latency.record(latency);
+                self.complete_task(task, gate);
+            }
+        }
+    }
+
+    fn on_prep_done(&mut self, a: AncillaIndex, task: TaskId, angle: Angle, epoch: u64) {
+        if self.prep_epoch[a as usize] != epoch {
+            return; // cancelled or restarted
+        }
+        self.prepping[a as usize] = None;
+        self.counters.preps_succeeded += 1;
+        if let Some(e) = self.queues[a as usize].top_mut() {
+            e.status = EntryStatus::DonePreparing;
+        }
+        let TaskBody::Rz {
+            ref ladder,
+            ref prep_sites,
+            ..
+        } = self.tasks[task.index()].body
+        else {
+            return;
+        };
+        let current = ladder.current_angle();
+        let next = ladder.next_correction_angle();
+        let fresh_current = angle == current;
+        let sites = prep_sites.clone();
+        if let TaskBody::Rz { holders, .. } = &mut self.tasks[task.index()].body {
+            holders.push((a, angle));
+        }
+        if fresh_current && !next.is_clifford() {
+            // First success for the needed angle: rewrite every sibling prep
+            // entry in place to the correction state |m2θ⟩ (§4.1 / Fig 1e).
+            for &(s, _) in &sites {
+                if s == a || self.is_holding(task, s) {
+                    continue;
+                }
+                self.queues[s as usize].update_angle(task, next);
+            }
+        }
+        self.try_start_injection(task);
+    }
+
+    fn on_inject_done(&mut self, task: TaskId, holder: AncillaIndex) {
+        let success = self.rng.gen_bool(0.5);
+        if !success {
+            self.counters.injection_failures += 1;
+        }
+        // The injected state is consumed either way.
+        self.fabric.release_ancilla(holder, self.clock);
+        let gate = self.tasks[task.index()].gate;
+        let step;
+        {
+            let TaskBody::Rz {
+                ladder, injecting, ..
+            } = &mut self.tasks[task.index()].body
+            else {
+                return;
+            };
+            *injecting = false;
+            step = ladder.record_outcome(success);
+        }
+        match step {
+            LadderStep::Done => {
+                self.complete_rz(task, gate);
+            }
+            LadderStep::NeedCorrection(next) => {
+                // Discard holders of stale angles; retarget every non-holding
+                // site (including the consumed holder) to the new angle.
+                let (sites, stale): (Vec<(AncillaIndex, bool)>, Vec<(AncillaIndex, Angle)>) =
+                    match &self.tasks[task.index()].body {
+                        TaskBody::Rz {
+                            prep_sites,
+                            holders,
+                            ..
+                        } => (
+                            prep_sites.clone(),
+                            holders.iter().copied().filter(|&(_, ang)| ang != next).collect(),
+                        ),
+                        _ => unreachable!(),
+                    };
+                for (a, _) in &stale {
+                    self.fabric.release_ancilla(*a, self.clock);
+                    self.counters.states_discarded += 1;
+                }
+                if let TaskBody::Rz { holders, .. } = &mut self.tasks[task.index()].body {
+                    holders.retain(|&(_, ang)| ang == next);
+                }
+                for &(s, _) in &sites {
+                    if !self.is_holding(task, s) {
+                        self.queues[s as usize].update_angle(task, next);
+                        if let Some(e) = self.queues[s as usize].top_mut() {
+                            if e.task == task && e.status == EntryStatus::DonePreparing {
+                                e.status = EntryStatus::Ready;
+                            }
+                        }
+                    }
+                }
+                self.try_start_injection(task);
+            }
+        }
+    }
+
+    fn complete_rz(&mut self, task: TaskId, gate: GateId) {
+        let (sites, helpers, holders) = match &self.tasks[task.index()].body {
+            TaskBody::Rz {
+                prep_sites,
+                helper_sites,
+                holders,
+                ..
+            } => (prep_sites.clone(), helper_sites.clone(), holders.clone()),
+            _ => unreachable!(),
+        };
+        for (a, _) in holders {
+            self.fabric.release_ancilla(a, self.clock);
+            self.counters.states_discarded += 1;
+        }
+        for (a, _) in sites {
+            self.cancel_prep_for(a, task);
+            self.queues[a as usize].remove_task(task);
+        }
+        for h in helpers {
+            self.queues[h as usize].remove_task(task);
+        }
+        let latency =
+            (self.clock - self.tasks[task.index()].sched_round).div_ceil(self.d as u64);
+        self.rz_latency.record(latency);
+        self.complete_task(task, gate);
+    }
+
+    fn complete_task(&mut self, task: TaskId, gate: GateId) {
+        self.tasks[task.index()].done = true;
+        self.gate_done[gate.index()] = true;
+        self.done_count += 1;
+        self.gates_executed += 1;
+        self.last_completion = self.last_completion.max(self.clock);
+        self.last_progress = self.clock;
+        for q in self.circuit.gate(gate).qubits() {
+            self.sched_worklist.push(q);
+        }
+        for s in self.dag.succs(gate) {
+            for q in self.circuit.gate(*s).qubits() {
+                self.sched_worklist.push(q);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Shared runtime state of the surface-code fabric during a simulation:
+//! busy windows for data qubits and ancillas, patch orientations, and
+//! per-cycle ancilla activity flags.
+
+use rescq_circuit::QubitId;
+use rescq_lattice::{AncillaGraph, AncillaIndex, Layout, Orientation};
+
+/// Mutable fabric state threaded through an engine run.
+#[derive(Debug)]
+pub struct Fabric {
+    /// The static layout (tiles, blocks, adjacency).
+    pub layout: Layout,
+    /// Dense-indexed ancilla routing graph.
+    pub graph: AncillaGraph,
+    /// Rounds per lattice-surgery cycle (`d`).
+    pub rounds_per_cycle: u32,
+    /// Per-qubit patch orientation (flips on H and edge rotation).
+    pub orientation: Vec<Orientation>,
+    qubit_free_at: Vec<u64>,
+    ancilla_free_at: Vec<u64>,
+    /// Accumulated busy rounds per data qubit (for idle fractions).
+    qubit_busy_rounds: Vec<u64>,
+    /// Whether each ancilla was active at some point in the current cycle.
+    active_this_cycle: Vec<bool>,
+    /// Ancillas currently *held* (claimed open-ended, e.g. holding a prepared
+    /// state) and by whom; counted as active every cycle until released.
+    held: Vec<Option<u64>>,
+}
+
+impl Fabric {
+    /// Builds the runtime state over a layout.
+    pub fn new(layout: Layout, rounds_per_cycle: u32) -> Self {
+        let graph = AncillaGraph::from_grid(layout.grid());
+        let nq = layout.num_qubits() as usize;
+        let na = graph.len();
+        Fabric {
+            layout,
+            graph,
+            rounds_per_cycle,
+            orientation: vec![Orientation::Standard; nq],
+            qubit_free_at: vec![0; nq],
+            ancilla_free_at: vec![0; na],
+            qubit_busy_rounds: vec![0; nq],
+            active_this_cycle: vec![false; na],
+            held: vec![None; na],
+        }
+    }
+
+    /// Number of ancillas.
+    pub fn num_ancillas(&self) -> usize {
+        self.ancilla_free_at.len()
+    }
+
+    /// Number of data qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubit_free_at.len()
+    }
+
+    /// Whether qubit `q` is free at round `now`.
+    pub fn qubit_free(&self, q: QubitId, now: u64) -> bool {
+        self.qubit_free_at[q.index()] <= now
+    }
+
+    /// Whether ancilla `a` is free at round `now` (not busy and not held).
+    pub fn ancilla_free(&self, a: AncillaIndex, now: u64) -> bool {
+        self.held[a as usize].is_none() && self.ancilla_free_at[a as usize] <= now
+    }
+
+    /// The round ancilla `a` frees up (`u64::MAX` while held).
+    pub fn ancilla_free_at(&self, a: AncillaIndex) -> u64 {
+        if self.held[a as usize].is_some() {
+            u64::MAX
+        } else {
+            self.ancilla_free_at[a as usize]
+        }
+    }
+
+    /// Occupies qubit `q` for `[now, until)` and accrues its busy time.
+    pub fn occupy_qubit(&mut self, q: QubitId, now: u64, until: u64) {
+        debug_assert!(self.qubit_free(q, now), "qubit {q} double-booked");
+        self.qubit_free_at[q.index()] = until;
+        self.qubit_busy_rounds[q.index()] += until - now;
+    }
+
+    /// Occupies ancilla `a` for `[now, until)` and marks it active.
+    pub fn occupy_ancilla(&mut self, a: AncillaIndex, now: u64, until: u64) {
+        debug_assert!(self.ancilla_free(a, now), "ancilla {a} double-booked");
+        self.ancilla_free_at[a as usize] = until;
+        self.active_this_cycle[a as usize] = true;
+    }
+
+    /// Claims ancilla `a` open-endedly (preparing / holding a state) on
+    /// behalf of `owner`.
+    pub fn hold_ancilla(&mut self, a: AncillaIndex, owner: u64) {
+        debug_assert!(self.held[a as usize].is_none(), "ancilla {a} already held");
+        self.held[a as usize] = Some(owner);
+        self.active_this_cycle[a as usize] = true;
+    }
+
+    /// Releases a held ancilla at round `now`.
+    pub fn release_ancilla(&mut self, a: AncillaIndex, now: u64) {
+        self.held[a as usize] = None;
+        self.ancilla_free_at[a as usize] = self.ancilla_free_at[a as usize].max(now);
+    }
+
+    /// Whether ancilla `a` is currently held (by anyone).
+    pub fn is_held(&self, a: AncillaIndex) -> bool {
+        self.held[a as usize].is_some()
+    }
+
+    /// Whether ancilla `a` is held by `owner`.
+    pub fn is_held_by(&self, a: AncillaIndex, owner: u64) -> bool {
+        self.held[a as usize] == Some(owner)
+    }
+
+    /// Flips the patch orientation of `q` (Hadamard or edge rotation).
+    pub fn flip_orientation(&mut self, q: QubitId) {
+        let o = &mut self.orientation[q.index()];
+        *o = o.flipped();
+    }
+
+    /// Total busy rounds accumulated across all data qubits.
+    pub fn total_qubit_busy_rounds(&self) -> u64 {
+        self.qubit_busy_rounds.iter().sum()
+    }
+
+    /// Ends a cycle: returns the per-ancilla activity flags (true if the
+    /// ancilla was busy or held at any point during it) and resets them for
+    /// the next cycle.
+    pub fn take_cycle_activity(&mut self, cycle_end_round: u64) -> Vec<bool> {
+        let mut out = std::mem::take(&mut self.active_this_cycle);
+        for (i, flag) in out.iter_mut().enumerate() {
+            *flag = *flag || self.held[i].is_some() || self.ancilla_free_at[i] > cycle_end_round;
+        }
+        self.active_this_cycle = vec![false; out.len()];
+        // Ancillas still busy across the boundary stay active next cycle.
+        for i in 0..self.active_this_cycle.len() {
+            if self.held[i].is_some() || self.ancilla_free_at[i] > cycle_end_round {
+                self.active_this_cycle[i] = true;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescq_lattice::LayoutKind;
+
+    fn fabric() -> Fabric {
+        Fabric::new(Layout::new(LayoutKind::Star2x2, 4).unwrap(), 7)
+    }
+
+    #[test]
+    fn occupancy_windows() {
+        let mut f = fabric();
+        let q = QubitId(0);
+        assert!(f.qubit_free(q, 0));
+        f.occupy_qubit(q, 0, 14);
+        assert!(!f.qubit_free(q, 13));
+        assert!(f.qubit_free(q, 14));
+        assert_eq!(f.total_qubit_busy_rounds(), 14);
+    }
+
+    #[test]
+    fn hold_and_release() {
+        let mut f = fabric();
+        assert!(f.ancilla_free(0, 0));
+        f.hold_ancilla(0, 42);
+        assert!(!f.ancilla_free(0, 1000));
+        assert!(f.is_held_by(0, 42));
+        assert!(!f.is_held_by(0, 43));
+        assert_eq!(f.ancilla_free_at(0), u64::MAX);
+        f.release_ancilla(0, 21);
+        assert!(f.ancilla_free(0, 21));
+        assert!(!f.is_held(0));
+    }
+
+    #[test]
+    fn orientation_flip() {
+        let mut f = fabric();
+        assert_eq!(f.orientation[0], Orientation::Standard);
+        f.flip_orientation(QubitId(0));
+        assert_eq!(f.orientation[0], Orientation::Rotated);
+        f.flip_orientation(QubitId(0));
+        assert_eq!(f.orientation[0], Orientation::Standard);
+    }
+
+    #[test]
+    fn cycle_activity_capture() {
+        let mut f = fabric();
+        f.occupy_ancilla(1, 0, 5); // within the first cycle (rounds 0..7)
+        f.hold_ancilla(2, 9);
+        let act = f.take_cycle_activity(7);
+        assert!(act[1]);
+        assert!(act[2]);
+        assert!(!act[0]);
+        // Held ancilla remains active in the new cycle; the finished one not.
+        let act2 = f.take_cycle_activity(14);
+        assert!(!act2[1]);
+        assert!(act2[2]);
+    }
+}

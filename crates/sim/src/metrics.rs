@@ -1,0 +1,244 @@
+//! Execution metrics: total cycles, per-gate latency histograms (Fig 5),
+//! idle fractions (Fig 11/12), and classical-overhead counters (§5.4).
+
+use rescq_core::SchedulerKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Histogram of per-gate completion latencies in lattice-surgery cycles,
+/// measured from the moment the gate is *scheduled* (paper Fig 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one gate latency (whole cycles, rounded up from rounds).
+    pub fn record(&mut self, cycles: u64) {
+        *self.buckets.entry(cycles).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean latency in cycles.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.buckets.iter().map(|(&lat, &n)| lat * n).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Fraction of samples with latency ≤ `cycles`.
+    pub fn fraction_at_most(&self, cycles: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n: u64 = self
+            .buckets
+            .range(..=cycles)
+            .map(|(_, &count)| count)
+            .sum();
+        n as f64 / self.total as f64
+    }
+
+    /// Smallest latency `L` such that at least `p` (0..=1) of samples are ≤ `L`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let threshold = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (&lat, &n) in &self.buckets {
+            acc += n;
+            if acc >= threshold {
+                return lat;
+            }
+        }
+        *self.buckets.keys().last().expect("non-empty")
+    }
+
+    /// Iterates `(latency_cycles, count)` in ascending latency order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&l, &n)| (l, n))
+    }
+
+    /// Merges another histogram into this one (used to accumulate across
+    /// benchmarks for Fig 5).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (&lat, &n) in &other.buckets {
+            *self.buckets.entry(lat).or_insert(0) += n;
+        }
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.2}", self.total, self.mean())
+    }
+}
+
+/// Counters describing one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunCounters {
+    /// Preparations started.
+    pub preps_started: u64,
+    /// Preparations that completed successfully (state held).
+    pub preps_succeeded: u64,
+    /// Preparations cancelled (reclaimed ancilla / in-place angle update).
+    pub preps_cancelled: u64,
+    /// Prepared states discarded unused (extra parallel successes).
+    pub states_discarded: u64,
+    /// Injection attempts.
+    pub injections: u64,
+    /// Injection failures (−1 measurement outcomes).
+    pub injection_failures: u64,
+    /// Edge-rotation gates executed.
+    pub edge_rotations: u64,
+    /// CNOT surgeries executed.
+    pub cnot_surgeries: u64,
+    /// MST computations completed (RESCQ).
+    pub mst_computations: u64,
+    /// Incremental MST edge updates applied (RESCQ, §5.4.1).
+    pub mst_incremental_updates: u64,
+    /// Path-cache hits (RESCQ, §5.4.2).
+    pub path_cache_hits: u64,
+    /// Path-cache misses.
+    pub path_cache_misses: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Scheduler that produced the run.
+    pub scheduler: SchedulerKind,
+    /// The run seed.
+    pub seed: u64,
+    /// Code distance.
+    pub distance: u32,
+    /// Total execution time in measurement rounds.
+    pub total_rounds: u64,
+    /// Gates executed (all kinds).
+    pub gates_executed: usize,
+    /// CNOT latency histogram (schedule → completion, Fig 5 left).
+    pub cnot_latency: LatencyHistogram,
+    /// Rz latency histogram including all correction gates (Fig 5 right).
+    pub rz_latency: LatencyHistogram,
+    /// Sum over data qubits of rounds spent busy.
+    pub data_busy_rounds: u64,
+    /// Number of data qubits.
+    pub num_qubits: u32,
+    /// Achieved grid compression (may differ from requested, §5.3).
+    pub achieved_compression: f64,
+    /// Resolved MST period `k` (RESCQ; 0 for baselines).
+    pub k_used: u32,
+    /// Modelled `τ_MST` (RESCQ; 0 for baselines).
+    pub tau_used: u32,
+    /// Event counters.
+    pub counters: RunCounters,
+}
+
+impl ExecutionReport {
+    /// Total execution time in lattice-surgery cycles (fractional).
+    pub fn total_cycles(&self) -> f64 {
+        self.total_rounds as f64 / self.distance as f64
+    }
+
+    /// Fraction of data-qubit time spent idle (Fig 11/12 bottom rows):
+    /// `1 − busy / (qubits × makespan)`.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.total_rounds == 0 || self.num_qubits == 0 {
+            return 0.0;
+        }
+        let window = self.total_rounds as f64 * self.num_qubits as f64;
+        (1.0 - self.data_busy_rounds as f64 / window).clamp(0.0, 1.0)
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.0} cycles ({} gates, idle {:.0}%)",
+            self.scheduler,
+            self.total_cycles(),
+            self.gates_executed,
+            self.idle_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = LatencyHistogram::new();
+        for v in [2, 2, 2, 5, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 3.8).abs() < 1e-12);
+        assert!((h.fraction_at_most(2) - 0.6).abs() < 1e-12);
+        assert_eq!(h.percentile(0.5), 2);
+        assert_eq!(h.percentile(0.9), 8);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        a.record(2);
+        let mut b = LatencyHistogram::new();
+        b.record(2);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.fraction_at_most(2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.fraction_at_most(100), 0.0);
+    }
+
+    #[test]
+    fn report_derived_quantities() {
+        let r = ExecutionReport {
+            scheduler: SchedulerKind::Rescq,
+            seed: 1,
+            distance: 7,
+            total_rounds: 700,
+            gates_executed: 10,
+            cnot_latency: LatencyHistogram::new(),
+            rz_latency: LatencyHistogram::new(),
+            data_busy_rounds: 1400,
+            num_qubits: 4,
+            achieved_compression: 0.0,
+            k_used: 25,
+            tau_used: 17,
+            counters: RunCounters::default(),
+        };
+        assert!((r.total_cycles() - 100.0).abs() < 1e-12);
+        assert!((r.idle_fraction() - 0.5).abs() < 1e-12);
+    }
+}

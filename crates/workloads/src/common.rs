@@ -1,0 +1,92 @@
+//! Shared helpers for the benchmark generators.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rescq_circuit::{Angle, Circuit, QubitId};
+
+/// A seeded stream of "generic" rotation angles: uniformly distributed,
+/// essentially never dyadic, so their RUS ladders follow Eq. 1's E = 2.
+#[derive(Debug)]
+pub struct AngleStream {
+    rng: ChaCha8Rng,
+}
+
+impl AngleStream {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        AngleStream {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next generic angle in `(0.05, π − 0.05)`.
+    pub fn next_angle(&mut self) -> Angle {
+        Angle::radians(self.rng.gen_range(0.05..(std::f64::consts::PI - 0.05)))
+    }
+
+    /// Next pair of qubit indices `a < b` below `n`.
+    pub fn next_pair(&mut self, n: u32) -> (u32, u32) {
+        let a = self.rng.gen_range(0..n);
+        let mut b = self.rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (a.min(b), a.max(b))
+    }
+}
+
+/// Appends `Rx(θ) = H · Rz(θ) · H` (1 counted rotation).
+pub fn rx(c: &mut Circuit, q: impl Into<QubitId>, theta: Angle) {
+    rescq_circuit::transpile::rx(c, q, theta);
+}
+
+/// Appends `Rzz(θ)` (2 CNOTs + 1 rotation).
+pub fn rzz(c: &mut Circuit, a: impl Into<QubitId>, b: impl Into<QubitId>, theta: Angle) {
+    rescq_circuit::transpile::rzz(c, a, b, theta);
+}
+
+/// Appends a "u3-style" rotation block `Rz·H·Rz·H·Rz` (3 counted rotations,
+/// the shape Qiskit produces for a generic single-qubit unitary in the
+/// `{rz, h, x, cx}` basis).
+pub fn u3_block(c: &mut Circuit, q: impl Into<QubitId>, angles: &mut AngleStream) {
+    let q = q.into();
+    c.rz(q, angles.next_angle());
+    c.h(q);
+    c.rz(q, angles.next_angle());
+    c.h(q);
+    c.rz(q, angles.next_angle());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angle_stream_deterministic() {
+        let mut a = AngleStream::new(5);
+        let mut b = AngleStream::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.next_angle(), b.next_angle());
+        }
+    }
+
+    #[test]
+    fn pairs_are_ordered_and_distinct() {
+        let mut s = AngleStream::new(1);
+        for _ in 0..100 {
+            let (a, b) = s.next_pair(7);
+            assert!(a < b);
+            assert!(b < 7);
+        }
+    }
+
+    #[test]
+    fn u3_block_counts() {
+        let mut c = Circuit::new(1);
+        let mut s = AngleStream::new(2);
+        u3_block(&mut c, 0, &mut s);
+        assert_eq!(c.stats().rz, 3);
+        assert_eq!(c.stats().h, 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Contribution 4: dynamically selecting the MST recomputation frequency.
+//! The τ model (fit to §5.4.1's measurements) sizes `k` per grid so the
+//! classical pipeline keeps a bounded number of computations in flight —
+//! no manual tuning per hardware platform.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_k
+//! ```
+
+use rescq_repro::core::{KPolicy, TauModel};
+use rescq_repro::sim::{simulate, SimConfig};
+
+fn main() {
+    let tau = TauModel::default();
+    println!("dynamic k per grid size (max 2 in-flight computations):");
+    for ancillas in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        let k = tau.solve_dynamic_k(ancillas, 2);
+        println!(
+            "  {ancillas:>9} ancillas → k = {k:>4} cycles (τ_MST ≈ {} cycles)",
+            tau.tau_cycles(k, ancillas)
+        );
+    }
+
+    let circuit = rescq_repro::workloads::generate("qft_n18", 1).expect("known benchmark");
+    println!("\nqft_n18 with fixed vs dynamic k:");
+    for policy in [
+        KPolicy::Fixed(25),
+        KPolicy::Fixed(200),
+        KPolicy::Dynamic { max_concurrent: 2 },
+    ] {
+        let config = SimConfig::builder().k_policy(policy).seed(5).build();
+        let report = simulate(&circuit, &config).expect("simulation runs");
+        println!(
+            "  {policy:?}: resolved k={} τ={} → {:.0} cycles ({} MST recomputations)",
+            report.k_used,
+            report.tau_used,
+            report.total_cycles(),
+            report.counters.mst_computations
+        );
+    }
+}

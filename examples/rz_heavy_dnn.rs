@@ -1,0 +1,40 @@
+//! The paper's motivating workload: `dnn_n16`, the most rotation-dense
+//! benchmark (≈6.3 Rz per CNOT). RESCQ's parallel + eager preparation gives
+//! its largest win here (Fig 10's ≈2.5×).
+//!
+//! ```sh
+//! cargo run --release --example rz_heavy_dnn
+//! ```
+
+use rescq_repro::core::SchedulerKind;
+use rescq_repro::sim::runner::run_seeds;
+use rescq_repro::sim::SimConfig;
+
+fn main() {
+    let circuit = rescq_repro::workloads::generate("dnn_n16", 1).expect("known benchmark");
+    println!(
+        "dnn_n16: {} qubits, {} gates ({})",
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.stats()
+    );
+
+    let mut baseline = f64::NAN;
+    for scheduler in SchedulerKind::ALL {
+        let config = SimConfig::builder().scheduler(scheduler).build();
+        let summary = run_seeds(&circuit, &config, 1, 5, 4).expect("sweep runs");
+        let mean = summary.mean_cycles();
+        if scheduler == SchedulerKind::Greedy {
+            baseline = mean;
+        }
+        let cnot = summary.merged_cnot_latency();
+        let rz = summary.merged_rz_latency();
+        println!(
+            "{scheduler:>9}: {mean:>7.0} cycles ({:.2}x vs greedy) | CNOT: {:.1} cy mean, {:.0}% ≤2cy | Rz: {:.1} cy mean",
+            baseline / mean,
+            cnot.mean(),
+            cnot.fraction_at_most(2) * 100.0,
+            rz.mean()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests spanning crates: parser round-trips, DAG ordering,
+//! compression safety and engine determinism on random circuits.
+
+use proptest::prelude::*;
+use rescq_repro::circuit::{parse_circuit, write_circuit, Angle, Circuit, DependencyDag, Gate};
+use rescq_repro::core::SchedulerKind;
+use rescq_repro::lattice::{Layout, LayoutKind};
+use rescq_repro::sim::{simulate, SimConfig};
+
+fn arb_gate(num_qubits: u32) -> impl Strategy<Value = Gate> {
+    let q = 0..num_qubits;
+    let q2 = (0..num_qubits, 0..num_qubits)
+        .prop_filter("distinct", |(a, b)| a != b);
+    prop_oneof![
+        q.clone().prop_map(|q| Gate::h(q)),
+        q.clone().prop_map(|q| Gate::x(q)),
+        q.clone().prop_map(|q| Gate::z(q)),
+        (q.clone(), 0.01f64..3.0).prop_map(|(q, a)| Gate::rz(q, Angle::radians(a))),
+        (q, 1i64..16, 0u32..6).prop_map(|(q, n, k)| Gate::rz(q, Angle::dyadic_pi(n, k))),
+        q2.prop_map(|(c, t)| Gate::cnot(c, t)),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2u32..8).prop_flat_map(|n| {
+        proptest::collection::vec(arb_gate(n), 1..40)
+            .prop_map(move |gates| Circuit::from_gates(n, gates).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn text_format_round_trips(circuit in arb_circuit()) {
+        let text = write_circuit(&circuit);
+        let parsed = parse_circuit(&text, Some(circuit.num_qubits())).unwrap();
+        prop_assert_eq!(parsed.gates(), circuit.gates());
+    }
+
+    #[test]
+    fn dag_layers_respect_dependencies(circuit in arb_circuit()) {
+        let dag = DependencyDag::new(&circuit);
+        let order: Vec<_> = dag.layers().iter().flatten().copied().collect();
+        prop_assert!(dag.respects_dependencies(&order));
+    }
+
+    #[test]
+    fn compression_preserves_routability(
+        n in 2u32..20,
+        fraction in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut layout = Layout::new(LayoutKind::Star2x2, n).unwrap();
+        layout.compress(fraction, seed);
+        prop_assert!(layout.is_routable());
+    }
+
+    #[test]
+    fn engines_are_deterministic(circuit in arb_circuit(), seed in 0u64..50) {
+        for scheduler in [SchedulerKind::Rescq, SchedulerKind::Greedy] {
+            let config = SimConfig::builder()
+                .scheduler(scheduler)
+                .seed(seed)
+                .max_cycles(500_000)
+                .build();
+            let a = simulate(&circuit, &config).unwrap();
+            let b = simulate(&circuit, &config).unwrap();
+            prop_assert_eq!(a.total_rounds, b.total_rounds);
+            prop_assert_eq!(a.gates_executed, circuit.len());
+        }
+    }
+
+    #[test]
+    fn doubling_ladder_always_terminates_for_dyadics(n in 1i64..1000, k in 0u32..40) {
+        let mut a = Angle::dyadic_pi(n, k);
+        let mut steps = 0;
+        while !a.is_clifford() {
+            a = a.double();
+            steps += 1;
+            prop_assert!(steps <= 40, "ladder failed to terminate");
+        }
+    }
+}
