@@ -35,7 +35,10 @@ fn main() {
     }
 
     print_header("Table 1 — injection strategies", "");
-    println!("{:>10} {:>12} {:>10} {:>8}", "strategy", "exposed edge", "ancillas", "cycles");
+    println!(
+        "{:>10} {:>12} {:>10} {:>8}",
+        "strategy", "exposed edge", "ancillas", "cycles"
+    );
     for s in [InjectionStrategy::Zz, InjectionStrategy::Cnot] {
         println!(
             "{:>10} {:>12} {:>10} {:>8}",

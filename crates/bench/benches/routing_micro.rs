@@ -25,8 +25,17 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let mut cache = PathCache::new();
             plan_cnot_route(
-                &layout, &graph, &mst, 0, &mut cache,
-                QubitId(3), QubitId(87), &orientations, &costs, 7, |_| 0,
+                &layout,
+                &graph,
+                &mst,
+                0,
+                &mut cache,
+                QubitId(3),
+                QubitId(87),
+                &orientations,
+                &costs,
+                7,
+                |_| 0,
             )
         })
     });
@@ -35,8 +44,17 @@ fn benches(c: &mut Criterion) {
     c.bench_function("algorithm1_warm_cache", |b| {
         b.iter(|| {
             plan_cnot_route(
-                &layout, &graph, &mst, 0, &mut cache,
-                QubitId(3), QubitId(87), &orientations, &costs, 7, |_| 0,
+                &layout,
+                &graph,
+                &mst,
+                0,
+                &mut cache,
+                QubitId(3),
+                QubitId(87),
+                &orientations,
+                &costs,
+                7,
+                |_| 0,
             )
         })
     });

@@ -6,6 +6,7 @@
 //! `RESCQ_BENCH_FULL=1` (or the CLI) runs the paper-sized sweep.
 
 use rescq_core::{KPolicy, SchedulerKind};
+use rescq_decoder::{DecoderConfig, DecoderKind};
 use rescq_rus::{PreparationModel, RusParams, TFactoryModel};
 use rescq_sim::runner::{geomean, run_seeds, SweepSummary};
 use rescq_sim::{LatencyHistogram, SimConfig, SimError};
@@ -64,10 +65,17 @@ impl ExperimentScale {
         if self.quick {
             // Representative subset (§5.2) plus small circuits from each
             // suite so the quick sweep still spans the density range.
-            ["dnn_n16", "gcm_n13", "qft_n18", "wstate_n27", "ising_n34", "VQE_n13"]
-                .iter()
-                .filter_map(|n| rescq_workloads::find(n))
-                .collect()
+            [
+                "dnn_n16",
+                "gcm_n13",
+                "qft_n18",
+                "wstate_n27",
+                "ising_n34",
+                "VQE_n13",
+            ]
+            .iter()
+            .filter_map(|n| rescq_workloads::find(n))
+            .collect()
         } else {
             ALL_BENCHMARKS.iter().collect()
         }
@@ -335,6 +343,85 @@ pub fn fig14(scale: &ExperimentScale) -> Result<Vec<SensitivityPoint>, SimError>
 }
 
 // ---------------------------------------------------------------------
+// Decoder sweep — total cycles vs classical-decoder throughput
+// ---------------------------------------------------------------------
+
+/// Decoder throughputs swept, in decreasing order (syndrome rounds decoded
+/// per wall-clock round); the leading `f64::INFINITY` stands for the ideal
+/// decoder. The grid is coarse (×2 steps) so the latency signal dominates
+/// the seed-level scheduling noise a decoder shift induces.
+pub const DECODER_THROUGHPUTS: [f64; 5] = [f64::INFINITY, 2.0, 1.0, 0.5, 0.25];
+
+/// One point of the decoder sweep.
+#[derive(Debug, Clone)]
+pub struct DecoderSweepRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Decoder kind at this point.
+    pub decoder: DecoderKind,
+    /// Decoder throughput (`inf` = ideal).
+    pub throughput: f64,
+    /// Mean total cycles across seeds.
+    pub mean_cycles: f64,
+    /// Mean decoder stall cycles across seeds.
+    pub mean_stall_cycles: f64,
+    /// Largest decode backlog observed in any seed.
+    pub peak_backlog: u64,
+}
+
+/// Sweeps classical-decoder throughput on the decoder-stress workload under
+/// the RESCQ scheduler. Returns the rows (throughput descending) and whether
+/// mean total cycles were monotonically non-decreasing as throughput
+/// dropped — the decoder-limited regime emerging from the
+/// preparation-limited one.
+pub fn decoder_sweep(scale: &ExperimentScale) -> Result<(Vec<DecoderSweepRow>, bool), SimError> {
+    let name: &'static str = if scale.quick {
+        "decoder_stress_n9"
+    } else {
+        "decoder_stress_n16"
+    };
+    let circuit = rescq_workloads::generate(name, 1).expect("stress family generates");
+    // Changing decoder latency perturbs the whole schedule (and with it the
+    // RUS outcome draws), so single-seed cycle counts are noisy; a floor of
+    // 5 seeds keeps the sweep's means comparable across throughputs.
+    let seeds = scale.seeds.max(5);
+    let mut rows = Vec::new();
+    for tp in DECODER_THROUGHPUTS {
+        let mut cfg = base_config();
+        cfg.decoder = if tp.is_infinite() {
+            DecoderConfig::ideal()
+        } else {
+            DecoderConfig::fixed(tp)
+        };
+        let s = run_seeds(&circuit, &cfg, 1, seeds, scale.threads)?;
+        let mean_stall = s
+            .reports
+            .iter()
+            .map(|r| r.decoder_stall_cycles())
+            .sum::<f64>()
+            / s.reports.len().max(1) as f64;
+        let peak = s
+            .reports
+            .iter()
+            .map(|r| r.counters.decoder_peak_backlog)
+            .max()
+            .unwrap_or(0);
+        rows.push(DecoderSweepRow {
+            name,
+            decoder: cfg.decoder.kind,
+            throughput: tp,
+            mean_cycles: s.mean_cycles(),
+            mean_stall_cycles: mean_stall,
+            peak_backlog: peak,
+        });
+    }
+    let monotone = rows
+        .windows(2)
+        .all(|w| w[1].mean_cycles >= w[0].mean_cycles - 1e-9);
+    Ok((rows, monotone))
+}
+
+// ---------------------------------------------------------------------
 // Figure 16 / Appendix A — RUS preparation model
 // ---------------------------------------------------------------------
 
@@ -440,7 +527,9 @@ mod tests {
         assert_eq!(rows.len(), DISTANCES.len() * ERROR_RATES.len());
         // Shape: cycles fall with d at fixed p.
         let at_p4: Vec<&Fig16Row> = rows.iter().filter(|r| r.p == 1e-4).collect();
-        assert!(at_p4.windows(2).all(|w| w[1].expected_cycles < w[0].expected_cycles));
+        assert!(at_p4
+            .windows(2)
+            .all(|w| w[1].expected_cycles < w[0].expected_cycles));
     }
 
     #[test]
@@ -457,6 +546,31 @@ mod tests {
         assert_eq!(rows.len(), 23);
         let exact = rows.iter().filter(|r| r.paper == r.generated).count();
         assert!(exact >= 21, "only {exact} rows match Table 3 exactly");
+    }
+
+    #[test]
+    fn decoder_sweep_is_monotone() {
+        // The acceptance bar for the decoder subsystem: total cycles must
+        // not *decrease* when the classical decoder gets slower.
+        let scale = ExperimentScale {
+            seeds: 3,
+            threads: num_threads(),
+            quick: true,
+        };
+        let (rows, monotone) = decoder_sweep(&scale).expect("sweep runs");
+        assert_eq!(rows.len(), DECODER_THROUGHPUTS.len());
+        assert!(
+            monotone,
+            "cycles must be non-decreasing as throughput drops: {:?}",
+            rows.iter().map(|r| r.mean_cycles).collect::<Vec<_>>()
+        );
+        // The slowest decoder must actually bite (strictly more cycles and
+        // real stall time vs ideal).
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(last.mean_cycles > first.mean_cycles);
+        assert_eq!(first.mean_stall_cycles, 0.0);
+        assert!(last.mean_stall_cycles > 0.0);
     }
 
     #[test]

@@ -169,8 +169,8 @@ impl Angle {
     pub fn doublings_to_clifford(self) -> Option<u32> {
         match self {
             Angle::DyadicPi { k, .. } => Some(k.saturating_sub(1)),
-            Angle::Radians(theta) if theta == 0.0 => Some(0),
-            Angle::Radians(_) => None,
+            // Not a redundant guard: float literal patterns are deprecated.
+            Angle::Radians(theta) => (theta == 0.0).then_some(0),
         }
     }
 

@@ -309,12 +309,7 @@ mod tests {
     #[test]
     fn push_and_stats() {
         let mut c = Circuit::new(3);
-        c.h(0)
-            .cnot(0, 1)
-            .rz(1, Angle::radians(0.3))
-            .x(2)
-            .s(2)
-            .t(2);
+        c.h(0).cnot(0, 1).rz(1, Angle::radians(0.3)).x(2).s(2).t(2);
         let s = c.stats();
         assert_eq!(s.total, 6);
         assert_eq!(s.rz, 2); // radians(0.3) and T

@@ -141,13 +141,10 @@ impl DependencyDag {
         for (i, g) in order.iter().enumerate() {
             pos[g.index()] = i;
         }
-        if pos.iter().any(|&p| p == usize::MAX) {
+        if pos.contains(&usize::MAX) {
             return false;
         }
-        (0..self.len()).all(|i| {
-            self.preds(GateId(i))
-                .all(|p| pos[p.index()] < pos[i])
-        })
+        (0..self.len()).all(|i| self.preds(GateId(i)).all(|p| pos[p.index()] < pos[i]))
     }
 }
 

@@ -74,7 +74,9 @@ fn parse_pi_expr(t: &str) -> Option<Angle> {
     let num: i64 = if num_part == "pi" {
         1
     } else {
-        let n = num_part.strip_suffix("*pi").or_else(|| num_part.strip_suffix("pi"))?;
+        let n = num_part
+            .strip_suffix("*pi")
+            .or_else(|| num_part.strip_suffix("pi"))?;
         n.parse().ok()?
     };
     let k: u32 = match den_part {
@@ -120,13 +122,14 @@ pub fn parse_circuit(text: &str, num_qubits: Option<u32>) -> Result<Circuit, Par
         }
         let mut parts = line.split_whitespace();
         let name = parts.next().ok_or_else(|| err(lineno, "empty line"))?;
-        let next_qubit = |parts: &mut std::str::SplitWhitespace<'_>| -> Result<u32, ParseCircuitError> {
-            parts
-                .next()
-                .ok_or_else(|| err(lineno, format!("missing qubit operand for `{name}`")))?
-                .parse::<u32>()
-                .map_err(|_| err(lineno, format!("invalid qubit index for `{name}`")))
-        };
+        let next_qubit =
+            |parts: &mut std::str::SplitWhitespace<'_>| -> Result<u32, ParseCircuitError> {
+                parts
+                    .next()
+                    .ok_or_else(|| err(lineno, format!("missing qubit operand for `{name}`")))?
+                    .parse::<u32>()
+                    .map_err(|_| err(lineno, format!("invalid qubit index for `{name}`")))
+            };
         let gate = match name {
             "rz" => {
                 let q = next_qubit(&mut parts)?;

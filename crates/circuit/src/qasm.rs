@@ -148,7 +148,9 @@ pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                 total_qubits += size;
                 continue;
             }
-            if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure")
+            if stmt.starts_with("creg")
+                || stmt.starts_with("barrier")
+                || stmt.starts_with("measure")
             {
                 continue;
             }
@@ -189,7 +191,8 @@ pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                 "t" => gates.push(Gate::rz(q(0)?, Angle::T)),
                 "tdg" => gates.push(Gate::rz(q(0)?, Angle::dyadic_pi(-1, 2))),
                 "rz" | "u1" | "p" => {
-                    let p = param.ok_or_else(|| err(lineno, format!("`{gname}` needs a parameter")))?;
+                    let p =
+                        param.ok_or_else(|| err(lineno, format!("`{gname}` needs a parameter")))?;
                     gates.push(Gate::rz(q(0)?, parse_qasm_angle(p, lineno)?));
                 }
                 "cx" | "CX" => gates.push(Gate::cnot(q(0)?, q(1)?)),

@@ -13,9 +13,13 @@
 //! compression = 0.0
 //! seeds = 10
 //! base_seed = 1
+//! decoder = adaptive       # ideal | fixed | adaptive
+//! decoder_throughput = 0.5 # syndrome rounds decoded per round
+//! decoder_workers = 4      # adaptive only
 //! ```
 
 use rescq_core::{KPolicy, SchedulerKind};
+use rescq_decoder::DecoderKind;
 use rescq_sim::SimConfig;
 use std::fmt;
 
@@ -82,17 +86,18 @@ pub fn parse_config(text: &str) -> Result<RunSpec, ConfigError> {
             .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
         let (key, value) = (key.trim(), value.trim());
         let parse_f64 = |v: &str| -> Result<f64, ConfigError> {
-            v.parse().map_err(|_| err(lineno, format!("bad number `{v}`")))
+            v.parse()
+                .map_err(|_| err(lineno, format!("bad number `{v}`")))
         };
         let parse_u64 = |v: &str| -> Result<u64, ConfigError> {
-            v.parse().map_err(|_| err(lineno, format!("bad integer `{v}`")))
+            v.parse()
+                .map_err(|_| err(lineno, format!("bad integer `{v}`")))
         };
         match key {
             "benchmark" => spec.benchmark = value.to_string(),
             "scheduler" => {
-                spec.config.scheduler = value
-                    .parse::<SchedulerKind>()
-                    .map_err(|e| err(lineno, e))?;
+                spec.config.scheduler =
+                    value.parse::<SchedulerKind>().map_err(|e| err(lineno, e))?;
             }
             "distance" | "d" => spec.config.distance = parse_u64(value)? as u32,
             "physical_error_rate" | "p" => {
@@ -115,6 +120,18 @@ pub fn parse_config(text: &str) -> Result<RunSpec, ConfigError> {
             "max_cycles" => spec.config.max_cycles = parse_u64(value)?,
             "block_columns" => {
                 spec.config.block_columns = Some(parse_u64(value)? as u32);
+            }
+            "decoder" => {
+                spec.config.decoder.kind =
+                    value.parse::<DecoderKind>().map_err(|e| err(lineno, e))?;
+            }
+            "decoder_throughput" => spec.config.decoder.throughput = parse_f64(value)?,
+            "decoder_base_latency" => spec.config.decoder.base_latency = parse_u64(value)?,
+            "decoder_workers" => {
+                spec.config.decoder.workers = parse_u64(value)?.max(1) as usize;
+            }
+            "decoder_ring_capacity" => {
+                spec.config.decoder.ring_capacity = parse_u64(value)?.max(1) as usize;
             }
             other => return Err(err(lineno, format!("unknown key `{other}`"))),
         }
@@ -142,6 +159,13 @@ pub fn write_config(spec: &RunSpec) -> String {
     );
     if let Some(cols) = spec.config.block_columns {
         out.push_str(&format!("block_columns = {cols}\n"));
+    }
+    if spec.config.decoder != rescq_decoder::DecoderConfig::default() {
+        let d = &spec.config.decoder;
+        out.push_str(&format!(
+            "decoder = {}\ndecoder_throughput = {}\ndecoder_base_latency = {}\ndecoder_workers = {}\ndecoder_ring_capacity = {}\n",
+            d.kind, d.throughput, d.base_latency, d.workers, d.ring_capacity
+        ));
     }
     out
 }
@@ -195,13 +219,36 @@ base_seed = 7
 
     #[test]
     fn round_trip() {
-        let mut spec = RunSpec::default();
-        spec.benchmark = "wstate_n27".into();
+        let mut spec = RunSpec {
+            benchmark: "wstate_n27".into(),
+            seeds: 3,
+            ..RunSpec::default()
+        };
         spec.config.distance = 11;
         spec.config.compression = 0.25;
-        spec.seeds = 3;
         let parsed = parse_config(&write_config(&spec)).unwrap();
         assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn decoder_keys_parse_and_round_trip() {
+        let spec = parse_config(
+            "decoder = adaptive\ndecoder_throughput = 0.5\ndecoder_workers = 8\ndecoder_ring_capacity = 32\ndecoder_base_latency = 3\n",
+        )
+        .unwrap();
+        assert_eq!(spec.config.decoder.kind, DecoderKind::Adaptive);
+        assert!((spec.config.decoder.throughput - 0.5).abs() < 1e-12);
+        assert_eq!(spec.config.decoder.workers, 8);
+        assert_eq!(spec.config.decoder.ring_capacity, 32);
+        assert_eq!(spec.config.decoder.base_latency, 3);
+        let parsed = parse_config(&write_config(&spec)).unwrap();
+        assert_eq!(parsed, spec);
+        assert!(parse_config("decoder = warp\n").is_err());
+    }
+
+    #[test]
+    fn default_config_omits_decoder_keys() {
+        assert!(!write_config(&RunSpec::default()).contains("decoder"));
     }
 
     #[test]

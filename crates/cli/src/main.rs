@@ -45,9 +45,11 @@ fn print_usage() {
     println!("Usage:");
     println!("  sim run <config-file> [--csv DIR]   run an experiment from a config file");
     println!("  sim bench <name> [--seeds N] [--compression F] [--distance D] [--csv DIR]");
+    println!("            [--decoder ideal|fixed|adaptive] [--decoder-throughput F]");
+    println!("            [--decoder-workers N]");
     println!("  sim list                            list Table 3 benchmarks");
     println!("  sim table3                          regenerate Table 3");
-    println!("  sim fig <3|5|10|11|12|13|14|15|16|a2> [--full]");
+    println!("  sim fig <3|5|10|11|12|13|14|15|16|a2|decoder> [--full]");
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -80,7 +82,9 @@ fn run_spec(spec: &RunSpec, csv_dir: Option<PathBuf>) -> Result<(), String> {
         &spec.config,
         spec.base_seed,
         spec.seeds,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     )
     .map_err(|e| e.to_string())?;
     for r in &summary.reports {
@@ -135,6 +139,15 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     if let Some(d) = flag_value(args, "--distance") {
         spec.config.distance = d.parse().map_err(|_| "bad --distance")?;
     }
+    if let Some(d) = flag_value(args, "--decoder") {
+        spec.config.decoder.kind = d.parse().map_err(|e: String| e)?;
+    }
+    if let Some(t) = flag_value(args, "--decoder-throughput") {
+        spec.config.decoder.throughput = t.parse().map_err(|_| "bad --decoder-throughput")?;
+    }
+    if let Some(w) = flag_value(args, "--decoder-workers") {
+        spec.config.decoder.workers = w.parse().map_err(|_| "bad --decoder-workers")?;
+    }
     let csv = flag_value(args, "--csv").map(PathBuf::from);
     for sched in SchedulerKind::ALL {
         spec.config.scheduler = sched;
@@ -163,7 +176,11 @@ fn cmd_list() -> Result<(), String> {
 
 fn cmd_table3() -> Result<(), String> {
     for r in experiments::table3() {
-        let m = if r.paper == r.generated { "exact" } else { "approx" };
+        let m = if r.paper == r.generated {
+            "exact"
+        } else {
+            "approx"
+        };
         println!(
             "{:<28} paper=({}, {}) generated=({}, {}) [{m}]",
             r.name, r.paper.0, r.paper.1, r.generated.0, r.generated.1
@@ -239,6 +256,24 @@ fn cmd_fig(args: &[String]) -> Result<(), String> {
                     r.d, r.p, r.expected_cycles, r.expected_attempts
                 );
             }
+        }
+        "decoder" => {
+            let (rows, monotone) = experiments::decoder_sweep(&scale).map_err(|e| e.to_string())?;
+            for r in &rows {
+                println!(
+                    "{:<14} {:<10} tp={:<6} {:>8.1} cycles  stall {:>7.1}cy  backlog≤{}",
+                    r.name,
+                    r.decoder,
+                    r.throughput,
+                    r.mean_cycles,
+                    r.mean_stall_cycles,
+                    r.peak_backlog
+                );
+            }
+            println!(
+                "cycles monotonically non-decreasing as throughput drops: {}",
+                if monotone { "yes" } else { "NO" }
+            );
         }
         "a2" => {
             let a2 = experiments::appendix_a2();

@@ -13,12 +13,12 @@ pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::R
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau"
+        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog"
     )?;
     for r in reports {
         writeln!(
             f,
-            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{}",
             r.scheduler,
             r.seed,
             r.distance,
@@ -33,6 +33,9 @@ pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::R
             r.counters.mst_computations,
             r.k_used,
             r.tau_used,
+            r.counters.decode_windows,
+            r.decoder_stall_cycles(),
+            r.counters.decoder_peak_backlog,
         )?;
     }
     Ok(())
@@ -54,7 +57,7 @@ pub fn write_histogram_csv(path: &Path, hist: &LatencyHistogram) -> std::io::Res
 
 /// Renders a one-line textual summary of a report.
 pub fn summarize(r: &ExecutionReport) -> String {
-    format!(
+    let mut s = format!(
         "{} seed={}: {:.0} cycles, idle {:.0}%, {} injections ({} failed), {} preps ({} reclaimed), {} edge rotations",
         r.scheduler,
         r.seed,
@@ -65,7 +68,15 @@ pub fn summarize(r: &ExecutionReport) -> String {
         r.counters.preps_started,
         r.counters.preps_cancelled,
         r.counters.edge_rotations,
-    )
+    );
+    if r.counters.decoder_stall_rounds > 0 {
+        s.push_str(&format!(
+            ", decoder stalls {:.0}cy (backlog ≤{})",
+            r.decoder_stall_cycles(),
+            r.counters.decoder_peak_backlog,
+        ));
+    }
+    s
 }
 
 #[cfg(test)]

@@ -188,7 +188,7 @@ impl MstPipeline {
     /// activity tracker); completions are applied in order.
     pub fn on_cycle(&mut self, cycle: u64, snapshot: impl FnOnce(&[(u32, u32)]) -> Vec<u32>) {
         // Start a new computation every k cycles (including cycle 0).
-        if cycle % self.k as u64 == 0 {
+        if cycle.is_multiple_of(self.k as u64) {
             let weights = snapshot(&self.edges);
             debug_assert_eq!(weights.len(), self.edges.len());
             self.in_flight.push_back(InFlight {

@@ -193,8 +193,8 @@ impl AncillaQueue {
     /// Expected rounds until this ancilla is free: the sum of per-entry
     /// expected durations (§4.2's `E[f_a] = Σ E[τ_o]`), via a caller-supplied
     /// estimator (the engine knows gate kinds and RUS expectations).
-    pub fn expected_free_rounds(&self, mut estimate: impl FnMut(&QueueEntry) -> u64) -> u64 {
-        self.entries.iter().map(|e| estimate(e)).sum()
+    pub fn expected_free_rounds(&self, estimate: impl FnMut(&QueueEntry) -> u64) -> u64 {
+        self.entries.iter().map(estimate).sum()
     }
 }
 
@@ -268,10 +268,7 @@ mod tests {
     #[test]
     fn role_prep_classification() {
         assert!(Role::PrepZz.is_prep());
-        assert!(Role::PrepDiagonal {
-            helper: TileId(3)
-        }
-        .is_prep());
+        assert!(Role::PrepDiagonal { helper: TileId(3) }.is_prep());
         assert!(Role::PrepX.is_prep());
         assert!(!Role::Helper.is_prep());
         assert!(!Role::Route.is_prep());

@@ -42,11 +42,13 @@ impl RoutePlan {
     }
 }
 
-/// Per-generation cache of MST tree paths (§5.4.2).
+/// Per-generation cache of MST tree paths (§5.4.2), plus a permanent cache
+/// of geometric shortest paths (pure functions of the static graph).
 #[derive(Debug, Default)]
 pub struct PathCache {
     generation: u64,
     paths: HashMap<(AncillaIndex, AncillaIndex), Option<Vec<AncillaIndex>>>,
+    geo_paths: HashMap<(AncillaIndex, AncillaIndex), Option<Vec<AncillaIndex>>>,
     hits: u64,
     misses: u64,
 }
@@ -91,6 +93,26 @@ impl PathCache {
         let path = mst.tree_path(key.0, key.1);
         self.paths.insert(key, path.clone());
         let mut p = path?;
+        if p.first() != Some(&a) {
+            p.reverse();
+        }
+        Some(p)
+    }
+
+    /// Geometric shortest path between two ancillas, memoised forever (the
+    /// graph never changes, so neither does the answer).
+    fn get_geo(
+        &mut self,
+        graph: &AncillaGraph,
+        a: AncillaIndex,
+        b: AncillaIndex,
+    ) -> Option<Vec<AncillaIndex>> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let cached = self
+            .geo_paths
+            .entry(key)
+            .or_insert_with(|| graph.shortest_path(&[key.0], &[key.1], |_| false));
+        let mut p = cached.clone()?;
         if p.first() != Some(&a) {
             p.reverse();
         }
@@ -142,36 +164,43 @@ pub fn plan_cnot_route(
             if rotate_target {
                 start = start.max(expected_free(a_t) + rot_rounds);
             }
-            let Some(path) = cache.get(mst, mst_generation, a_c, a_t) else {
-                continue;
-            };
-            for &a in &path {
-                start = start.max(expected_free(a));
-            }
-            let plan = RoutePlan {
-                path,
-                rotate_control,
-                rotate_target,
-                est_start_rounds: start,
-            };
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    // Earliest completion wins; ties break towards shorter
-                    // paths (fewer ancillas claimed ⇒ less future
-                    // congestion).
-                    let key = (
-                        plan.est_completion_rounds(costs, rounds_per_cycle),
-                        plan.path.len(),
-                    );
-                    key < (
-                        b.est_completion_rounds(costs, rounds_per_cycle),
-                        b.path.len(),
-                    )
+            // Two path candidates per endpoint pair: the activity-weighted
+            // MST tree path (cheap, precomputed) and the geometric shortest
+            // path. On sparse compressed grids tree paths degenerate into
+            // long detours whose ancillas rarely all free up together;
+            // Algorithm 1 picks whichever candidate finishes first.
+            let tree = cache.get(mst, mst_generation, a_c, a_t);
+            let direct = cache.get_geo(graph, a_c, a_t);
+            for path in [tree, direct].into_iter().flatten() {
+                let mut start = start;
+                for &a in &path {
+                    start = start.max(expected_free(a));
                 }
-            };
-            if better {
-                best = Some(plan);
+                let plan = RoutePlan {
+                    path,
+                    rotate_control,
+                    rotate_target,
+                    est_start_rounds: start,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        // Earliest completion wins; ties break towards
+                        // shorter paths (fewer ancillas claimed ⇒ less
+                        // future congestion).
+                        let key = (
+                            plan.est_completion_rounds(costs, rounds_per_cycle),
+                            plan.path.len(),
+                        );
+                        key < (
+                            b.est_completion_rounds(costs, rounds_per_cycle),
+                            b.path.len(),
+                        )
+                    }
+                };
+                if better {
+                    best = Some(plan);
+                }
             }
         }
     }
@@ -273,7 +302,7 @@ pub fn plan_static_route(
         };
     }
 
-    match graph.shortest_path(&c_free, &t_free, |a| busy(a)) {
+    match graph.shortest_path(&c_free, &t_free, busy) {
         Some(path) => StaticRouteOutcome::Route { path },
         None => StaticRouteOutcome::Blocked,
     }
@@ -287,8 +316,7 @@ mod tests {
     fn setup(n: u32) -> (Layout, AncillaGraph, IncrementalMst) {
         let layout = Layout::new(LayoutKind::Star2x2, n).unwrap();
         let graph = AncillaGraph::from_grid(layout.grid());
-        let edges: Vec<(u32, u32, u32)> =
-            graph.edges().iter().map(|&(a, b)| (a, b, 0)).collect();
+        let edges: Vec<(u32, u32, u32)> = graph.edges().iter().map(|&(a, b)| (a, b, 0)).collect();
         let mst = IncrementalMst::new(graph.len(), &edges);
         (layout, graph, mst)
     }

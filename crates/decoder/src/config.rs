@@ -1,0 +1,159 @@
+//! Decoder configuration shared by the CLI, the sim engines and the benches.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which decoder model to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecoderKind {
+    /// Zero-latency decoding: feed-forward outcomes are visible the round
+    /// they are measured. This is the default and reproduces the original
+    /// (decoder-less) simulation results exactly.
+    #[default]
+    Ideal,
+    /// Union-find-style decoder with a constant reaction latency plus a
+    /// per-syndrome-round cost, one sequential decode pipeline per tile.
+    Fixed,
+    /// Triage-style adaptive parallel-window decoder: `W` workers drain a
+    /// bounded syndrome ring buffer, with throughput scaling up as the ring
+    /// fills (occupancy-adaptive window batching).
+    Adaptive,
+}
+
+impl fmt::Display for DecoderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DecoderKind::Ideal => "ideal",
+            DecoderKind::Fixed => "fixed",
+            DecoderKind::Adaptive => "adaptive",
+        })
+    }
+}
+
+impl FromStr for DecoderKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ideal" | "none" => Ok(DecoderKind::Ideal),
+            "fixed" | "uf" | "union-find" => Ok(DecoderKind::Fixed),
+            "adaptive" | "triage" => Ok(DecoderKind::Adaptive),
+            other => Err(format!(
+                "unknown decoder `{other}` (expected ideal | fixed | adaptive)"
+            )),
+        }
+    }
+}
+
+/// Full decoder configuration.
+///
+/// The default (`ideal`) is invisible: every window decodes instantly, so all
+/// pre-existing seeded simulation outputs are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecoderConfig {
+    /// Which model to use.
+    pub kind: DecoderKind,
+    /// Syndrome rounds decoded per wall-clock measurement round
+    /// (`fixed`/`adaptive`). Values below 1 mean the decoder cannot keep up
+    /// with the substrate and backlog grows on dense windows.
+    pub throughput: f64,
+    /// Constant reaction latency in rounds added to every window
+    /// (`fixed`/`adaptive`).
+    pub base_latency: u64,
+    /// Number of parallel decode workers (`adaptive` only).
+    pub workers: usize,
+    /// Capacity of the bounded syndrome ring buffer (`adaptive` only).
+    /// Submissions past capacity stall until a worker frees a slot.
+    pub ring_capacity: usize,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        DecoderConfig {
+            kind: DecoderKind::Ideal,
+            throughput: 1.0,
+            base_latency: 1,
+            workers: 4,
+            ring_capacity: 64,
+        }
+    }
+}
+
+impl DecoderConfig {
+    /// An ideal (zero-latency) decoder.
+    pub fn ideal() -> Self {
+        DecoderConfig::default()
+    }
+
+    /// A fixed-latency decoder with the given throughput (syndrome rounds
+    /// decoded per wall-clock round).
+    pub fn fixed(throughput: f64) -> Self {
+        DecoderConfig {
+            kind: DecoderKind::Fixed,
+            throughput,
+            ..DecoderConfig::default()
+        }
+    }
+
+    /// A Triage-style adaptive decoder with `workers` parallel workers.
+    pub fn adaptive(throughput: f64, workers: usize) -> Self {
+        DecoderConfig {
+            kind: DecoderKind::Adaptive,
+            throughput,
+            workers: workers.max(1),
+            ..DecoderConfig::default()
+        }
+    }
+}
+
+impl fmt::Display for DecoderConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DecoderKind::Ideal => write!(f, "ideal"),
+            DecoderKind::Fixed => {
+                write!(
+                    f,
+                    "fixed(tp={}, base={})",
+                    self.throughput, self.base_latency
+                )
+            }
+            DecoderKind::Adaptive => write!(
+                f,
+                "adaptive(tp={}, base={}, W={}, ring={})",
+                self.throughput, self.base_latency, self.workers, self.ring_capacity
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ideal() {
+        assert_eq!(DecoderConfig::default().kind, DecoderKind::Ideal);
+    }
+
+    #[test]
+    fn kind_parses_aliases() {
+        assert_eq!("ideal".parse::<DecoderKind>().unwrap(), DecoderKind::Ideal);
+        assert_eq!("uf".parse::<DecoderKind>().unwrap(), DecoderKind::Fixed);
+        assert_eq!(
+            "TRIAGE".parse::<DecoderKind>().unwrap(),
+            DecoderKind::Adaptive
+        );
+        assert!("warp".parse::<DecoderKind>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_kind() {
+        for k in [
+            DecoderKind::Ideal,
+            DecoderKind::Fixed,
+            DecoderKind::Adaptive,
+        ] {
+            assert_eq!(k.to_string().parse::<DecoderKind>().unwrap(), k);
+        }
+    }
+}

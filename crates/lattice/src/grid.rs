@@ -103,7 +103,9 @@ impl Grid {
 
     /// The four edge-adjacent neighbours (fewer at borders).
     pub fn neighbors(&self, t: TileId) -> impl Iterator<Item = TileId> + '_ {
-        Side::ALL.into_iter().filter_map(move |s| self.neighbor(t, s))
+        Side::ALL
+            .into_iter()
+            .filter_map(move |s| self.neighbor(t, s))
     }
 
     /// Edge-adjacent *ancilla* neighbours.
@@ -138,7 +140,9 @@ impl Grid {
 
     /// The side of `a` that faces `b`, when edge-adjacent.
     pub fn side_towards(&self, a: TileId, b: TileId) -> Option<Side> {
-        Side::ALL.into_iter().find(|&s| self.neighbor(a, s) == Some(b))
+        Side::ALL
+            .into_iter()
+            .find(|&s| self.neighbor(a, s) == Some(b))
     }
 }
 
@@ -163,7 +167,10 @@ mod tests {
         assert_eq!(g.neighbor(tl, Side::West), None);
         assert!(g.neighbor(tl, Side::East).is_some());
         assert_eq!(g.neighbors(tl).count(), 2);
-        assert_eq!(g.diag_neighbor(tl, Corner::SouthEast), Some(g.tile_at(1, 1)));
+        assert_eq!(
+            g.diag_neighbor(tl, Corner::SouthEast),
+            Some(g.tile_at(1, 1))
+        );
         assert_eq!(g.diag_neighbor(tl, Corner::NorthWest), None);
     }
 
@@ -184,10 +191,7 @@ mod tests {
         let a = g.tile_at(1, 1);
         let b = g.tile_at(4, 3);
         assert_eq!(g.manhattan(a, b), 5);
-        assert_eq!(
-            g.side_towards(a, g.tile_at(1, 2)),
-            Some(Side::South)
-        );
+        assert_eq!(g.side_towards(a, g.tile_at(1, 2)), Some(Side::South));
         assert_eq!(g.side_towards(a, b), None);
     }
 }

@@ -155,7 +155,7 @@ impl Layout {
                     // the ancilla network stays connected (a full-width data
                     // row would sever it).
                     let (x0, y0) = (bx, by * 3);
-                    let data_off = if (bx + by) % 2 == 0 { 0 } else { 2 };
+                    let data_off = if (bx + by).is_multiple_of(2) { 0 } else { 2 };
                     let data = grid.tile_at(x0, y0 + data_off);
                     grid.set_kind(data, TileKind::Data(QubitId(q)));
                     data_tiles.push(data);
@@ -259,8 +259,7 @@ impl Layout {
                         .into_iter()
                         .filter_map(|s| self.grid.neighbor(t, s))
                         .filter(|&h| {
-                            self.grid.kind(h).is_ancilla()
-                                && self.grid.neighbors(h).any(|x| x == d)
+                            self.grid.kind(h).is_ancilla() && self.grid.neighbors(h).any(|x| x == d)
                         })
                         .collect();
                     if !helpers.is_empty() {

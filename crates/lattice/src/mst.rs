@@ -392,7 +392,9 @@ mod tests {
         // A fixed pseudo-random weight stream.
         let mut state = 0x12345678u64;
         for step in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let eid = (state >> 33) as usize % edges.len();
             let w = ((state >> 16) % 50) as u32;
             edges[eid].2 = w;

@@ -233,7 +233,10 @@ mod tests {
     #[test]
     fn corners_and_sides() {
         assert_eq!(Side::North.opposite(), Side::South);
-        assert_eq!(Corner::NorthEast.adjacent_sides(), [Side::North, Side::East]);
+        assert_eq!(
+            Corner::NorthEast.adjacent_sides(),
+            [Side::North, Side::East]
+        );
         let (dx, dy) = Corner::SouthWest.delta();
         assert_eq!((dx, dy), (-1, 1));
     }

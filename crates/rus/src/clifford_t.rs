@@ -138,8 +138,18 @@ pub fn fig3_series(target_fidelity: f64, lers: &[f64]) -> Vec<Fig3Row> {
     lers.iter()
         .map(|&ler| Fig3Row {
             logical_error_rate: ler,
-            rz_rotations: max_rotations(CompilationScheme::CliffordRz, target_fidelity, ler, &factory),
-            t_rotations: max_rotations(CompilationScheme::CliffordT, target_fidelity, ler, &factory),
+            rz_rotations: max_rotations(
+                CompilationScheme::CliffordRz,
+                target_fidelity,
+                ler,
+                &factory,
+            ),
+            t_rotations: max_rotations(
+                CompilationScheme::CliffordT,
+                target_fidelity,
+                ler,
+                &factory,
+            ),
         })
         .collect()
 }

@@ -1,6 +1,7 @@
 //! Simulation configuration (mirrors the artifact's config files).
 
 use rescq_core::{KPolicy, SchedulerKind, SurgeryCosts, TauModel};
+use rescq_decoder::{DecoderConfig, DecoderKind};
 use rescq_lattice::LayoutKind;
 use rescq_rus::{PrepCalibration, RusParams};
 use std::fmt;
@@ -55,6 +56,11 @@ pub struct SimConfig {
     pub calibration: PrepCalibration,
     /// Classical MST latency model.
     pub tau_model: TauModel,
+    /// Classical decoding pipeline model. The `ideal` default is invisible:
+    /// a run with it is bit-identical to the same build with no decoder
+    /// consulted at all. `fixed`/`adaptive` apply backlog-aware
+    /// back-pressure to every feed-forward injection outcome.
+    pub decoder: DecoderConfig,
     /// Watchdog: abort if the program exceeds this many cycles.
     pub max_cycles: u64,
 }
@@ -92,7 +98,11 @@ impl fmt::Display for SimConfig {
             self.physical_error_rate,
             self.compression * 100.0,
             self.seed
-        )
+        )?;
+        if self.decoder.kind != DecoderKind::Ideal {
+            write!(f, " decoder={}", self.decoder)?;
+        }
+        Ok(())
     }
 }
 
@@ -119,6 +129,7 @@ impl Default for SimConfigBuilder {
                 costs: SurgeryCosts::default(),
                 calibration: PrepCalibration::default(),
                 tau_model: TauModel::default(),
+                decoder: DecoderConfig::default(),
                 max_cycles: 50_000_000,
             },
         }
@@ -204,6 +215,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the classical decoder model.
+    pub fn decoder(mut self, d: DecoderConfig) -> Self {
+        self.config.decoder = d;
+        self
+    }
+
     /// Sets the watchdog limit in cycles.
     pub fn max_cycles(mut self, c: u64) -> Self {
         self.config.max_cycles = c;
@@ -229,6 +246,18 @@ mod tests {
         assert_eq!(c.k_policy, KPolicy::Fixed(25));
         assert_eq!(c.activity_window, 100);
         assert_eq!(c.compression, 0.0);
+        assert_eq!(c.decoder.kind, DecoderKind::Ideal);
+    }
+
+    #[test]
+    fn builder_sets_decoder() {
+        let c = SimConfig::builder()
+            .decoder(DecoderConfig::adaptive(0.5, 8))
+            .build();
+        assert_eq!(c.decoder.kind, DecoderKind::Adaptive);
+        assert_eq!(c.decoder.workers, 8);
+        assert!(c.to_string().contains("decoder=adaptive"));
+        assert!(!SimConfig::default().to_string().contains("decoder"));
     }
 
     #[test]
@@ -247,7 +276,10 @@ mod tests {
 
     #[test]
     fn rus_params_derived() {
-        let c = SimConfig::builder().distance(5).physical_error_rate(1e-3).build();
+        let c = SimConfig::builder()
+            .distance(5)
+            .physical_error_rate(1e-3)
+            .build();
         let p = c.rus_params();
         assert_eq!(p.distance, 5);
         assert!((p.physical_error_rate - 1e-3).abs() < 1e-18);

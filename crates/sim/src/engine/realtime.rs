@@ -30,6 +30,7 @@ use rescq_core::{
     plan_cnot_route, ActivityTracker, AncillaQueue, EntryStatus, MstPipeline, PathCache,
     QueueEntry, Role, SchedulerKind, SurgeryCosts, TaskId,
 };
+use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::{AncillaIndex, EdgeType};
 use rescq_rus::{InjectionLadder, LadderStep, PreparationModel};
 
@@ -44,6 +45,9 @@ enum TaskBody {
         path: Vec<AncillaIndex>,
         rotating: bool,
         surgery_started: bool,
+        /// Round the current path was planned (drives stalled re-planning
+        /// on constrained fabrics).
+        planned_round: u64,
     },
     Rz {
         qubit: QubitId,
@@ -82,6 +86,15 @@ enum Ev {
     InjectDone {
         task: TaskId,
         holder: AncillaIndex,
+        /// Syndrome rounds the injection's measurement window spans.
+        rounds: u32,
+    },
+    /// The classical decoder finished a feed-forward window; the injection
+    /// outcome it carries becomes visible to the scheduler now.
+    DecodeDone {
+        task: TaskId,
+        success: bool,
+        window: WindowId,
     },
     RotationDone {
         task: TaskId,
@@ -128,9 +141,16 @@ struct RtEngine<'a> {
     events: EventQueue<Ev>,
     sched_worklist: Vec<QubitId>,
 
+    /// Resource-constrained fabric (fewer than ~2 ancillas per data qubit,
+    /// i.e. heavily compressed): speculative preparation is throttled so the
+    /// scarce ancillas stay available for injections and routing.
+    constrained: bool,
+
     counters: RunCounters,
     cnot_latency: LatencyHistogram,
     rz_latency: LatencyHistogram,
+    decoder: DecoderRuntime,
+    decode_latency: LatencyHistogram,
     gates_executed: usize,
     /// Expected rounds an Rz queue entry occupies its ancilla (precomputed).
     rz_entry_cost: u64,
@@ -178,9 +198,12 @@ pub(crate) fn run_realtime(
         path_cache: PathCache::new(),
         events: EventQueue::new(),
         sched_worklist: Vec::new(),
+        constrained: 2 * num_ancillas <= 4 * circuit.num_qubits() as usize,
         counters: RunCounters::default(),
         cnot_latency: LatencyHistogram::new(),
         rz_latency: LatencyHistogram::new(),
+        decoder: DecoderRuntime::new(&config.decoder, d),
+        decode_latency: LatencyHistogram::new(),
         gates_executed: 0,
         rz_entry_cost,
     };
@@ -230,6 +253,7 @@ impl RtEngine<'_> {
             gates_executed: self.gates_executed,
             cnot_latency: std::mem::take(&mut self.cnot_latency),
             rz_latency: std::mem::take(&mut self.rz_latency),
+            decode_latency: std::mem::take(&mut self.decode_latency),
             data_busy_rounds: self.fabric.total_qubit_busy_rounds(),
             num_qubits: self.circuit.num_qubits(),
             achieved_compression: self.fabric.layout.compression(),
@@ -241,6 +265,12 @@ impl RtEngine<'_> {
                 c.mst_incremental_updates = self.mst.incremental_updates();
                 c.path_cache_hits = self.path_cache.hits();
                 c.path_cache_misses = self.path_cache.misses();
+                let dec = self.decoder.stats();
+                debug_assert!(self.decoder.backlog().is_conserved());
+                debug_assert_eq!(self.decoder.backlog().in_flight(), 0);
+                c.decode_windows = dec.windows_submitted;
+                c.decoder_stall_rounds = dec.stall_rounds;
+                c.decoder_peak_backlog = dec.peak_backlog;
                 c
             },
         })
@@ -254,7 +284,15 @@ impl RtEngine<'_> {
             if t.done {
                 continue;
             }
-            if let TaskBody::Rz { qubit, ladder, holders, helper_sites, injecting, .. } = &t.body {
+            if let TaskBody::Rz {
+                qubit,
+                ladder,
+                holders,
+                helper_sites,
+                injecting,
+                ..
+            } = &t.body
+            {
                 eprintln!(
                     "rz-diag task {i}: injecting={injecting} complete={} qubit_free={} preds_done={}",
                     ladder.is_complete(),
@@ -277,7 +315,10 @@ impl RtEngine<'_> {
                                 self.fabric.graph.tile(h),
                                 self.fabric.graph.neighbors(h).contains(&a),
                                 self.fabric.ancilla_free(h, self.clock),
-                                self.queues[h as usize].top().map(|e| e.task.0).unwrap_or(9999)
+                                self.queues[h as usize]
+                                    .top()
+                                    .map(|e| e.task.0)
+                                    .unwrap_or(9999)
                             );
                         }
                         let adj = self.fabric.layout.data_adjacency(*qubit);
@@ -298,7 +339,11 @@ impl RtEngine<'_> {
             if t.done {
                 continue;
             }
-            eprintln!("task {i} gate {:?} body {:?}", self.circuit.gate(t.gate), t.body);
+            eprintln!(
+                "task {i} gate {:?} body {:?}",
+                self.circuit.gate(t.gate),
+                t.body
+            );
         }
         for (i, q) in self.queues.iter().enumerate() {
             if !q.is_empty() {
@@ -323,7 +368,9 @@ impl RtEngine<'_> {
                     self.cursor[q as usize],
                     chain.len(),
                     self.fabric.qubit_free(qq, self.clock),
-                    chain.get(self.cursor[q as usize]).map(|&g| self.circuit.gate(g)),
+                    chain
+                        .get(self.cursor[q as usize])
+                        .map(|&g| self.circuit.gate(g)),
                 );
             }
         }
@@ -408,8 +455,10 @@ impl RtEngine<'_> {
             }
             // Preemptive rotation enqueue: while the cursor gate is
             // scheduled/executing, the following continuous rotation on this
-            // qubit already claims its prep ancillas (§4.1).
-            if self.gate_scheduled[gid.index()] {
+            // qubit already claims its prep ancillas (§4.1). Skipped on
+            // constrained fabrics, where speculative claims starve the
+            // active operations of the few remaining ancillas.
+            if self.gate_scheduled[gid.index()] && !self.constrained {
                 if let Some(next) = next_gid {
                     let g = self.circuit.gate(next);
                     if g.is_continuous_rotation() && !self.gate_scheduled[next.index()] {
@@ -465,6 +514,7 @@ impl RtEngine<'_> {
                     path,
                     rotating: false,
                     surgery_started: false,
+                    planned_round: self.clock,
                 }
             }
             other => unreachable!("free gate {other} reached scheduling"),
@@ -509,10 +559,7 @@ impl RtEngine<'_> {
             let Some(a) = self.fabric.graph.index_of(tile) else {
                 continue;
             };
-            let Some(h) = helpers
-                .iter()
-                .find_map(|&t| self.fabric.graph.index_of(t))
-            else {
+            let Some(h) = helpers.iter().find_map(|&t| self.fabric.graph.index_of(t)) else {
                 continue;
             };
             self.queues[a as usize].push(QueueEntry::new(
@@ -536,16 +583,56 @@ impl RtEngine<'_> {
                 helper_sites.push(a);
             }
         }
+        if self.constrained {
+            // §3.2's n − m redistribution taken to its limit: on a heavily
+            // compressed fabric each rotation keeps its single best prep
+            // site (side-adjacent preferred — it can inject alone) plus at
+            // most one helper, returning every other claim to the pool.
+            if let Some(keep_at) = prep_sites.iter().position(|&(_, side)| side) {
+                for &(a, _) in prep_sites
+                    .iter()
+                    .filter(|&&(a, _)| a != prep_sites[keep_at].0)
+                {
+                    self.queues[a as usize].remove_task(id);
+                }
+                prep_sites = vec![prep_sites[keep_at]];
+                for &h in &helper_sites {
+                    self.queues[h as usize].remove_task(id);
+                }
+                helper_sites.clear();
+            } else if prep_sites.len() > 1 {
+                for &(a, _) in &prep_sites[1..] {
+                    self.queues[a as usize].remove_task(id);
+                }
+                prep_sites.truncate(1);
+                // The one helper kept must actually flank the kept diagonal
+                // site — an arbitrary X-side claim would be useless to it.
+                let keep_site = prep_sites[0].0;
+                let keep_helper = helper_sites
+                    .iter()
+                    .copied()
+                    .find(|&h| self.fabric.graph.neighbors(h).contains(&keep_site));
+                for &h in &helper_sites {
+                    if Some(h) != keep_helper {
+                        self.queues[h as usize].remove_task(id);
+                    }
+                }
+                helper_sites = keep_helper.into_iter().collect();
+            }
+        }
         (prep_sites, helper_sites)
     }
 
-    fn plan_and_enqueue_cnot(
+    /// Plans a route for `id`'s CNOT. `id` matters for re-planning: the
+    /// task's own queued Route entries are excluded from the load estimate,
+    /// so holding a path never biases the planner against that same path.
+    fn plan_cnot_path(
         &mut self,
         id: TaskId,
         control: QubitId,
         target: QubitId,
     ) -> Vec<AncillaIndex> {
-        let expected_free = self.expected_free_vec();
+        let expected_free = self.expected_free_vec(id);
         let plan = plan_cnot_route(
             &self.fabric.layout,
             &self.fabric.graph,
@@ -559,7 +646,16 @@ impl RtEngine<'_> {
             self.d,
             |a| expected_free[a as usize],
         );
-        let path = plan.map(|p| p.path).unwrap_or_default();
+        plan.map(|p| p.path).unwrap_or_default()
+    }
+
+    fn plan_and_enqueue_cnot(
+        &mut self,
+        id: TaskId,
+        control: QubitId,
+        target: QubitId,
+    ) -> Vec<AncillaIndex> {
+        let path = self.plan_cnot_path(id, control, target);
         for &a in &path {
             self.queues[a as usize].push(QueueEntry::new(id, Role::Route, Angle::ZERO));
         }
@@ -567,8 +663,8 @@ impl RtEngine<'_> {
     }
 
     /// `E[f_a]` for every ancilla: the sum of expected durations of its
-    /// queued operations (§4.2).
-    fn expected_free_vec(&self) -> Vec<u64> {
+    /// queued operations (§4.2), excluding entries of `exclude` itself.
+    fn expected_free_vec(&self, exclude: TaskId) -> Vec<u64> {
         let d = self.d as u64;
         let cnot = self.costs.cnot_cycles as u64 * d;
         let inj = self.costs.cnot_injection_cycles as u64 * d;
@@ -576,11 +672,16 @@ impl RtEngine<'_> {
         (0..self.queues.len())
             .map(|a| {
                 self.clock
-                    + self.queues[a].expected_free_rounds(|e| match e.role {
-                        Role::Route => cnot,
-                        Role::Helper => inj,
-                        Role::EdgeRotate => 3 * d,
-                        _ => rz,
+                    + self.queues[a].expected_free_rounds(|e| {
+                        if e.task == exclude {
+                            return 0;
+                        }
+                        match e.role {
+                            Role::Route => cnot,
+                            Role::Helper => inj,
+                            Role::EdgeRotate => 3 * d,
+                            _ => rz,
+                        }
                     })
             })
             .collect()
@@ -616,9 +717,9 @@ impl RtEngine<'_> {
                     prep_sites.iter().any(|&(s, side)| {
                         s != a
                             && (side
-                                || helper_sites.iter().any(|&h| {
-                                    self.fabric.graph.neighbors(h).contains(&s)
-                                }))
+                                || helper_sites
+                                    .iter()
+                                    .any(|&h| self.fabric.graph.neighbors(h).contains(&s)))
                     })
                 }
                 _ => false,
@@ -637,6 +738,17 @@ impl RtEngine<'_> {
         if self.is_holding(task_id, a) {
             return false; // holding a finished state, waiting for injection
         }
+        if self.constrained {
+            // With ancillas scarce, don't speculatively re-prepare while the
+            // task's injection is in flight — a success would discard the
+            // state, and meanwhile the held ancilla blocks CNOT routes.
+            if let TaskBody::Rz {
+                injecting: true, ..
+            } = self.tasks[task_id.index()].body
+            {
+                return false;
+            }
+        }
         let owner = task_id.0 as u64;
         match self.prepping[ai] {
             Some(angle) if angle == top.angle => false, // already preparing it
@@ -648,9 +760,7 @@ impl RtEngine<'_> {
                 true
             }
             None => {
-                if self.fabric.ancilla_free(a, self.clock)
-                    || self.fabric.is_held_by(a, owner)
-                {
+                if self.fabric.ancilla_free(a, self.clock) || self.fabric.is_held_by(a, owner) {
                     if !self.fabric.is_held_by(a, owner) {
                         self.fabric.hold_ancilla(a, owner);
                     }
@@ -686,7 +796,7 @@ impl RtEngine<'_> {
     /// checked against the top).
     fn cancel_prep_for(&mut self, a: AncillaIndex, task: TaskId) {
         let ai = a as usize;
-        if !self.queues[ai].top().is_some_and(|e| e.task == task) {
+        if self.queues[ai].top().is_none_or(|e| e.task != task) {
             return;
         }
         if self.prepping[ai].is_some() {
@@ -770,7 +880,9 @@ impl RtEngine<'_> {
         // them; the channel may even be one of our *own* eager-correction
         // holders, whose state is then discarded ("any additional successful
         // preparations can be discarded if necessary", §3.2).
-        let mut best: Option<(u32, AncillaIndex, Option<(AncillaIndex, bool)>)> = None;
+        // (cycles, holder, optional (channel ancilla, channel is ours)).
+        type InjectionOption = (u32, AncillaIndex, Option<(AncillaIndex, bool)>);
+        let mut best: Option<InjectionOption> = None;
         for &(a, angle) in holders {
             if angle != current {
                 continue;
@@ -795,10 +907,13 @@ impl RtEngine<'_> {
                         // every queued claimant is *younger* — seniority
                         // entitles the older gate to the resource (§4.1).
                         let top = self.queues[h as usize].top();
-                        if !(top.is_none() || top.is_some_and(|e| e.task == id || e.task > id)) {
+                        if !(top.is_none() || top.is_some_and(|e| e.task >= id)) {
                             continue;
                         }
-                        let ours = self.is_holding(id, h);
+                        // An "ours" channel must actually carry our fabric
+                        // hold (discarding our own eager state frees it); a
+                        // foreign one must simply be free.
+                        let ours = self.is_holding(id, h) && self.fabric.is_held_by(h, id.0 as u64);
                         if !ours && !self.fabric.ancilla_free(h, self.clock) {
                             continue;
                         }
@@ -856,7 +971,14 @@ impl RtEngine<'_> {
             e.status = EntryStatus::Executing;
         }
         self.counters.injections += 1;
-        self.events.push(until, Ev::InjectDone { task: id, holder });
+        self.events.push(
+            until,
+            Ev::InjectDone {
+                task: id,
+                holder,
+                rounds: (until - self.clock) as u32,
+            },
+        );
         true
     }
 
@@ -867,6 +989,7 @@ impl RtEngine<'_> {
             ref path,
             rotating,
             surgery_started,
+            planned_round,
         } = self.tasks[id.index()].body
         else {
             return false;
@@ -884,6 +1007,33 @@ impl RtEngine<'_> {
                 && self.queues[a as usize].top().is_some_and(|e| e.task == id)
         });
         if !all_ready {
+            // On a constrained fabric a committed path can stay blocked
+            // while an alternative route is free: re-plan a stalled CNOT
+            // against current queue estimates (greedy gets this adaptivity
+            // for free by routing at dispatch time).
+            let stalled_rounds = self.costs.cnot_cycles as u64 * self.d as u64;
+            if self.constrained && self.clock.saturating_sub(planned_round) >= stalled_rounds {
+                let old = path.clone();
+                // Plan first and only move if the route actually changes:
+                // re-enqueueing an identical path would surrender the
+                // task's queue seniority for nothing (priority inversion).
+                let new_path = self.plan_cnot_path(id, control, target);
+                if new_path != old {
+                    for &a in &old {
+                        self.queues[a as usize].remove_task(id);
+                    }
+                    for &a in &new_path {
+                        self.queues[a as usize].push(QueueEntry::new(id, Role::Route, Angle::ZERO));
+                    }
+                    if let TaskBody::Cnot { path, .. } = &mut self.tasks[id.index()].body {
+                        *path = new_path;
+                    }
+                    self.counters.cnot_replans += 1;
+                }
+                if let TaskBody::Cnot { planned_round, .. } = &mut self.tasks[id.index()].body {
+                    *planned_round = self.clock;
+                }
+            }
             return false;
         }
         let path = path.clone();
@@ -912,7 +1062,8 @@ impl RtEngine<'_> {
                     *rotating = true;
                 }
                 self.counters.edge_rotations += 1;
-                self.events.push(until, Ev::RotationDone { task: id, qubit });
+                self.events
+                    .push(until, Ev::RotationDone { task: id, qubit });
                 return true;
             }
         }
@@ -1013,7 +1164,20 @@ impl RtEngine<'_> {
                 angle,
                 epoch,
             } => self.on_prep_done(ancilla, task, angle, epoch),
-            Ev::InjectDone { task, holder } => self.on_inject_done(task, holder),
+            Ev::InjectDone {
+                task,
+                holder,
+                rounds,
+            } => self.on_inject_done(task, holder, rounds),
+            Ev::DecodeDone {
+                task,
+                success,
+                window,
+            } => {
+                let cycles = self.decoder.retire(window, self.clock);
+                self.decode_latency.record(cycles);
+                self.apply_inject_outcome(task, success);
+            }
             Ev::RotationDone { task, qubit } => {
                 self.fabric.flip_orientation(qubit);
                 if let TaskBody::Cnot { rotating, .. } = &mut self.tasks[task.index()].body {
@@ -1027,8 +1191,8 @@ impl RtEngine<'_> {
                         self.queues[a as usize].remove_task(task);
                     }
                 }
-                let latency = (self.clock - self.tasks[task.index()].sched_round)
-                    .div_ceil(self.d as u64);
+                let latency =
+                    (self.clock - self.tasks[task.index()].sched_round).div_ceil(self.d as u64);
                 self.cnot_latency.record(latency);
                 self.complete_task(task, gate);
             }
@@ -1072,13 +1236,47 @@ impl RtEngine<'_> {
         self.try_start_injection(task);
     }
 
-    fn on_inject_done(&mut self, task: TaskId, holder: AncillaIndex) {
+    /// The injection's measurements are in: the physical state is consumed
+    /// immediately, but the *outcome* must pass through the classical
+    /// decoder before the scheduler may act on it (feed-forward
+    /// back-pressure). Under the ideal decoder the result is visible this
+    /// round and the original behaviour is reproduced exactly.
+    fn on_inject_done(&mut self, task: TaskId, holder: AncillaIndex, rounds: u32) {
         let success = self.rng.gen_bool(0.5);
         if !success {
             self.counters.injection_failures += 1;
         }
-        // The injected state is consumed either way.
-        self.fabric.release_ancilla(holder, self.clock);
+        // The injected state is consumed either way — but the ancilla's hold
+        // must survive if eager preparation re-used it mid-injection (a new
+        // prep is running on it, or a completed one put it back in
+        // `holders`); releasing then would let other operations occupy the
+        // ancilla while the task still counts on its state, double-booking
+        // it later.
+        let reused = self.is_holding(task, holder) || self.prepping[holder as usize].is_some();
+        if !reused {
+            self.fabric.release_ancilla(holder, self.clock);
+        }
+        let (window, ready_at) = self.decoder.submit(holder, rounds.max(1), self.clock);
+        if ready_at > self.clock {
+            self.events.push(
+                ready_at,
+                Ev::DecodeDone {
+                    task,
+                    success,
+                    window,
+                },
+            );
+            return;
+        }
+        let cycles = self.decoder.retire(window, self.clock);
+        self.decode_latency.record(cycles);
+        self.apply_inject_outcome(task, success);
+    }
+
+    /// Applies a decoded injection outcome: advance the ladder and rewrite
+    /// sibling queue entries (`AncillaQueue::update_angle`) to the next
+    /// correction angle.
+    fn apply_inject_outcome(&mut self, task: TaskId, success: bool) {
         let gate = self.tasks[task.index()].gate;
         let step;
         {
@@ -1098,18 +1296,22 @@ impl RtEngine<'_> {
             LadderStep::NeedCorrection(next) => {
                 // Discard holders of stale angles; retarget every non-holding
                 // site (including the consumed holder) to the new angle.
-                let (sites, stale): (Vec<(AncillaIndex, bool)>, Vec<(AncillaIndex, Angle)>) =
-                    match &self.tasks[task.index()].body {
-                        TaskBody::Rz {
-                            prep_sites,
-                            holders,
-                            ..
-                        } => (
-                            prep_sites.clone(),
-                            holders.iter().copied().filter(|&(_, ang)| ang != next).collect(),
-                        ),
-                        _ => unreachable!(),
-                    };
+                type SitesAndStale = (Vec<(AncillaIndex, bool)>, Vec<(AncillaIndex, Angle)>);
+                let (sites, stale): SitesAndStale = match &self.tasks[task.index()].body {
+                    TaskBody::Rz {
+                        prep_sites,
+                        holders,
+                        ..
+                    } => (
+                        prep_sites.clone(),
+                        holders
+                            .iter()
+                            .copied()
+                            .filter(|&(_, ang)| ang != next)
+                            .collect(),
+                    ),
+                    _ => unreachable!(),
+                };
                 for (a, _) in &stale {
                     self.fabric.release_ancilla(*a, self.clock);
                     self.counters.states_discarded += 1;
@@ -1153,8 +1355,7 @@ impl RtEngine<'_> {
         for h in helpers {
             self.queues[h as usize].remove_task(task);
         }
-        let latency =
-            (self.clock - self.tasks[task.index()].sched_round).div_ceil(self.d as u64);
+        let latency = (self.clock - self.tasks[task.index()].sched_round).div_ceil(self.d as u64);
         self.rz_latency.record(latency);
         self.complete_task(task, gate);
     }

@@ -21,6 +21,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rescq_circuit::{Circuit, DependencyDag, Gate, GateId, QubitId};
 use rescq_core::{plan_static_route, SchedulerKind, StaticRouteOutcome};
+use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::AncillaIndex;
 use rescq_rus::{InjectionLadder, PreparationModel};
 
@@ -61,11 +62,26 @@ enum CnotPhase {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(clippy::enum_variant_names)] // the shared postfix is the point: each is a completion
 enum Ev {
     HDone(usize),
     PrepDone(usize),
-    InjectDone { idx: usize, helper: Option<AncillaIndex> },
-    RotationDone { idx: usize, qubit: QubitId },
+    InjectDone {
+        idx: usize,
+        helper: Option<AncillaIndex>,
+        rounds: u32,
+    },
+    /// The classical decoder finished an injection's syndrome window; its
+    /// outcome becomes visible to the ladder now.
+    DecodeDone {
+        idx: usize,
+        success: bool,
+        window: WindowId,
+    },
+    RotationDone {
+        idx: usize,
+        qubit: QubitId,
+    },
     SurgeryDone(usize),
 }
 
@@ -81,14 +97,14 @@ pub(crate) fn run_static(
     let d = config.rounds_per_cycle();
     let prep_model = PreparationModel::with_calibration(config.rus_params(), config.calibration);
     let costs = config.costs;
-    let max_rounds = config
-        .max_cycles
-        .saturating_mul(d as u64);
+    let max_rounds = config.max_cycles.saturating_mul(d as u64);
 
     let mut clock: u64 = 0;
     let mut counters = RunCounters::default();
     let mut cnot_latency = LatencyHistogram::new();
     let mut rz_latency = LatencyHistogram::new();
+    let mut decoder = DecoderRuntime::new(&config.decoder, d);
+    let mut decode_latency = LatencyHistogram::new();
     let mut gates_executed = 0usize;
     let achieved_compression = fabric.layout.compression();
 
@@ -147,7 +163,10 @@ pub(crate) fn run_static(
             });
         }
 
-        let mut remaining = gates.iter().filter(|(_, s)| !matches!(s, LayerGate::Done)).count();
+        let mut remaining = gates
+            .iter()
+            .filter(|(_, s)| !matches!(s, LayerGate::Done))
+            .count();
         let mut events: EventQueue<Ev> = EventQueue::new();
 
         while remaining > 0 {
@@ -177,7 +196,9 @@ pub(crate) fn run_static(
             };
             clock = t;
             if clock > max_rounds {
-                return Err(SimError::WatchdogExceeded { cycles: clock / d as u64 });
+                return Err(SimError::WatchdogExceeded {
+                    cycles: clock / d as u64,
+                });
             }
             handle_event(
                 ev,
@@ -189,12 +210,21 @@ pub(crate) fn run_static(
                 &mut remaining,
                 &mut cnot_latency,
                 &mut rz_latency,
+                &mut decoder,
+                &mut decode_latency,
                 layer_start,
                 clock,
                 d,
             );
         }
     }
+
+    let dec = decoder.stats();
+    debug_assert!(decoder.backlog().is_conserved());
+    debug_assert_eq!(decoder.backlog().in_flight(), 0);
+    counters.decode_windows = dec.windows_submitted;
+    counters.decoder_stall_rounds = dec.stall_rounds;
+    counters.decoder_peak_backlog = dec.peak_backlog;
 
     Ok(ExecutionReport {
         scheduler: kind,
@@ -204,6 +234,7 @@ pub(crate) fn run_static(
         gates_executed,
         cnot_latency,
         rz_latency,
+        decode_latency,
         data_busy_rounds: fabric.total_qubit_busy_rounds(),
         num_qubits: circuit.num_qubits(),
         achieved_compression,
@@ -283,10 +314,7 @@ fn dispatch_gate(
                             .filter_map(|&(_, t)| fabric.graph.index_of(t))
                             .find(|&h| {
                                 fabric.ancilla_free(h, now)
-                                    && fabric
-                                        .graph
-                                        .neighbors(h)
-                                        .contains(&a)
+                                    && fabric.graph.neighbors(h).contains(&a)
                             });
                         match helper {
                             Some(h) => (costs.cnot_injection_cycles, Some(h)),
@@ -315,7 +343,14 @@ fn dispatch_gate(
                     fabric.occupy_ancilla(h, now, until);
                 }
                 counters.injections += 1;
-                events.push(until, Ev::InjectDone { idx, helper });
+                events.push(
+                    until,
+                    Ev::InjectDone {
+                        idx,
+                        helper,
+                        rounds: (until - now) as u32,
+                    },
+                );
                 *phase = RzPhase::Injecting;
             }
             RzPhase::Prepping | RzPhase::Injecting => {}
@@ -378,6 +413,8 @@ fn handle_event(
     remaining: &mut usize,
     cnot_latency: &mut LatencyHistogram,
     rz_latency: &mut LatencyHistogram,
+    decoder: &mut DecoderRuntime,
+    decode_latency: &mut LatencyHistogram,
     layer_start: u64,
     now: u64,
     d: u32,
@@ -397,33 +434,57 @@ fn handle_event(
                 *phase = RzPhase::ReadyToInject;
             }
         }
-        Ev::InjectDone { idx, .. } => {
+        Ev::InjectDone { idx, rounds, .. } => {
+            // The measurement happens now; the outcome is visible to the
+            // ladder only once its syndrome window is decoded.
             let success = rng.gen_bool(0.5);
             if !success {
                 counters.injection_failures += 1;
             }
-            if let (_, LayerGate::Rz {
-                ladder,
-                designated,
-                phase,
-                ..
-            }) = &mut gates[idx]
-            {
-                match ladder.record_outcome(success) {
-                    rescq_rus::LadderStep::Done => {
-                        fabric.release_ancilla(*designated, now);
-                        rz_latency.record(latency_cycles);
-                        gates[idx].1 = LayerGate::Done;
-                        *remaining -= 1;
-                    }
-                    rescq_rus::LadderStep::NeedCorrection(_) => {
-                        // Naive protocol: restart preparation from scratch
-                        // for the doubled angle on the same ancilla.
-                        *phase = RzPhase::NeedPrep;
-                        let _ = events; // prep restarts on the next dispatch
-                    }
-                }
+            let tile = match &gates[idx].1 {
+                LayerGate::Rz { designated, .. } => *designated,
+                _ => 0,
+            };
+            let (window, ready_at) = decoder.submit(tile, rounds.max(1), now);
+            if ready_at > now {
+                events.push(
+                    ready_at,
+                    Ev::DecodeDone {
+                        idx,
+                        success,
+                        window,
+                    },
+                );
+            } else {
+                decode_latency.record(decoder.retire(window, now));
+                apply_rz_outcome(
+                    idx,
+                    success,
+                    gates,
+                    fabric,
+                    remaining,
+                    rz_latency,
+                    latency_cycles,
+                    now,
+                );
             }
+        }
+        Ev::DecodeDone {
+            idx,
+            success,
+            window,
+        } => {
+            decode_latency.record(decoder.retire(window, now));
+            apply_rz_outcome(
+                idx,
+                success,
+                gates,
+                fabric,
+                remaining,
+                rz_latency,
+                latency_cycles,
+                now,
+            );
         }
         Ev::RotationDone { idx, qubit } => {
             fabric.flip_orientation(qubit);
@@ -435,6 +496,44 @@ fn handle_event(
             cnot_latency.record(latency_cycles);
             gates[idx].1 = LayerGate::Done;
             *remaining -= 1;
+        }
+    }
+}
+
+/// Advances an Rz ladder with a decoded injection outcome.
+#[allow(clippy::too_many_arguments)]
+fn apply_rz_outcome(
+    idx: usize,
+    success: bool,
+    gates: &mut [(GateId, LayerGate)],
+    fabric: &mut Fabric,
+    remaining: &mut usize,
+    rz_latency: &mut LatencyHistogram,
+    latency_cycles: u64,
+    now: u64,
+) {
+    if let (
+        _,
+        LayerGate::Rz {
+            ladder,
+            designated,
+            phase,
+            ..
+        },
+    ) = &mut gates[idx]
+    {
+        match ladder.record_outcome(success) {
+            rescq_rus::LadderStep::Done => {
+                fabric.release_ancilla(*designated, now);
+                rz_latency.record(latency_cycles);
+                gates[idx].1 = LayerGate::Done;
+                *remaining -= 1;
+            }
+            rescq_rus::LadderStep::NeedCorrection(_) => {
+                // Naive protocol: restart preparation from scratch for the
+                // doubled angle on the same ancilla.
+                *phase = RzPhase::NeedPrep;
+            }
         }
     }
 }

@@ -49,11 +49,7 @@ impl LatencyHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let n: u64 = self
-            .buckets
-            .range(..=cycles)
-            .map(|(_, &count)| count)
-            .sum();
+        let n: u64 = self.buckets.range(..=cycles).map(|(_, &count)| count).sum();
         n as f64 / self.total as f64
     }
 
@@ -113,6 +109,8 @@ pub struct RunCounters {
     pub edge_rotations: u64,
     /// CNOT surgeries executed.
     pub cnot_surgeries: u64,
+    /// Stalled CNOT routes re-planned (RESCQ on constrained fabrics).
+    pub cnot_replans: u64,
     /// MST computations completed (RESCQ).
     pub mst_computations: u64,
     /// Incremental MST edge updates applied (RESCQ, §5.4.1).
@@ -121,6 +119,13 @@ pub struct RunCounters {
     pub path_cache_hits: u64,
     /// Path-cache misses.
     pub path_cache_misses: u64,
+    /// Syndrome windows submitted to the classical decoder.
+    pub decode_windows: u64,
+    /// Rounds feed-forward decisions waited on decode results (0 under the
+    /// ideal decoder).
+    pub decoder_stall_rounds: u64,
+    /// Largest decode backlog (windows simultaneously in flight).
+    pub decoder_peak_backlog: u64,
 }
 
 /// The result of one simulation run.
@@ -140,6 +145,9 @@ pub struct ExecutionReport {
     pub cnot_latency: LatencyHistogram,
     /// Rz latency histogram including all correction gates (Fig 5 right).
     pub rz_latency: LatencyHistogram,
+    /// Decode latency histogram: whole cycles from syndrome-window
+    /// submission to result visibility (all zeros under the ideal decoder).
+    pub decode_latency: LatencyHistogram,
     /// Sum over data qubits of rounds spent busy.
     pub data_busy_rounds: u64,
     /// Number of data qubits.
@@ -158,6 +166,12 @@ impl ExecutionReport {
     /// Total execution time in lattice-surgery cycles (fractional).
     pub fn total_cycles(&self) -> f64 {
         self.total_rounds as f64 / self.distance as f64
+    }
+
+    /// Cycles feed-forward decisions spent stalled on the classical decoder
+    /// (fractional; 0 under the ideal decoder).
+    pub fn decoder_stall_cycles(&self) -> f64 {
+        self.counters.decoder_stall_rounds as f64 / self.distance as f64
     }
 
     /// Fraction of data-qubit time spent idle (Fig 11/12 bottom rows):
@@ -231,6 +245,7 @@ mod tests {
             gates_executed: 10,
             cnot_latency: LatencyHistogram::new(),
             rz_latency: LatencyHistogram::new(),
+            decode_latency: LatencyHistogram::new(),
             data_busy_rounds: 1400,
             num_qubits: 4,
             achieved_compression: 0.0,

@@ -106,9 +106,9 @@ pub fn run_seeds(
         }
     } else {
         let chunk = seeds.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slots, seed_chunk) in results.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (slot, &seed) in slots.iter_mut().zip(seed_chunk) {
                         let mut cfg = config.clone();
                         cfg.seed = seed;
@@ -116,8 +116,7 @@ pub fn run_seeds(
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
 
     let mut reports = Vec::with_capacity(seeds.len());

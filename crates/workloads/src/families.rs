@@ -347,6 +347,50 @@ pub mod multiplier {
     }
 }
 
+/// Decoder-stress scenarios (`decoder_stress_nN`): bursty rotation layers.
+///
+/// Not a Table 3 family — a synthetic workload for the `rescq-decoder`
+/// subsystem. Each burst fires a dense volley of generic rotations on every
+/// qubit (each a feed-forward injection whose syndrome window lands on the
+/// classical decoder at nearly the same time), followed by a quiet
+/// entangling stretch during which a backlogged decoder can drain. Sweeping
+/// decoder throughput against this family separates the decoder-limited
+/// regime from the preparation-limited one.
+pub mod decoder_stress {
+    use super::*;
+
+    /// Rotation layers per burst.
+    pub const BURST_LAYERS: u32 = 3;
+    /// Burst/quiet periods in the circuit.
+    pub const BURSTS: u32 = 4;
+
+    /// Generates the circuit.
+    pub fn generate(n: u32, seed: u64) -> Circuit {
+        let mut c = Circuit::new(n);
+        let mut angles = AngleStream::new(seed ^ 0xDEC0DE);
+        for _ in 0..BURSTS {
+            // Burst: every qubit rotates BURST_LAYERS times back to back —
+            // n × BURST_LAYERS injection outcomes hit the decoder together.
+            for _ in 0..BURST_LAYERS {
+                for q in 0..n {
+                    c.rz(q, angles.next_angle());
+                }
+            }
+            // Quiet stretch: a Clifford-only entangling brickwork that
+            // produces no feed-forward windows at all.
+            for parity in 0..2 {
+                for q in (parity..n.saturating_sub(1)).step_by(2) {
+                    c.cnot(q, q + 1);
+                }
+            }
+            for q in 0..n {
+                c.h(q);
+            }
+        }
+        c
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,8 +412,12 @@ mod tests {
 
     #[test]
     fn qft_counts_exact() {
-        for (n, rz, cnot) in [(29, 708, 680), (63, 1898, 1836), (160, 5293, 5134), (18, 323, 306)]
-        {
+        for (n, rz, cnot) in [
+            (29, 708, 680),
+            (63, 1898, 1836),
+            (160, 5293, 5134),
+            (18, 323, 306),
+        ] {
             let c = qft::generate(n, 1);
             let s = c.stats();
             assert_eq!((s.rz, s.cnot), (rz, cnot), "qft_n{n}");
@@ -448,12 +496,31 @@ mod tests {
             s.rz,
             s.cnot
         );
-        assert!(s.cnot > 1000, "multiplier_n45 should be sizeable: {}", s.cnot);
+        assert!(
+            s.cnot > 1000,
+            "multiplier_n45 should be sizeable: {}",
+            s.cnot
+        );
     }
 
     #[test]
     fn generators_are_seed_deterministic() {
         assert_eq!(gcm::generate(13, 7).gates(), gcm::generate(13, 7).gates());
         assert_ne!(gcm::generate(13, 7).gates(), gcm::generate(13, 8).gates());
+    }
+
+    #[test]
+    fn decoder_stress_is_bursty() {
+        let c = decoder_stress::generate(8, 1);
+        let s = c.stats();
+        assert_eq!(
+            s.rz as u32,
+            8 * decoder_stress::BURST_LAYERS * decoder_stress::BURSTS
+        );
+        assert!(s.cnot > 0 && s.h > 0, "quiet stretches must entangle");
+        assert_eq!(
+            decoder_stress::generate(8, 1).gates(),
+            decoder_stress::generate(8, 1).gates()
+        );
     }
 }

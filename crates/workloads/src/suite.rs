@@ -87,9 +87,7 @@ impl BenchmarkSpec {
             Family::Gcm => families::gcm::generate(n, seed),
             Family::Dnn => families::dnn::generate(n, seed),
             Family::Wstate => families::wstate::generate(n, seed),
-            Family::HamiltonianSimulation => {
-                families::hamiltonian_simulation::generate(n, seed)
-            }
+            Family::HamiltonianSimulation => families::hamiltonian_simulation::generate(n, seed),
             Family::QaoaFermionicSwap => families::qaoa_fermionic_swap::generate(n, seed),
             Family::QaoaVanilla => families::qaoa_vanilla::generate(n, seed),
             Family::Vqe => families::vqe::generate(n, seed),
@@ -162,8 +160,24 @@ pub const ALL_BENCHMARKS: &[BenchmarkSpec] = &[
         148,
         true
     ),
-    spec!("QAOAFermionicSwap_n15", Supermarq, QaoaFermionicSwap, 15, 120, 315, true),
-    spec!("QAOAVanilla_n15", Supermarq, QaoaVanilla, 15, 120, 210, true),
+    spec!(
+        "QAOAFermionicSwap_n15",
+        Supermarq,
+        QaoaFermionicSwap,
+        15,
+        120,
+        315,
+        true
+    ),
+    spec!(
+        "QAOAVanilla_n15",
+        Supermarq,
+        QaoaVanilla,
+        15,
+        120,
+        210,
+        true
+    ),
     spec!("VQE_n13", Supermarq, Vqe, 13, 78, 12, true),
 ];
 
@@ -178,14 +192,27 @@ pub fn find(name: &str) -> Option<&'static BenchmarkSpec> {
 
 /// Generates a benchmark by name.
 ///
+/// Besides the Table 3 rows, the synthetic `decoder_stress_nN` scenario
+/// family (any qubit count `N ≥ 2`) is recognised.
+///
 /// # Example
 ///
 /// ```
 /// let c = rescq_workloads::generate("wstate_n27", 1).unwrap();
 /// assert_eq!(c.num_qubits(), 27);
 /// assert_eq!(c.stats().rz, 156);
+///
+/// let stress = rescq_workloads::generate("decoder_stress_n16", 1).unwrap();
+/// assert_eq!(stress.num_qubits(), 16);
 /// ```
 pub fn generate(name: &str, seed: u64) -> Option<Circuit> {
+    if let Some(n) = name.strip_prefix("decoder_stress_n") {
+        let n: u32 = n.parse().ok()?;
+        if n >= 2 {
+            return Some(families::decoder_stress::generate(n, seed));
+        }
+        return None;
+    }
     find(name).map(|spec| spec.generate(seed))
 }
 
@@ -197,11 +224,17 @@ mod tests {
     fn registry_has_all_23_rows() {
         assert_eq!(ALL_BENCHMARKS.len(), 23);
         assert_eq!(
-            ALL_BENCHMARKS.iter().filter(|b| b.suite == Suite::Large).count(),
+            ALL_BENCHMARKS
+                .iter()
+                .filter(|b| b.suite == Suite::Large)
+                .count(),
             13
         );
         assert_eq!(
-            ALL_BENCHMARKS.iter().filter(|b| b.suite == Suite::Medium).count(),
+            ALL_BENCHMARKS
+                .iter()
+                .filter(|b| b.suite == Suite::Medium)
+                .count(),
             4
         );
         assert_eq!(
@@ -273,5 +306,15 @@ mod tests {
         for name in REPRESENTATIVE {
             assert!(find(name).is_some());
         }
+    }
+
+    #[test]
+    fn decoder_stress_names_generate() {
+        let c = generate("decoder_stress_n12", 3).unwrap();
+        assert_eq!(c.num_qubits(), 12);
+        assert!(generate("decoder_stress_n1", 1).is_none());
+        assert!(generate("decoder_stress_nx", 1).is_none());
+        // The scenario family is synthetic: it must not leak into Table 3.
+        assert!(find("decoder_stress_n12").is_none());
     }
 }

@@ -28,7 +28,10 @@ fn main() {
     // Fig 14: execution time under compression for a rotation-dense circuit.
     let circuit = rescq_repro::workloads::generate("gcm_n13", 1).expect("known benchmark");
     println!("gcm_n13 under compression (mean cycles over 3 seeds):");
-    println!("{:>12} {:>10} {:>10} {:>10}", "compression", "greedy", "autobraid", "rescq");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "compression", "greedy", "autobraid", "rescq"
+    );
     for compression in [0.0, 0.25, 0.5, 0.75, 1.0] {
         print!("{:>11.0}%", compression * 100.0);
         for scheduler in SchedulerKind::ALL {

@@ -12,8 +12,8 @@ fn every_scheduler_completes_every_small_benchmark() {
         let circuit = rescq_repro::workloads::generate(name, 1).unwrap();
         for scheduler in SchedulerKind::ALL {
             let config = SimConfig::builder().scheduler(scheduler).seed(3).build();
-            let report = simulate(&circuit, &config)
-                .unwrap_or_else(|e| panic!("{name}/{scheduler}: {e}"));
+            let report =
+                simulate(&circuit, &config).unwrap_or_else(|e| panic!("{name}/{scheduler}: {e}"));
             assert_eq!(report.gates_executed, circuit.len(), "{name}/{scheduler}");
             assert!(report.total_cycles() > 0.0);
             assert!((0.0..=1.0).contains(&report.idle_fraction()));

@@ -21,7 +21,10 @@ fn rescq_beats_baselines_on_representative_set() {
         let greedy = mean_cycles(name, SchedulerKind::Greedy, 3);
         let autobraid = mean_cycles(name, SchedulerKind::Autobraid, 3);
         let rescq = mean_cycles(name, SchedulerKind::Rescq, 3);
-        assert!(rescq < greedy, "{name}: rescq {rescq:.0} vs greedy {greedy:.0}");
+        assert!(
+            rescq < greedy,
+            "{name}: rescq {rescq:.0} vs greedy {greedy:.0}"
+        );
         assert!(
             rescq < autobraid,
             "{name}: rescq {rescq:.0} vs autobraid {autobraid:.0}"
@@ -89,7 +92,10 @@ fn rescq_latency_distribution_is_continuous_and_bounded() {
         hist.fraction_at_most(8) * 100.0
     );
     let distinct = hist.iter().count();
-    assert!(distinct > 5, "distribution too discrete: {distinct} buckets");
+    assert!(
+        distinct > 5,
+        "distribution too discrete: {distinct} buckets"
+    );
 }
 
 #[test]

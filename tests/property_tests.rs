@@ -1,63 +1,101 @@
 //! Property-based tests spanning crates: parser round-trips, DAG ordering,
-//! compression safety and engine determinism on random circuits.
+//! compression safety, engine determinism on random circuits, decode-backlog
+//! conservation, and ideal-decoder equivalence.
+//!
+//! The container builds offline, so instead of `proptest` these use a small
+//! seeded-case harness: every property runs against `CASES` randomly
+//! generated inputs drawn from a fixed-seed ChaCha8 stream, making failures
+//! reproducible by case index.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rescq_decoder::{DecodeBacklog, DecoderConfig};
 use rescq_repro::circuit::{parse_circuit, write_circuit, Angle, Circuit, DependencyDag, Gate};
 use rescq_repro::core::SchedulerKind;
 use rescq_repro::lattice::{Layout, LayoutKind};
 use rescq_repro::sim::{simulate, SimConfig};
 
-fn arb_gate(num_qubits: u32) -> impl Strategy<Value = Gate> {
-    let q = 0..num_qubits;
-    let q2 = (0..num_qubits, 0..num_qubits)
-        .prop_filter("distinct", |(a, b)| a != b);
-    prop_oneof![
-        q.clone().prop_map(|q| Gate::h(q)),
-        q.clone().prop_map(|q| Gate::x(q)),
-        q.clone().prop_map(|q| Gate::z(q)),
-        (q.clone(), 0.01f64..3.0).prop_map(|(q, a)| Gate::rz(q, Angle::radians(a))),
-        (q, 1i64..16, 0u32..6).prop_map(|(q, n, k)| Gate::rz(q, Angle::dyadic_pi(n, k))),
-        q2.prop_map(|(c, t)| Gate::cnot(c, t)),
-    ]
+const CASES: u64 = 24;
+
+/// Runs `body` once per case with a per-case RNG; panics name the case seed
+/// so failures replay exactly.
+fn for_each_case(name: &str, body: impl Fn(&mut ChaCha8Rng)) {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_0000 ^ case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property `{name}` failed at case {case}");
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
-fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    (2u32..8).prop_flat_map(|n| {
-        proptest::collection::vec(arb_gate(n), 1..40)
-            .prop_map(move |gates| Circuit::from_gates(n, gates).unwrap())
-    })
+fn arb_gate(rng: &mut ChaCha8Rng, num_qubits: u32) -> Gate {
+    let q = rng.gen_range(0..num_qubits);
+    match rng.gen_range(0..6u32) {
+        0 => Gate::h(q),
+        1 => Gate::x(q),
+        2 => Gate::z(q),
+        3 => Gate::rz(q, Angle::radians(rng.gen_range(0.01f64..3.0))),
+        4 => Gate::rz(
+            q,
+            Angle::dyadic_pi(rng.gen_range(1i64..16), rng.gen_range(0u32..6)),
+        ),
+        _ => {
+            let c = rng.gen_range(0..num_qubits);
+            let mut t = rng.gen_range(0..num_qubits - 1);
+            if t >= c {
+                t += 1;
+            }
+            Gate::cnot(c, t)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn arb_circuit(rng: &mut ChaCha8Rng) -> Circuit {
+    let n = rng.gen_range(2u32..8);
+    let len = rng.gen_range(1usize..40);
+    let gates: Vec<Gate> = (0..len).map(|_| arb_gate(rng, n)).collect();
+    Circuit::from_gates(n, gates).unwrap()
+}
 
-    #[test]
-    fn text_format_round_trips(circuit in arb_circuit()) {
+#[test]
+fn text_format_round_trips() {
+    for_each_case("text_format_round_trips", |rng| {
+        let circuit = arb_circuit(rng);
         let text = write_circuit(&circuit);
         let parsed = parse_circuit(&text, Some(circuit.num_qubits())).unwrap();
-        prop_assert_eq!(parsed.gates(), circuit.gates());
-    }
+        assert_eq!(parsed.gates(), circuit.gates());
+    });
+}
 
-    #[test]
-    fn dag_layers_respect_dependencies(circuit in arb_circuit()) {
+#[test]
+fn dag_layers_respect_dependencies() {
+    for_each_case("dag_layers_respect_dependencies", |rng| {
+        let circuit = arb_circuit(rng);
         let dag = DependencyDag::new(&circuit);
         let order: Vec<_> = dag.layers().iter().flatten().copied().collect();
-        prop_assert!(dag.respects_dependencies(&order));
-    }
+        assert!(dag.respects_dependencies(&order));
+    });
+}
 
-    #[test]
-    fn compression_preserves_routability(
-        n in 2u32..20,
-        fraction in 0.0f64..1.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn compression_preserves_routability() {
+    for_each_case("compression_preserves_routability", |rng| {
+        let n = rng.gen_range(2u32..20);
+        let fraction = rng.gen_range(0.0f64..1.0);
+        let seed = rng.gen_range(0u64..1000);
         let mut layout = Layout::new(LayoutKind::Star2x2, n).unwrap();
         layout.compress(fraction, seed);
-        prop_assert!(layout.is_routable());
-    }
+        assert!(layout.is_routable());
+    });
+}
 
-    #[test]
-    fn engines_are_deterministic(circuit in arb_circuit(), seed in 0u64..50) {
+#[test]
+fn engines_are_deterministic() {
+    for_each_case("engines_are_deterministic", |rng| {
+        let circuit = arb_circuit(rng);
+        let seed = rng.gen_range(0u64..50);
         for scheduler in [SchedulerKind::Rescq, SchedulerKind::Greedy] {
             let config = SimConfig::builder()
                 .scheduler(scheduler)
@@ -66,19 +104,112 @@ proptest! {
                 .build();
             let a = simulate(&circuit, &config).unwrap();
             let b = simulate(&circuit, &config).unwrap();
-            prop_assert_eq!(a.total_rounds, b.total_rounds);
-            prop_assert_eq!(a.gates_executed, circuit.len());
+            assert_eq!(a.total_rounds, b.total_rounds);
+            assert_eq!(a.gates_executed, circuit.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn doubling_ladder_always_terminates_for_dyadics(n in 1i64..1000, k in 0u32..40) {
-        let mut a = Angle::dyadic_pi(n, k);
+#[test]
+fn doubling_ladder_always_terminates_for_dyadics() {
+    for_each_case("doubling_ladder_always_terminates_for_dyadics", |rng| {
+        let mut a = Angle::dyadic_pi(rng.gen_range(1i64..1000), rng.gen_range(0u32..40));
         let mut steps = 0;
         while !a.is_clifford() {
             a = a.double();
             steps += 1;
-            prop_assert!(steps <= 40, "ladder failed to terminate");
+            assert!(steps <= 40, "ladder failed to terminate");
         }
-    }
+    });
+}
+
+/// Decode-backlog conservation: under random interleavings of enqueues and
+/// retirements, `enqueued == decoded + in-flight` at every step.
+#[test]
+fn decode_backlog_conserves_windows() {
+    for_each_case("decode_backlog_conserves_windows", |rng| {
+        let mut backlog = DecodeBacklog::new();
+        let mut live = Vec::new();
+        for step in 0..rng.gen_range(10u32..200) {
+            let retire = !live.is_empty() && rng.gen_bool(0.4);
+            if retire {
+                let id = live.swap_remove(rng.gen_range(0..live.len()));
+                backlog.retire(id);
+            } else {
+                let tile = rng.gen_range(0u32..8);
+                let rounds = rng.gen_range(1u32..64);
+                let id = backlog.enqueue(tile, rounds, step as u64, step as u64 + 5);
+                live.push(id);
+            }
+            assert!(backlog.is_conserved(), "conservation broken at step {step}");
+            assert_eq!(backlog.in_flight(), live.len());
+        }
+        for id in live {
+            backlog.retire(id);
+        }
+        assert!(backlog.is_conserved());
+        assert_eq!(backlog.total_enqueued(), backlog.total_decoded());
+    });
+}
+
+/// The engines keep the backlog conserved end to end: every window submitted
+/// during a run is decoded by the time the run completes.
+#[test]
+fn simulated_runs_drain_the_decode_backlog() {
+    for_each_case("simulated_runs_drain_the_decode_backlog", |rng| {
+        let circuit = arb_circuit(rng);
+        let seed = rng.gen_range(0u64..50);
+        let decoder = if rng.gen_bool(0.5) {
+            DecoderConfig::fixed(rng.gen_range(0.25f64..2.0))
+        } else {
+            DecoderConfig::adaptive(rng.gen_range(0.25f64..2.0), rng.gen_range(1usize..5))
+        };
+        for scheduler in [SchedulerKind::Rescq, SchedulerKind::Greedy] {
+            let config = SimConfig::builder()
+                .scheduler(scheduler)
+                .decoder(decoder)
+                .seed(seed)
+                .max_cycles(500_000)
+                .build();
+            let r = simulate(&circuit, &config).unwrap();
+            assert_eq!(
+                r.counters.decode_windows,
+                r.decode_latency.count(),
+                "{scheduler}: every submitted window must be decoded and consumed"
+            );
+            assert_eq!(r.counters.decode_windows, r.counters.injections);
+        }
+    });
+}
+
+/// The ideal decoder is invisible: explicitly configuring it reproduces the
+/// default configuration's reports bit for bit, with zero stall rounds.
+#[test]
+fn ideal_decoder_reproduces_existing_results_exactly() {
+    for_each_case("ideal_decoder_reproduces_existing_results_exactly", |rng| {
+        let circuit = arb_circuit(rng);
+        let seed = rng.gen_range(0u64..50);
+        for scheduler in [
+            SchedulerKind::Rescq,
+            SchedulerKind::Greedy,
+            SchedulerKind::Autobraid,
+        ] {
+            let base = SimConfig::builder()
+                .scheduler(scheduler)
+                .seed(seed)
+                .max_cycles(500_000)
+                .build();
+            let explicit = SimConfig::builder()
+                .scheduler(scheduler)
+                .decoder(DecoderConfig::ideal())
+                .seed(seed)
+                .max_cycles(500_000)
+                .build();
+            let a = simulate(&circuit, &base).unwrap();
+            let b = simulate(&circuit, &explicit).unwrap();
+            assert_eq!(a, b, "{scheduler}: ideal decoder must be invisible");
+            assert_eq!(a.counters.decoder_stall_rounds, 0);
+            assert_eq!(a.decoder_stall_cycles(), 0.0);
+        }
+    });
 }
