@@ -5,6 +5,10 @@
 //! run moves from the preparation-limited regime into the decoder-limited
 //! one: feed-forward outcomes queue behind the decoder and stall cycles
 //! dominate the makespan.
+//!
+//! The grid runs on `rescq-harness`: circuit generation and fabric
+//! construction happen once and are shared across every (throughput, seed)
+//! point instead of being rebuilt per point.
 
 use rescq_bench::{experiments, print_header};
 
@@ -14,7 +18,8 @@ fn main() {
         "Decoder sweep — total cycles vs decoder throughput",
         "RESCQ on decoder_stress; fixed-latency decoder, ideal at tp=inf",
     );
-    let (rows, monotone) = experiments::decoder_sweep(&scale).expect("decoder sweep");
+    let (rows, monotone, cache) =
+        experiments::decoder_sweep_with_stats(&scale).expect("decoder sweep");
     println!(
         "{:<18} {:<9} {:>11} {:>12} {:>14} {:>13}",
         "workload", "decoder", "throughput", "mean cycles", "stall cycles", "peak backlog"
@@ -38,4 +43,5 @@ fn main() {
         "cycles monotonically non-decreasing as throughput drops: {}",
         if monotone { "yes" } else { "NO" }
     );
+    println!("artifact cache: {cache}");
 }

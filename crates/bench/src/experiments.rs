@@ -7,6 +7,7 @@
 
 use rescq_core::{KPolicy, SchedulerKind};
 use rescq_decoder::{DecoderConfig, DecoderKind};
+use rescq_harness::{run_sweep, CacheStats, DecoderPoint, RunOptions, SweepSpec};
 use rescq_rus::{PreparationModel, RusParams, TFactoryModel};
 use rescq_sim::runner::{geomean, run_seeds, SweepSummary};
 use rescq_sim::{LatencyHistogram, SimConfig, SimError};
@@ -375,50 +376,62 @@ pub struct DecoderSweepRow {
 /// dropped — the decoder-limited regime emerging from the
 /// preparation-limited one.
 pub fn decoder_sweep(scale: &ExperimentScale) -> Result<(Vec<DecoderSweepRow>, bool), SimError> {
+    decoder_sweep_with_stats(scale).map(|(rows, monotone, _)| (rows, monotone))
+}
+
+/// [`decoder_sweep`] plus the harness's artifact-cache counters: the whole
+/// grid shares one circuit generation and one fabric build, which is the
+/// point of routing the sweep through `rescq-harness`.
+pub fn decoder_sweep_with_stats(
+    scale: &ExperimentScale,
+) -> Result<(Vec<DecoderSweepRow>, bool, CacheStats), SimError> {
     let name: &'static str = if scale.quick {
         "decoder_stress_n9"
     } else {
         "decoder_stress_n16"
     };
-    let circuit = rescq_workloads::generate(name, 1).expect("stress family generates");
     // Changing decoder latency perturbs the whole schedule (and with it the
     // RUS outcome draws), so single-seed cycle counts are noisy; a floor of
     // 5 seeds keeps the sweep's means comparable across throughputs.
-    let seeds = scale.seeds.max(5);
-    let mut rows = Vec::new();
-    for tp in DECODER_THROUGHPUTS {
-        let mut cfg = base_config();
-        cfg.decoder = if tp.is_infinite() {
-            DecoderConfig::ideal()
-        } else {
-            DecoderConfig::fixed(tp)
-        };
-        let s = run_seeds(&circuit, &cfg, 1, seeds, scale.threads)?;
-        let mean_stall = s
-            .reports
+    let spec = SweepSpec {
+        workloads: vec![name.to_string()],
+        decoders: DECODER_THROUGHPUTS
             .iter()
-            .map(|r| r.decoder_stall_cycles())
-            .sum::<f64>()
-            / s.reports.len().max(1) as f64;
-        let peak = s
-            .reports
-            .iter()
-            .map(|r| r.counters.decoder_peak_backlog)
-            .max()
-            .unwrap_or(0);
-        rows.push(DecoderSweepRow {
-            name,
-            decoder: cfg.decoder.kind,
-            throughput: tp,
-            mean_cycles: s.mean_cycles(),
-            mean_stall_cycles: mean_stall,
-            peak_backlog: peak,
-        });
+            .map(|&tp| {
+                DecoderPoint::from(if tp.is_infinite() {
+                    DecoderConfig::ideal()
+                } else {
+                    DecoderConfig::fixed(tp)
+                })
+            })
+            .collect(),
+        seeds: scale.seeds.max(5),
+        ..SweepSpec::default()
+    };
+    let results = run_sweep(&spec, &RunOptions::with_threads(scale.threads))
+        .map_err(|e| SimError::BadInput(e.to_string()))?;
+    if let Some(e) = results.first_error() {
+        return Err(SimError::BadInput(e.to_string()));
     }
+    // Points expand in decoder order, so summaries line up with
+    // DECODER_THROUGHPUTS (descending).
+    let rows: Vec<DecoderSweepRow> = results
+        .summaries()
+        .iter()
+        .zip(DECODER_THROUGHPUTS)
+        .map(|(s, tp)| DecoderSweepRow {
+            name,
+            decoder: s.job.config.decoder.kind,
+            throughput: tp,
+            mean_cycles: s.mean_cycles,
+            mean_stall_cycles: s.mean_stall_cycles,
+            peak_backlog: s.peak_backlog,
+        })
+        .collect();
     let monotone = rows
         .windows(2)
         .all(|w| w[1].mean_cycles >= w[0].mean_cycles - 1e-9);
-    Ok((rows, monotone))
+    Ok((rows, monotone, results.cache))
 }
 
 // ---------------------------------------------------------------------
@@ -571,6 +584,28 @@ mod tests {
         assert!(last.mean_cycles > first.mean_cycles);
         assert_eq!(first.mean_stall_cycles, 0.0);
         assert!(last.mean_stall_cycles > 0.0);
+    }
+
+    #[test]
+    fn decoder_sweep_shares_artifacts_and_matches_direct_runner() {
+        let scale = ExperimentScale {
+            seeds: 3,
+            threads: 2,
+            quick: true,
+        };
+        let (rows, _, stats) = decoder_sweep_with_stats(&scale).expect("sweep runs");
+        // The whole 5-point grid shares one circuit and one fabric build.
+        assert_eq!(stats.circuit_builds, 1);
+        assert_eq!(stats.layout_builds, 1);
+        assert!(stats.circuit_hits >= 4);
+        // Routing through the harness must not change any number: each point
+        // equals the pre-harness per-point runner on the same configuration.
+        let circuit = rescq_workloads::generate("decoder_stress_n9", 1).unwrap();
+        let mut cfg = base_config();
+        cfg.decoder = DecoderConfig::fixed(0.5);
+        let direct = run_seeds(&circuit, &cfg, 1, 5, 2).unwrap();
+        let row = rows.iter().find(|r| r.throughput == 0.5).unwrap();
+        assert_eq!(row.mean_cycles, direct.mean_cycles());
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Stable, persistable hashing.
+//!
+//! `std::hash` makes no cross-process or cross-version guarantees, so
+//! anything written to disk (artifact-cache keys, sweep checkpoints) hashes
+//! through this fixed FNV-1a instead. One implementation serves the whole
+//! workspace — `Circuit::content_hash` and the harness's job fingerprints
+//! must never drift apart, or persisted checkpoints would silently
+//! invalidate.
+
+/// 64-bit FNV-1a over a byte stream. Deterministic across processes,
+/// platforms and standard-library versions.
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::fnv1a_64;
+///
+/// let h = fnv1a_64(b"rescq".iter().copied());
+/// assert_eq!(h, fnv1a_64(b"rescq".iter().copied()));
+/// assert_ne!(h, fnv1a_64(b"recsq".iter().copied()));
+/// ```
+pub fn fnv1a_64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(std::iter::empty()), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a".iter().copied()), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar".iter().copied()), 0x85944171f73967e8u64);
+    }
+}

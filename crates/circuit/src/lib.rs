@@ -28,6 +28,7 @@ mod angle;
 mod circuit;
 mod dag;
 mod gate;
+mod hash;
 pub mod parser;
 pub mod qasm;
 pub mod transpile;
@@ -36,4 +37,5 @@ pub use angle::Angle;
 pub use circuit::{Circuit, GateStats, QubitOutOfRange};
 pub use dag::{asap_layers, DependencyDag};
 pub use gate::{Gate, GateId, GateQubits, QubitId};
+pub use hash::fnv1a_64;
 pub use parser::{parse_circuit, write_circuit, ParseCircuitError};

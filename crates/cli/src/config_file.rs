@@ -133,6 +133,13 @@ pub fn parse_config(text: &str) -> Result<RunSpec, ConfigError> {
             "decoder_ring_capacity" => {
                 spec.config.decoder.ring_capacity = parse_u64(value)?.max(1) as usize;
             }
+            "decoder_prep" => {
+                spec.config.decoder.decode_prep = match value.to_ascii_lowercase().as_str() {
+                    "true" | "1" | "on" | "yes" => true,
+                    "false" | "0" | "off" | "no" => false,
+                    other => return Err(err(lineno, format!("bad bool `{other}`"))),
+                };
+            }
             other => return Err(err(lineno, format!("unknown key `{other}`"))),
         }
     }
@@ -166,6 +173,9 @@ pub fn write_config(spec: &RunSpec) -> String {
             "decoder = {}\ndecoder_throughput = {}\ndecoder_base_latency = {}\ndecoder_workers = {}\ndecoder_ring_capacity = {}\n",
             d.kind, d.throughput, d.base_latency, d.workers, d.ring_capacity
         ));
+        if d.decode_prep {
+            out.push_str("decoder_prep = true\n");
+        }
     }
     out
 }
@@ -233,7 +243,7 @@ base_seed = 7
     #[test]
     fn decoder_keys_parse_and_round_trip() {
         let spec = parse_config(
-            "decoder = adaptive\ndecoder_throughput = 0.5\ndecoder_workers = 8\ndecoder_ring_capacity = 32\ndecoder_base_latency = 3\n",
+            "decoder = adaptive\ndecoder_throughput = 0.5\ndecoder_workers = 8\ndecoder_ring_capacity = 32\ndecoder_base_latency = 3\ndecoder_prep = true\n",
         )
         .unwrap();
         assert_eq!(spec.config.decoder.kind, DecoderKind::Adaptive);
@@ -241,9 +251,11 @@ base_seed = 7
         assert_eq!(spec.config.decoder.workers, 8);
         assert_eq!(spec.config.decoder.ring_capacity, 32);
         assert_eq!(spec.config.decoder.base_latency, 3);
+        assert!(spec.config.decoder.decode_prep);
         let parsed = parse_config(&write_config(&spec)).unwrap();
         assert_eq!(parsed, spec);
         assert!(parse_config("decoder = warp\n").is_err());
+        assert!(parse_config("decoder_prep = maybe\n").is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sim run <config-file> [--csv DIR]        one experiment from a config file
+//! sim sweep <spec.toml> [options]          a declarative parameter sweep (rescq-harness)
 //! sim bench <name> [options]               one Table 3 benchmark, all schedulers
 //! sim list                                  list Table 3 benchmarks
 //! sim fig <3|5|10|11|12|13|14|15|16|a2>     regenerate a figure (--full for paper scale)
@@ -20,6 +21,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("list") => cmd_list(),
         Some("table3") => cmd_table3(),
@@ -44,9 +46,11 @@ fn print_usage() {
     println!();
     println!("Usage:");
     println!("  sim run <config-file> [--csv DIR]   run an experiment from a config file");
+    println!("  sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE]");
+    println!("            [--checkpoint FILE]       run a declarative parameter sweep");
     println!("  sim bench <name> [--seeds N] [--compression F] [--distance D] [--csv DIR]");
     println!("            [--decoder ideal|fixed|adaptive] [--decoder-throughput F]");
-    println!("            [--decoder-workers N]");
+    println!("            [--decoder-workers N] [--decoder-prep]");
     println!("  sim list                            list Table 3 benchmarks");
     println!("  sim table3                          regenerate Table 3");
     println!("  sim fig <3|5|10|11|12|13|14|15|16|a2|decoder> [--full]");
@@ -121,6 +125,86 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     run_spec(&spec, flag_value(args, "--csv").map(PathBuf::from))
 }
 
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    use rescq_harness::{run_sweep, RunOptions, SweepSpec};
+    let path = args.first().filter(|a| !a.starts_with("--")).ok_or(
+        "usage: sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE] [--checkpoint FILE]",
+    )?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
+    let mut opts = RunOptions::default();
+    if let Some(t) = flag_value(args, "--threads") {
+        opts.threads = t.parse().map_err(|_| "bad --threads")?;
+    }
+    opts.checkpoint = flag_value(args, "--checkpoint").map(PathBuf::from);
+
+    let jobs = spec.num_points() * spec.seeds as usize;
+    println!(
+        "sweep: {} points x {} seeds = {} jobs",
+        spec.num_points(),
+        spec.seeds,
+        jobs
+    );
+    let results = run_sweep(&spec, &opts).map_err(|e| e.to_string())?;
+
+    println!(
+        "{:<20} {:<10} {:>5} {:>6} {:>8} {:>10} {:>10} {:>10} {:>8} {:>7}",
+        "workload",
+        "scheduler",
+        "d",
+        "comp",
+        "decoder",
+        "mean cy",
+        "p50 cy",
+        "p99 cy",
+        "stall%",
+        "seeds"
+    );
+    for s in results.summaries() {
+        println!(
+            "{:<20} {:<10} {:>5} {:>5.0}% {:>8} {:>10.1} {:>10.1} {:>10.1} {:>7.1}% {:>7}",
+            s.job.workload,
+            s.job.config.scheduler.to_string(),
+            s.job.config.distance,
+            s.job.config.compression * 100.0,
+            s.job.decoder.to_string(),
+            s.mean_cycles,
+            s.p50_cycles,
+            s.p99_cycles,
+            s.stall_fraction * 100.0,
+            s.completed,
+        );
+    }
+    let resumed = results.resumed_count();
+    println!(
+        "{} jobs in {:.2}s ({} resumed from checkpoint); cache: {}",
+        results.records.len(),
+        results.elapsed_secs,
+        resumed,
+        results.cache
+    );
+
+    if let Some(csv) = flag_value(args, "--csv") {
+        std::fs::write(&csv, results.to_csv()).map_err(|e| format!("{csv}: {e}"))?;
+        println!("per-job rows written to {csv}");
+    }
+    if let Some(json) = flag_value(args, "--json") {
+        std::fs::write(&json, results.to_json()).map_err(|e| format!("{json}: {e}"))?;
+        println!("summary json written to {json}");
+    }
+    if let Some(first) = results.first_error() {
+        let failed = results
+            .records
+            .iter()
+            .filter(|r| r.outcome.is_err())
+            .count();
+        return Err(format!(
+            "{failed} of {jobs} jobs failed; first error: {first}"
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let name = args
         .first()
@@ -147,6 +231,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     if let Some(w) = flag_value(args, "--decoder-workers") {
         spec.config.decoder.workers = w.parse().map_err(|_| "bad --decoder-workers")?;
+    }
+    if args.iter().any(|a| a == "--decoder-prep") {
+        spec.config.decoder.decode_prep = true;
     }
     let csv = flag_value(args, "--csv").map(PathBuf::from);
     for sched in SchedulerKind::ALL {

@@ -65,6 +65,12 @@ pub struct DecoderConfig {
     /// Capacity of the bounded syndrome ring buffer (`adaptive` only).
     /// Submissions past capacity stall until a worker frees a slot.
     pub ring_capacity: usize,
+    /// Route `|mθ⟩` preparation-verification outcomes through the decoder
+    /// too (in hardware the verification is itself a decoded measurement).
+    /// Off by default so existing runs stay bit-identical; when on, every
+    /// completed preparation submits a one-cycle syndrome window and the
+    /// state only becomes usable once that window is decoded.
+    pub decode_prep: bool,
 }
 
 impl Default for DecoderConfig {
@@ -75,6 +81,7 @@ impl Default for DecoderConfig {
             base_latency: 1,
             workers: 4,
             ring_capacity: 64,
+            decode_prep: false,
         }
     }
 }
@@ -104,25 +111,35 @@ impl DecoderConfig {
             ..DecoderConfig::default()
         }
     }
+
+    /// The same configuration with preparation-verification decoding on.
+    pub fn with_prep_decoding(mut self) -> Self {
+        self.decode_prep = true;
+        self
+    }
 }
 
 impl fmt::Display for DecoderConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
-            DecoderKind::Ideal => write!(f, "ideal"),
+            DecoderKind::Ideal => write!(f, "ideal")?,
             DecoderKind::Fixed => {
                 write!(
                     f,
                     "fixed(tp={}, base={})",
                     self.throughput, self.base_latency
-                )
+                )?;
             }
             DecoderKind::Adaptive => write!(
                 f,
                 "adaptive(tp={}, base={}, W={}, ring={})",
                 self.throughput, self.base_latency, self.workers, self.ring_capacity
-            ),
+            )?,
         }
+        if self.decode_prep {
+            write!(f, "+prep")?;
+        }
+        Ok(())
     }
 }
 
@@ -132,7 +149,17 @@ mod tests {
 
     #[test]
     fn default_is_ideal() {
-        assert_eq!(DecoderConfig::default().kind, DecoderKind::Ideal);
+        let d = DecoderConfig::default();
+        assert_eq!(d.kind, DecoderKind::Ideal);
+        assert!(!d.decode_prep);
+    }
+
+    #[test]
+    fn prep_decoding_opt_in() {
+        let d = DecoderConfig::fixed(0.5).with_prep_decoding();
+        assert!(d.decode_prep);
+        assert!(d.to_string().ends_with("+prep"));
+        assert!(!DecoderConfig::fixed(0.5).to_string().contains("+prep"));
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub struct DecoderRuntime {
     stats: DecoderStats,
     /// Syndrome rounds per lattice-surgery cycle (the code distance).
     rounds_per_cycle: u32,
+    /// Whether preparation-verification windows are decoded too.
+    decode_prep: bool,
 }
 
 impl DecoderRuntime {
@@ -43,7 +45,14 @@ impl DecoderRuntime {
             backlog: DecodeBacklog::new(),
             stats: DecoderStats::default(),
             rounds_per_cycle: rounds_per_cycle.max(1),
+            decode_prep: config.decode_prep,
         }
+    }
+
+    /// Whether the engines should route `|mθ⟩` preparation-verification
+    /// outcomes through this decoder ([`DecoderConfig::decode_prep`]).
+    pub fn decodes_prep(&self) -> bool {
+        self.decode_prep
     }
 
     /// Submits a syndrome window of `rounds` measurement rounds from `tile`

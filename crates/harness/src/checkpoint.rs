@@ -1,0 +1,248 @@
+//! Resumable sweep checkpoints.
+//!
+//! Every completed job appends one line — `<fingerprint-hex> <csv-row>` —
+//! to the checkpoint file, flushed immediately so a killed sweep loses at
+//! most in-flight jobs. On restart the file is loaded into a map keyed by
+//! job fingerprint; jobs whose fingerprint is present are restored instead
+//! of re-run. The fingerprint covers every input that determines a job's
+//! result — the workload's *content hash* (so an edited `file:` circuit
+//! invalidates its old rows), the full simulation configuration and the
+//! seed — making stale restores impossible without storing the whole spec.
+
+use crate::results::{parse_csv_metrics, JobMetrics};
+use crate::spec::JobSpec;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const HEADER: &str = "# rescq-harness checkpoint v1";
+
+/// The stable fingerprint of one job given the content hash of its circuit.
+///
+/// Two jobs collide only if every result-determining input matches, in
+/// which case their results are identical anyway (the simulation is
+/// deterministic).
+pub fn job_fingerprint(job: &JobSpec, circuit_hash: u64, circuit_seed: u64) -> u64 {
+    let c = &job.config;
+    let canonical = format!(
+        "w={}|ch={circuit_hash}|cs={circuit_seed}|s={}|d={}|p={}|k={:?}|aw={}|layout={:?}|bc={:?}|comp={}|compseed={}|dec={:?}|seed={}|mc={}|tau={:?}|costs={:?}|cal={:?}",
+        job.workload,
+        c.scheduler,
+        c.distance,
+        c.physical_error_rate.to_bits(),
+        c.k_policy,
+        c.activity_window,
+        c.layout,
+        c.block_columns,
+        c.compression.to_bits(),
+        c.compression_seed,
+        c.decoder,
+        c.seed,
+        c.max_cycles,
+        c.tau_model,
+        c.costs,
+        c.calibration,
+    );
+    rescq_circuit::fnv1a_64(canonical.bytes())
+}
+
+/// A checkpoint file: previously completed rows plus an appender for new
+/// completions.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    completed: HashMap<u64, JobMetrics>,
+    writer: Mutex<std::fs::File>,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) a checkpoint file and loads its completed rows.
+    ///
+    /// Malformed lines are skipped — a truncated final line from a killed
+    /// run must not poison the restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error string when the file cannot be opened.
+    pub fn open(path: &Path) -> Result<Self, String> {
+        let mut completed = HashMap::new();
+        // A kill mid-write can leave a final line without its newline; the
+        // next append must not glue a fresh record onto the partial line.
+        let mut needs_newline = false;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            needs_newline = !text.is_empty() && !text.ends_with('\n');
+            for line in text.lines() {
+                if line.starts_with('#') || line.trim().is_empty() {
+                    continue;
+                }
+                let Some((fp, row)) = line.split_once(' ') else {
+                    continue;
+                };
+                let Ok(fp) = u64::from_str_radix(fp, 16) else {
+                    continue;
+                };
+                if let Ok(metrics) = parse_csv_metrics(row) {
+                    completed.insert(fp, metrics);
+                }
+            }
+        }
+        let fresh = !path.exists();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let ckpt = Checkpoint {
+            path: path.to_path_buf(),
+            completed,
+            writer: Mutex::new(file),
+        };
+        if fresh {
+            ckpt.write_line(HEADER);
+        } else if needs_newline {
+            ckpt.write_line("");
+        }
+        Ok(ckpt)
+    }
+
+    /// The metrics previously recorded for `fingerprint`, if any.
+    pub fn lookup(&self, fingerprint: u64) -> Option<&JobMetrics> {
+        self.completed.get(&fingerprint)
+    }
+
+    /// Number of rows loaded from disk.
+    pub fn loaded(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Records a completed job (flushed immediately).
+    pub fn record(&self, fingerprint: u64, csv_row: &str) {
+        self.write_line(&format!("{fingerprint:016x} {csv_row}"));
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut w = self.writer.lock().expect("checkpoint writer poisoned");
+        // Best-effort: checkpoint write failures must not kill the sweep.
+        if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+            eprintln!(
+                "warning: checkpoint write to {} failed",
+                self.path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    #[test]
+    fn fingerprints_separate_jobs() {
+        let spec = SweepSpec {
+            workloads: vec!["dnn_n16".into()],
+            seeds: 2,
+            ..SweepSpec::default()
+        };
+        let jobs = spec.expand();
+        let a = job_fingerprint(&jobs[0], 1234, 1);
+        let b = job_fingerprint(&jobs[1], 1234, 1);
+        assert_ne!(a, b, "different seeds must fingerprint differently");
+        assert_eq!(a, job_fingerprint(&jobs[0], 1234, 1), "stable");
+        assert_ne!(
+            a,
+            job_fingerprint(&jobs[0], 5678, 1),
+            "circuit content is part of the fingerprint"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let dir = std::env::temp_dir().join("rescq_harness_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let spec = SweepSpec {
+            workloads: vec!["dnn_n16".into()],
+            seeds: 1,
+            ..SweepSpec::default()
+        };
+        let job = spec.expand().remove(0);
+        let metrics = JobMetrics {
+            seed: 1,
+            total_cycles: 321.125,
+            idle_fraction: 0.5,
+            stall_cycles: 0.0,
+            decode_windows: 3,
+            peak_backlog: 1,
+            injections: 9,
+            injection_failures: 4,
+            preps_started: 12,
+            preps_cancelled: 0,
+        };
+        let fp = job_fingerprint(&job, 42, 1);
+        {
+            let ckpt = Checkpoint::open(&path).unwrap();
+            assert_eq!(ckpt.loaded(), 0);
+            ckpt.record(fp, &crate::results::csv_row(&job, &metrics));
+        }
+        let reopened = Checkpoint::open(&path).unwrap();
+        assert_eq!(reopened.loaded(), 1);
+        assert_eq!(reopened.lookup(fp), Some(&metrics));
+        assert_eq!(reopened.lookup(fp ^ 1), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_final_line_does_not_swallow_next_record() {
+        let dir = std::env::temp_dir().join("rescq_harness_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.ckpt");
+        // A kill mid-write left a partial line with no trailing newline.
+        std::fs::write(&path, "# header\n0000000000000abc workload,trunc").unwrap();
+
+        let spec = SweepSpec {
+            workloads: vec!["dnn_n16".into()],
+            seeds: 1,
+            ..SweepSpec::default()
+        };
+        let job = spec.expand().remove(0);
+        let metrics = JobMetrics {
+            seed: 1,
+            total_cycles: 10.5,
+            idle_fraction: 0.25,
+            stall_cycles: 0.0,
+            decode_windows: 0,
+            peak_backlog: 0,
+            injections: 1,
+            injection_failures: 0,
+            preps_started: 1,
+            preps_cancelled: 0,
+        };
+        let fp = job_fingerprint(&job, 7, 1);
+        {
+            let ckpt = Checkpoint::open(&path).unwrap();
+            ckpt.record(fp, &crate::results::csv_row(&job, &metrics));
+        }
+        let reopened = Checkpoint::open(&path).unwrap();
+        assert_eq!(
+            reopened.lookup(fp),
+            Some(&metrics),
+            "the record appended after a truncated line must survive"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_lines_skipped() {
+        let dir = std::env::temp_dir().join("rescq_harness_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("malformed.ckpt");
+        std::fs::write(&path, "# header\nnot a line\nzzzz bad,row\n").unwrap();
+        let ckpt = Checkpoint::open(&path).unwrap();
+        assert_eq!(ckpt.loaded(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

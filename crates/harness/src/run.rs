@@ -1,0 +1,254 @@
+//! The sweep executor: a pool of scoped worker threads pulling jobs from a
+//! shared atomic queue, with artifact sharing and checkpoint restore.
+//!
+//! Workers claim the next job index with a single `fetch_add` — the classic
+//! shared-queue work-stealing arrangement — so a slow point (e.g. a heavily
+//! compressed fabric) never idles the rest of the pool the way per-worker
+//! chunking would. Every worker returns `(index, record)` pairs; the
+//! aggregator writes them back into an index-addressed table, which makes
+//! the final ordering (and therefore the CSV/JSON output) byte-identical
+//! for any worker count.
+
+use crate::cache::ArtifactCache;
+use crate::checkpoint::{job_fingerprint, Checkpoint};
+use crate::results::{csv_row, JobMetrics, JobRecord, SweepResults};
+use crate::spec::{JobSpec, SpecError, SweepSpec};
+use rescq_sim::{simulate_prepared, SimArtifacts};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Execution options of one sweep run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// Checkpoint file for resumable execution.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl RunOptions {
+    /// Options with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        RunOptions {
+            threads,
+            ..RunOptions::default()
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Harness-level failure (spec or checkpoint I/O). Job-level simulation
+/// failures are recorded per job, not raised — one diverging point must not
+/// discard a thousand completed ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// The checkpoint file could not be opened.
+    Io(String),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Spec(e) => write!(f, "{e}"),
+            HarnessError::Io(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<SpecError> for HarnessError {
+    fn from(e: SpecError) -> Self {
+        HarnessError::Spec(e)
+    }
+}
+
+/// Runs one job end to end: resolve artifacts from the cache, restore from
+/// the checkpoint if possible, otherwise simulate and checkpoint.
+fn run_job(
+    job: &JobSpec,
+    spec: &SweepSpec,
+    cache: &ArtifactCache,
+    checkpoint: Option<&Checkpoint>,
+) -> JobRecord {
+    let (circuit, dag) = match cache.circuit(&job.workload, spec.circuit_seed) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return JobRecord {
+                job: job.clone(),
+                outcome: Err(e),
+                resumed: false,
+            }
+        }
+    };
+    let fingerprint = job_fingerprint(job, circuit.content_hash(), spec.circuit_seed);
+    if let Some(metrics) = checkpoint.and_then(|c| c.lookup(fingerprint)) {
+        return JobRecord {
+            job: job.clone(),
+            outcome: Ok(metrics.clone()),
+            resumed: true,
+        };
+    }
+    let outcome = cache
+        .layout(circuit.num_qubits(), &job.config)
+        .and_then(|(layout, graph)| {
+            let artifacts = SimArtifacts::assemble(circuit, dag, layout, graph);
+            simulate_prepared(&artifacts, &job.config).map_err(|e| e.to_string())
+        })
+        .map(|report| JobMetrics::from_report(&report));
+    if let (Some(ckpt), Ok(metrics)) = (checkpoint, &outcome) {
+        ckpt.record(fingerprint, &csv_row(job, metrics));
+    }
+    JobRecord {
+        job: job.clone(),
+        outcome,
+        resumed: false,
+    }
+}
+
+/// Executes a sweep spec on a worker pool with shared artifact caching.
+///
+/// Results come back in deterministic job order regardless of
+/// `opts.threads`; see the crate docs for the determinism contract.
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] for spec validation or checkpoint-open
+/// failures. Individual job failures are recorded in the returned
+/// [`SweepResults`] (check [`SweepResults::first_error`]).
+pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<SweepResults, HarnessError> {
+    spec.validate()?;
+    let started = Instant::now();
+    let jobs = spec.expand();
+    let cache = ArtifactCache::new();
+    let checkpoint = match &opts.checkpoint {
+        Some(path) => Some(Checkpoint::open(path).map_err(HarnessError::Io)?),
+        None => None,
+    };
+    let checkpoint = checkpoint.as_ref();
+    let threads = opts.resolved_threads().clamp(1, jobs.len().max(1));
+
+    let mut table: Vec<Option<JobRecord>> = jobs.iter().map(|_| None).collect();
+    if threads <= 1 {
+        for (slot, job) in table.iter_mut().zip(&jobs) {
+            *slot = Some(run_job(job, spec, &cache, checkpoint));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, JobRecord)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(i) else { break };
+                            local.push((i, run_job(job, spec, &cache, checkpoint)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        for (i, record) in collected.into_iter().flatten() {
+            table[i] = Some(record);
+        }
+    }
+
+    Ok(SweepResults {
+        spec: spec.clone(),
+        records: table
+            .into_iter()
+            .map(|r| r.expect("every job slot filled"))
+            .collect(),
+        cache: cache.stats(),
+        elapsed_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            workloads: vec!["decoder_stress_n4".into()],
+            compressions: vec![0.0, 0.5],
+            seeds: 2,
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn sweep_completes_every_job_in_order() {
+        let spec = tiny_spec();
+        let results = run_sweep(&spec, &RunOptions::with_threads(2)).unwrap();
+        assert_eq!(results.records.len(), 4);
+        assert!(results.first_error().is_none());
+        assert!(results
+            .records
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.job.index == i));
+        // One circuit build serves all four jobs; one layout per compression.
+        assert_eq!(results.cache.circuit_builds, 1);
+        assert_eq!(results.cache.layout_builds, 2);
+    }
+
+    #[test]
+    fn unknown_workload_is_recorded_not_fatal() {
+        let spec = SweepSpec {
+            workloads: vec!["decoder_stress_n4".into(), "nope_n0".into()],
+            seeds: 1,
+            ..SweepSpec::default()
+        };
+        let results = run_sweep(&spec, &RunOptions::with_threads(1)).unwrap();
+        assert_eq!(results.records.len(), 2);
+        assert!(results.records[0].outcome.is_ok());
+        assert!(results.records[1].outcome.is_err());
+        assert!(results.first_error().unwrap().contains("nope_n0"));
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_jobs() {
+        let dir = std::env::temp_dir().join("rescq_harness_run_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let spec = tiny_spec();
+        let opts = RunOptions {
+            threads: 2,
+            checkpoint: Some(path.clone()),
+        };
+        let first = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(first.resumed_count(), 0);
+        let second = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(second.resumed_count(), 4, "all jobs restore from disk");
+        assert_eq!(first.to_csv(), second.to_csv(), "restored rows identical");
+
+        // A different base seed shares no fingerprints with the checkpoint.
+        let moved = SweepSpec {
+            base_seed: 100,
+            ..spec
+        };
+        let third = run_sweep(&moved, &opts).unwrap();
+        assert_eq!(third.resumed_count(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

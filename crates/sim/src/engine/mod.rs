@@ -9,6 +9,7 @@
 mod realtime;
 mod static_sched;
 
+use crate::artifacts::SimArtifacts;
 use crate::fabric::Fabric;
 use crate::metrics::ExecutionReport;
 use crate::SimConfig;
@@ -16,10 +17,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rescq_circuit::{Circuit, QubitId};
 use rescq_core::SchedulerKind;
-use rescq_lattice::Layout;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,23 +107,26 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// Builds the (possibly compressed) fabric for a configuration.
-pub(crate) fn build_fabric(circuit: &Circuit, config: &SimConfig) -> Result<Fabric, SimError> {
-    if circuit.num_qubits() == 0 {
-        return Err(SimError::BadInput("circuit has no qubits".into()));
+/// Runs the engines over a pre-built artifact bundle (the shared path; the
+/// bundle's pieces are only read, never mutated).
+pub(crate) fn run_with_artifacts(
+    artifacts: &SimArtifacts,
+    config: &SimConfig,
+) -> Result<ExecutionReport, SimError> {
+    let fabric = Fabric::new(
+        artifacts.layout.clone(),
+        artifacts.graph.clone(),
+        config.rounds_per_cycle(),
+    );
+    // Separate RNG stream per (seed, scheduler) so schedulers see the same
+    // seed namespace but their own draw sequences don't alias.
+    let rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let circuit = &artifacts.circuit;
+    let dag = artifacts.dag.clone();
+    match config.scheduler {
+        SchedulerKind::Rescq => realtime::run_realtime(circuit, dag, config, fabric, rng),
+        kind => static_sched::run_static(circuit, dag, config, kind, fabric, rng),
     }
-    let mut layout = match config.block_columns {
-        Some(cols) => Layout::with_block_columns(config.layout, circuit.num_qubits(), cols),
-        None => Layout::new(config.layout, circuit.num_qubits()),
-    }
-    .map_err(|e| SimError::BadInput(e.to_string()))?;
-    if config.compression > 0.0 {
-        layout.compress(config.compression, config.compression_seed);
-    }
-    if !layout.is_routable() {
-        return Err(SimError::BadInput("layout is not routable".into()));
-    }
-    Ok(Fabric::new(layout, config.rounds_per_cycle()))
 }
 
 /// Runs one seeded simulation of `circuit` under `config` and returns its
@@ -148,14 +152,8 @@ pub(crate) fn build_fabric(circuit: &Circuit, config: &SimConfig) -> Result<Fabr
 /// assert!(report.total_cycles() > 0.0);
 /// ```
 pub fn simulate(circuit: &Circuit, config: &SimConfig) -> Result<ExecutionReport, SimError> {
-    let fabric = build_fabric(circuit, config)?;
-    // Separate RNG stream per (seed, scheduler) so schedulers see the same
-    // seed namespace but their own draw sequences don't alias.
-    let rng = ChaCha8Rng::seed_from_u64(config.seed);
-    match config.scheduler {
-        SchedulerKind::Rescq => realtime::run_realtime(circuit, config, fabric, rng),
-        kind => static_sched::run_static(circuit, config, kind, fabric, rng),
-    }
+    let artifacts = SimArtifacts::prepare(Arc::new(circuit.clone()), config)?;
+    run_with_artifacts(&artifacts, config)
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use rescq_core::{
 use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::{AncillaIndex, EdgeType};
 use rescq_rus::{InjectionLadder, LadderStep, PreparationModel};
+use std::sync::Arc;
 
 /// Cycles without any gate completion before the stall breaker fires.
 const STALL_BREAK_CYCLES: u64 = 300;
@@ -96,6 +97,16 @@ enum Ev {
         success: bool,
         window: WindowId,
     },
+    /// The classical decoder finished a preparation-verification window
+    /// ([`rescq_decoder::DecoderConfig::decode_prep`]); the prepared state
+    /// becomes usable now.
+    PrepDecoded {
+        ancilla: AncillaIndex,
+        task: TaskId,
+        angle: Angle,
+        epoch: u64,
+        window: WindowId,
+    },
     RotationDone {
         task: TaskId,
         qubit: QubitId,
@@ -111,7 +122,7 @@ enum Ev {
 
 struct RtEngine<'a> {
     circuit: &'a Circuit,
-    dag: DependencyDag,
+    dag: Arc<DependencyDag>,
     fabric: Fabric,
     costs: SurgeryCosts,
     d: u32,
@@ -159,11 +170,11 @@ struct RtEngine<'a> {
 /// Runs the realtime RESCQ schedule.
 pub(crate) fn run_realtime(
     circuit: &Circuit,
+    dag: Arc<DependencyDag>,
     config: &SimConfig,
     fabric: Fabric,
     rng: ChaCha8Rng,
 ) -> Result<ExecutionReport, SimError> {
-    let dag = DependencyDag::new(circuit);
     let d = config.rounds_per_cycle();
     let prep_model = PreparationModel::with_calibration(config.rus_params(), config.calibration);
     let num_ancillas = fabric.num_ancillas();
@@ -1163,7 +1174,43 @@ impl RtEngine<'_> {
                 task,
                 angle,
                 epoch,
-            } => self.on_prep_done(ancilla, task, angle, epoch),
+            } => {
+                // Verification of the prepared state is itself a decoded
+                // measurement when `decode_prep` is on: the state becomes
+                // usable only once its one-cycle window is decoded.
+                if self.decoder.decodes_prep() {
+                    let (window, ready_at) = self.decoder.submit(ancilla, self.d, self.clock);
+                    if ready_at > self.clock {
+                        self.events.push(
+                            ready_at,
+                            Ev::PrepDecoded {
+                                ancilla,
+                                task,
+                                angle,
+                                epoch,
+                                window,
+                            },
+                        );
+                        return;
+                    }
+                    let cycles = self.decoder.retire(window, self.clock);
+                    self.decode_latency.record(cycles);
+                }
+                self.on_prep_done(ancilla, task, angle, epoch);
+            }
+            Ev::PrepDecoded {
+                ancilla,
+                task,
+                angle,
+                epoch,
+                window,
+            } => {
+                // Retire unconditionally (backlog conservation), then let the
+                // epoch check in `on_prep_done` drop cancelled preparations.
+                let cycles = self.decoder.retire(window, self.clock);
+                self.decode_latency.record(cycles);
+                self.on_prep_done(ancilla, task, angle, epoch);
+            }
             Ev::InjectDone {
                 task,
                 holder,

@@ -24,6 +24,7 @@ use rescq_core::{plan_static_route, SchedulerKind, StaticRouteOutcome};
 use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::AncillaIndex;
 use rescq_rus::{InjectionLadder, PreparationModel};
+use std::sync::Arc;
 
 /// Per-gate state within the current layer.
 #[derive(Debug)]
@@ -78,6 +79,12 @@ enum Ev {
         success: bool,
         window: WindowId,
     },
+    /// The classical decoder finished a preparation-verification window
+    /// (`DecoderConfig::decode_prep`); the prepared state is usable now.
+    PrepDecoded {
+        idx: usize,
+        window: WindowId,
+    },
     RotationDone {
         idx: usize,
         qubit: QubitId,
@@ -88,12 +95,12 @@ enum Ev {
 /// Runs a static baseline schedule.
 pub(crate) fn run_static(
     circuit: &Circuit,
+    dag: Arc<DependencyDag>,
     config: &SimConfig,
     kind: SchedulerKind,
     mut fabric: Fabric,
     mut rng: ChaCha8Rng,
 ) -> Result<ExecutionReport, SimError> {
-    let dag = DependencyDag::new(circuit);
     let d = config.rounds_per_cycle();
     let prep_model = PreparationModel::with_calibration(config.rus_params(), config.calibration);
     let costs = config.costs;
@@ -429,6 +436,27 @@ fn handle_event(
             *remaining -= 1;
         }
         Ev::PrepDone(idx) => {
+            // With `decode_prep` on, the verification measurement's window
+            // must be decoded before the state counts as prepared.
+            if decoder.decodes_prep() {
+                let tile = match &gates[idx].1 {
+                    LayerGate::Rz { designated, .. } => *designated,
+                    _ => 0,
+                };
+                let (window, ready_at) = decoder.submit(tile, d, now);
+                if ready_at > now {
+                    events.push(ready_at, Ev::PrepDecoded { idx, window });
+                    return;
+                }
+                decode_latency.record(decoder.retire(window, now));
+            }
+            counters.preps_succeeded += 1;
+            if let (_, LayerGate::Rz { phase, .. }) = &mut gates[idx] {
+                *phase = RzPhase::ReadyToInject;
+            }
+        }
+        Ev::PrepDecoded { idx, window } => {
+            decode_latency.record(decoder.retire(window, now));
             counters.preps_succeeded += 1;
             if let (_, LayerGate::Rz { phase, .. }) = &mut gates[idx] {
                 *phase = RzPhase::ReadyToInject;

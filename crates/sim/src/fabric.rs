@@ -4,14 +4,19 @@
 
 use rescq_circuit::QubitId;
 use rescq_lattice::{AncillaGraph, AncillaIndex, Layout, Orientation};
+use std::sync::Arc;
 
 /// Mutable fabric state threaded through an engine run.
+///
+/// The static geometry (`layout`, `graph`) is held behind [`Arc`]s so sweep
+/// runners can share one build across many concurrent runs; everything
+/// mutable is per-run.
 #[derive(Debug)]
 pub struct Fabric {
-    /// The static layout (tiles, blocks, adjacency).
-    pub layout: Layout,
-    /// Dense-indexed ancilla routing graph.
-    pub graph: AncillaGraph,
+    /// The static layout (tiles, blocks, adjacency), shared read-only.
+    pub layout: Arc<Layout>,
+    /// Dense-indexed ancilla routing graph, shared read-only.
+    pub graph: Arc<AncillaGraph>,
     /// Rounds per lattice-surgery cycle (`d`).
     pub rounds_per_cycle: u32,
     /// Per-qubit patch orientation (flips on H and edge rotation).
@@ -28,9 +33,9 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Builds the runtime state over a layout.
-    pub fn new(layout: Layout, rounds_per_cycle: u32) -> Self {
-        let graph = AncillaGraph::from_grid(layout.grid());
+    /// Builds the runtime state over a shared layout and its routing graph
+    /// (`graph` must be `AncillaGraph::from_grid(layout.grid())`).
+    pub fn new(layout: Arc<Layout>, graph: Arc<AncillaGraph>, rounds_per_cycle: u32) -> Self {
         let nq = layout.num_qubits() as usize;
         let na = graph.len();
         Fabric {
@@ -149,7 +154,9 @@ mod tests {
     use rescq_lattice::LayoutKind;
 
     fn fabric() -> Fabric {
-        Fabric::new(Layout::new(LayoutKind::Star2x2, 4).unwrap(), 7)
+        let layout = Arc::new(Layout::new(LayoutKind::Star2x2, 4).unwrap());
+        let graph = Arc::new(AncillaGraph::from_grid(layout.grid()));
+        Fabric::new(layout, graph, 7)
     }
 
     #[test]

@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifacts;
 mod config;
 mod engine;
 mod fabric;
 mod metrics;
 pub mod runner;
 
+pub use artifacts::{build_layout, simulate_prepared, SimArtifacts};
 pub use config::{SimConfig, SimConfigBuilder};
 pub use engine::{simulate, SimError};
 pub use fabric::Fabric;

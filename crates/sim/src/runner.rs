@@ -3,9 +3,11 @@
 //! (Fig 10); this module runs those sweeps, in parallel across worker
 //! threads.
 
-use crate::{simulate, ExecutionReport, SimConfig, SimError};
+use crate::artifacts::{simulate_prepared, SimArtifacts};
+use crate::{ExecutionReport, SimConfig, SimError};
 use rescq_circuit::Circuit;
 use std::fmt;
+use std::sync::Arc;
 
 /// Aggregate statistics of a multi-seed sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +84,10 @@ impl fmt::Display for SweepSummary {
 /// Runs `num_seeds` simulations of `circuit` (seeds `base_seed..`), in
 /// parallel across up to `threads` workers.
 ///
+/// The circuit's DAG and the fabric layout are built once and shared
+/// read-only across every seed (they depend only on the configuration, not
+/// the seed), so adding seeds costs only engine time.
+///
 /// # Errors
 ///
 /// Returns the first [`SimError`] encountered (runs are independent, so any
@@ -93,6 +99,7 @@ pub fn run_seeds(
     num_seeds: u64,
     threads: usize,
 ) -> Result<SweepSummary, SimError> {
+    let artifacts = SimArtifacts::prepare(Arc::new(circuit.clone()), config)?;
     let seeds: Vec<u64> = (0..num_seeds).map(|i| base_seed + i).collect();
     let threads = threads.max(1).min(seeds.len().max(1));
     let mut results: Vec<Option<Result<ExecutionReport, SimError>>> =
@@ -102,17 +109,18 @@ pub fn run_seeds(
         for (slot, &seed) in results.iter_mut().zip(&seeds) {
             let mut cfg = config.clone();
             cfg.seed = seed;
-            *slot = Some(simulate(circuit, &cfg));
+            *slot = Some(simulate_prepared(&artifacts, &cfg));
         }
     } else {
         let chunk = seeds.len().div_ceil(threads);
+        let artifacts = &artifacts;
         std::thread::scope(|scope| {
             for (slots, seed_chunk) in results.chunks_mut(chunk).zip(seeds.chunks(chunk)) {
                 scope.spawn(move || {
                     for (slot, &seed) in slots.iter_mut().zip(seed_chunk) {
                         let mut cfg = config.clone();
                         cfg.seed = seed;
-                        *slot = Some(simulate(circuit, &cfg));
+                        *slot = Some(simulate_prepared(artifacts, &cfg));
                     }
                 });
             }

@@ -3,6 +3,7 @@
 
 use rescq_circuit::{Angle, Circuit};
 use rescq_core::{KPolicy, SchedulerKind};
+use rescq_decoder::DecoderConfig;
 use rescq_rus::PrepCalibration;
 use rescq_sim::{simulate, SimConfig};
 
@@ -215,6 +216,53 @@ fn single_qubit_program() {
         let r = simulate(&c, &config(s, 8)).unwrap();
         assert_eq!(r.gates_executed, 3, "{s}");
     }
+}
+
+#[test]
+fn prep_decoding_flag_adds_windows_and_never_speeds_up() {
+    // ROADMAP follow-on: |mθ⟩ preparation verification is itself a decoded
+    // measurement. With `decode_prep` every successful preparation submits a
+    // window; under a slow decoder the makespan cannot shrink, and with the
+    // flag off behaviour is bit-identical to the decoder-less baseline.
+    let c = rz_heavy(5, 3);
+    for s in SchedulerKind::ALL {
+        let base = SimConfig::builder()
+            .scheduler(s)
+            .decoder(DecoderConfig::fixed(0.5))
+            .seed(17)
+            .build();
+        let mut with_prep = base.clone();
+        with_prep.decoder = with_prep.decoder.with_prep_decoding();
+        let off = simulate(&c, &base).unwrap();
+        let on = simulate(&c, &with_prep).unwrap();
+        assert!(
+            on.counters.decode_windows > off.counters.decode_windows,
+            "{s}: prep windows must add decode traffic"
+        );
+        assert!(
+            on.total_cycles() >= off.total_cycles(),
+            "{s}: decoding preps cannot make the run faster ({} < {})",
+            on.total_cycles(),
+            off.total_cycles()
+        );
+        // Flag off stays bit-identical to a decoder-config round-trip.
+        assert_eq!(off, simulate(&c, &base).unwrap());
+    }
+}
+
+#[test]
+fn prep_decoding_with_ideal_decoder_is_cycle_neutral() {
+    // An ideal decoder answers in-round: enabling prep verification adds
+    // windows to the accounting but cannot move any event.
+    let c = rz_heavy(4, 2);
+    let base = SimConfig::builder().seed(5).build();
+    let mut with_prep = base.clone();
+    with_prep.decoder = with_prep.decoder.with_prep_decoding();
+    let off = simulate(&c, &base).unwrap();
+    let on = simulate(&c, &with_prep).unwrap();
+    assert_eq!(off.total_rounds, on.total_rounds);
+    assert_eq!(off.counters.injections, on.counters.injections);
+    assert!(on.counters.decode_windows > off.counters.decode_windows);
 }
 
 #[test]

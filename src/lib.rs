@@ -11,7 +11,9 @@
 //! - [`lattice`] — surface-code tile fabric, STAR layouts, MST
 //! - [`rus`] — repeat-until-success preparation / injection models
 //! - [`core`] — ancilla queues, dynamic MST, routing, the schedulers
+//! - [`decoder`] — realtime classical-decoder models and back-pressure
 //! - [`sim`] — cycle-accurate engine, metrics, multi-seed runner
+//! - [`harness`] — parallel sweep orchestration with shared artifact caching
 //!
 //! # Example
 //!
@@ -31,6 +33,8 @@
 
 pub use rescq_circuit as circuit;
 pub use rescq_core as core;
+pub use rescq_decoder as decoder;
+pub use rescq_harness as harness;
 pub use rescq_lattice as lattice;
 pub use rescq_rus as rus;
 pub use rescq_sim as sim;
