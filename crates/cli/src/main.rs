@@ -4,6 +4,7 @@
 //! ```text
 //! sim run <config-file> [--csv DIR]        one experiment from a config file
 //! sim sweep <spec.toml> [options]          a declarative parameter sweep (rescq-harness)
+//! sim merge-checkpoints <spec.toml> <out.csv> <in.ckpt...>  merge shard checkpoints
 //! sim bench <name> [options]               one Table 3 benchmark, all schedulers
 //! sim list                                  list Table 3 benchmarks
 //! sim fig <3|5|10|11|12|13|14|15|16|a2>     regenerate a figure (--full for paper scale)
@@ -22,6 +23,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("merge-checkpoints") => cmd_merge_checkpoints(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("list") => cmd_list(),
         Some("table3") => cmd_table3(),
@@ -47,7 +49,10 @@ fn print_usage() {
     println!("Usage:");
     println!("  sim run <config-file> [--csv DIR]   run an experiment from a config file");
     println!("  sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE]");
-    println!("            [--checkpoint FILE]       run a declarative parameter sweep");
+    println!("            [--checkpoint FILE] [--shard i/n] [--quiet | --progress]");
+    println!("                                      run a declarative parameter sweep");
+    println!("  sim merge-checkpoints <spec.toml> <out.csv> <in.ckpt...> [--json FILE]");
+    println!("            [--allow-missing]         merge shard checkpoints into one CSV/JSON");
     println!("  sim bench <name> [--seeds N] [--compression F] [--distance D] [--csv DIR]");
     println!("            [--decoder ideal|fixed|adaptive] [--decoder-throughput F]");
     println!("            [--decoder-workers N] [--decoder-prep]");
@@ -126,9 +131,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    use rescq_harness::{run_sweep, RunOptions, SweepSpec};
+    use rescq_harness::{run_sweep, ProgressMode, RunOptions, Shard, SweepSpec};
     let path = args.first().filter(|a| !a.starts_with("--")).ok_or(
-        "usage: sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE] [--checkpoint FILE]",
+        "usage: sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE] \
+         [--checkpoint FILE] [--shard i/n] [--quiet | --progress]",
     )?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
@@ -137,52 +143,32 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         opts.threads = t.parse().map_err(|_| "bad --threads")?;
     }
     opts.checkpoint = flag_value(args, "--checkpoint").map(PathBuf::from);
+    if let Some(shard) = flag_value(args, "--shard") {
+        opts.shard = Some(Shard::parse(&shard)?);
+    }
+    if args.iter().any(|a| a == "--quiet") {
+        opts.progress = ProgressMode::Off;
+    } else if args.iter().any(|a| a == "--progress") {
+        opts.progress = ProgressMode::Always;
+    }
 
     let jobs = spec.num_points() * spec.seeds as usize;
-    println!(
-        "sweep: {} points x {} seeds = {} jobs",
-        spec.num_points(),
-        spec.seeds,
-        jobs
-    );
-    let results = run_sweep(&spec, &opts).map_err(|e| e.to_string())?;
-
-    println!(
-        "{:<20} {:<10} {:>5} {:>6} {:>8} {:>10} {:>10} {:>10} {:>8} {:>7}",
-        "workload",
-        "scheduler",
-        "d",
-        "comp",
-        "decoder",
-        "mean cy",
-        "p50 cy",
-        "p99 cy",
-        "stall%",
-        "seeds"
-    );
-    for s in results.summaries() {
-        println!(
-            "{:<20} {:<10} {:>5} {:>5.0}% {:>8} {:>10.1} {:>10.1} {:>10.1} {:>7.1}% {:>7}",
-            s.job.workload,
-            s.job.config.scheduler.to_string(),
-            s.job.config.distance,
-            s.job.config.compression * 100.0,
-            s.job.decoder.to_string(),
-            s.mean_cycles,
-            s.p50_cycles,
-            s.p99_cycles,
-            s.stall_fraction * 100.0,
-            s.completed,
-        );
+    match opts.shard {
+        Some(shard) => println!(
+            "sweep: {} points x {} seeds = {} jobs (running shard {shard})",
+            spec.num_points(),
+            spec.seeds,
+            jobs
+        ),
+        None => println!(
+            "sweep: {} points x {} seeds = {} jobs",
+            spec.num_points(),
+            spec.seeds,
+            jobs
+        ),
     }
-    let resumed = results.resumed_count();
-    println!(
-        "{} jobs in {:.2}s ({} resumed from checkpoint); cache: {}",
-        results.records.len(),
-        results.elapsed_secs,
-        resumed,
-        results.cache
-    );
+    let results = run_sweep(&spec, &opts).map_err(|e| e.to_string())?;
+    print_sweep_results(&results)?;
 
     if let Some(csv) = flag_value(args, "--csv") {
         std::fs::write(&csv, results.to_csv()).map_err(|e| format!("{csv}: {e}"))?;
@@ -199,8 +185,113 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .filter(|r| r.outcome.is_err())
             .count();
         return Err(format!(
-            "{failed} of {jobs} jobs failed; first error: {first}"
+            "{failed} of {} jobs failed; first error: {first}",
+            results.records.len()
         ));
+    }
+    Ok(())
+}
+
+fn print_sweep_results(results: &rescq_harness::SweepResults) -> Result<(), String> {
+    println!(
+        "{:<20} {:<10} {:>5} {:>6} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>7}",
+        "workload",
+        "scheduler",
+        "d",
+        "comp",
+        "decoder",
+        "mean cy",
+        "p50 cy",
+        "p99 cy",
+        "stall%",
+        "preempt",
+        "seeds"
+    );
+    for s in results.summaries() {
+        println!(
+            "{:<20} {:<10} {:>5} {:>5.0}% {:>8} {:>10.1} {:>10.1} {:>10.1} {:>7.1}% {:>8} {:>7}",
+            s.job.workload,
+            s.job.config.scheduler.to_string(),
+            s.job.config.distance,
+            s.job.config.compression * 100.0,
+            s.job.decoder.to_string(),
+            s.mean_cycles,
+            s.p50_cycles,
+            s.p99_cycles,
+            s.stall_fraction * 100.0,
+            s.preemptions,
+            s.completed,
+        );
+    }
+    let resumed = results.resumed_count();
+    println!(
+        "{} jobs in {:.2}s ({} resumed from checkpoint); cache: {}",
+        results.records.len(),
+        results.elapsed_secs,
+        resumed,
+        results.cache
+    );
+    Ok(())
+}
+
+/// Merges shard checkpoint files back into one CSV (and optionally JSON),
+/// validating fingerprints against the spec that produced them.
+fn cmd_merge_checkpoints(args: &[String]) -> Result<(), String> {
+    use rescq_harness::{merge_checkpoints, SweepSpec};
+    const USAGE: &str = "usage: sim merge-checkpoints <spec.toml> <out.csv> <in.ckpt...> \
+                         [--json FILE] [--allow-missing]";
+    // Collect positionals by position, skipping flag *values* by index (a
+    // checkpoint path that happens to equal the `--json` value must not be
+    // dropped).
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match a.as_str() {
+            "--json" => skip_value = true,
+            "--allow-missing" => {}
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            _ => positional.push(a),
+        }
+    }
+    let json_out = flag_value(args, "--json");
+    let [spec_path, out, inputs @ ..] = positional.as_slice() else {
+        return Err(USAGE.into());
+    };
+    if inputs.is_empty() {
+        return Err(USAGE.into());
+    }
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
+    let input_paths: Vec<PathBuf> = inputs.iter().map(PathBuf::from).collect();
+    let results = merge_checkpoints(&spec, &input_paths).map_err(|e| e.to_string())?;
+
+    let missing = results
+        .records
+        .iter()
+        .filter(|r| r.outcome.is_err())
+        .count();
+    if missing > 0 && !args.iter().any(|a| a == "--allow-missing") {
+        return Err(format!(
+            "{missing} of {} jobs missing from the inputs (pass --allow-missing to merge anyway)",
+            results.records.len()
+        ));
+    }
+    print_sweep_results(&results)?;
+    std::fs::write(out, results.to_csv()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "merged {} rows from {} checkpoint(s) into {out}",
+        results.resumed_count(),
+        input_paths.len()
+    );
+    if let Some(json) = json_out {
+        std::fs::write(&json, results.to_json()).map_err(|e| format!("{json}: {e}"))?;
+        println!("summary json written to {json}");
     }
     Ok(())
 }

@@ -13,12 +13,12 @@ pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::R
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog"
+        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog,preemptions,preemptions_rejected_cycle,waitgraph_peak_edges"
     )?;
     for r in reports {
         writeln!(
             f,
-            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{}",
+            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{}",
             r.scheduler,
             r.seed,
             r.distance,
@@ -36,6 +36,9 @@ pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::R
             r.counters.decode_windows,
             r.decoder_stall_cycles(),
             r.counters.decoder_peak_backlog,
+            r.counters.preemptions,
+            r.counters.preemptions_rejected_cycle,
+            r.counters.waitgraph_peak_edges,
         )?;
     }
     Ok(())
@@ -74,6 +77,12 @@ pub fn summarize(r: &ExecutionReport) -> String {
             ", decoder stalls {:.0}cy (backlog ≤{})",
             r.decoder_stall_cycles(),
             r.counters.decoder_peak_backlog,
+        ));
+    }
+    if r.counters.preemptions > 0 || r.counters.preemptions_rejected_cycle > 0 {
+        s.push_str(&format!(
+            ", {} preemptions ({} cycle-rejected)",
+            r.counters.preemptions, r.counters.preemptions_rejected_cycle,
         ));
     }
     s

@@ -10,6 +10,7 @@
 //! atomically in scheduling order, so entry order is consistent across all
 //! queues and the wait-for graph between gates stays acyclic.
 
+use crate::reservation::ReservationId;
 use crate::TaskId;
 use rescq_circuit::Angle;
 use rescq_lattice::TileId;
@@ -74,6 +75,10 @@ pub struct QueueEntry {
     pub angle: Angle,
     /// Status; meaningful only while this entry is at the top (Table 2).
     pub status: EntryStatus,
+    /// The ledger reservation backing this entry
+    /// ([`ReservationId::UNREGISTERED`] until pushed through a
+    /// [`crate::ReservationLedger`]).
+    pub reservation: ReservationId,
 }
 
 impl QueueEntry {
@@ -84,6 +89,7 @@ impl QueueEntry {
             role,
             angle,
             status: EntryStatus::Ready,
+            reservation: ReservationId::UNREGISTERED,
         }
     }
 }
@@ -188,6 +194,22 @@ impl AncillaQueue {
     /// Iterates entries from top to back.
     pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
         self.entries.iter()
+    }
+
+    /// Moves the entry at `pos` to the top, preserving the relative order of
+    /// everything else (ledger-mediated preemption; see
+    /// [`crate::ReservationLedger::try_preempt`]).
+    pub(crate) fn move_to_front(&mut self, pos: usize) {
+        if let Some(e) = self.entries.remove(pos) {
+            self.entries.push_front(e);
+        }
+    }
+
+    /// Sets the status of the entry at `pos` (ledger internals).
+    pub(crate) fn set_status_at(&mut self, pos: usize, status: EntryStatus) {
+        if let Some(e) = self.entries.get_mut(pos) {
+            e.status = status;
+        }
     }
 
     /// Expected rounds until this ancilla is free: the sum of per-entry

@@ -1,0 +1,581 @@
+//! The reservation ledger: an explicit, checkable wait-for graph over the
+//! per-ancilla queues, with seniority-safe preemption.
+//!
+//! RESCQ's per-ancilla FIFO queues (§4.1) keep the task-level wait-for
+//! relation acyclic by construction: tasks are enqueued atomically in
+//! scheduling order, so every queue agrees on the relative order of any two
+//! tasks and every wait-for edge points from a younger task to an older one.
+//! That invariant is also what made the scheduler fragile: *any* reordering
+//! (yielding a speculative preparation to an older stalled CNOT, re-planning
+//! a route into fresh queue positions) risks creating inconsistent orders
+//! across ancillas — two tasks each waiting behind the other — and a naive
+//! move-top-entry-to-back yield deadlocks exactly that way.
+//!
+//! [`ReservationLedger`] makes the relation first-class. It owns every
+//! [`AncillaQueue`], assigns each entry a [`ReservationId`], and maintains
+//! the wait-for multigraph incrementally as entries are pushed, popped,
+//! removed and reordered: queue `[e₀, e₁, …]` contributes one `task(eⱼ) →
+//! task(eᵢ)` edge for every `i < j` with distinct tasks ("`eⱼ` waits for
+//! `eᵢ`"). [`ReservationLedger::try_preempt`] reorders an older stalled
+//! task ahead of the younger speculative preparations blocking it **only
+//! when an incremental cycle check proves the reversed edges keep the graph
+//! acyclic** — the mechanism the naive yield lacked. Rejected preemptions
+//! leave the ledger untouched and are counted, so schedulers can observe
+//! how often the safety check bites.
+
+use crate::queue::{AncillaQueue, EntryStatus, QueueEntry, Role};
+use crate::types::TaskId;
+use rescq_circuit::Angle;
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of one queue reservation (unique within a ledger's lifetime).
+///
+/// Entries pushed through a [`ReservationLedger`] carry the id of the
+/// reservation that backs them; entries constructed standalone carry
+/// [`ReservationId::UNREGISTERED`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReservationId(pub u64);
+
+impl ReservationId {
+    /// Placeholder for entries not (yet) registered with a ledger.
+    pub const UNREGISTERED: ReservationId = ReservationId(0);
+}
+
+/// Counters describing a ledger's preemption and wait-graph history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Preemptions applied (an older task reordered ahead of younger
+    /// speculative preparations).
+    pub preemptions: u64,
+    /// Preemptions rejected because the reversed wait-for edges would have
+    /// created a cycle (the naive-yield deadlock, caught).
+    pub preemptions_rejected_cycle: u64,
+    /// Largest number of distinct edges the wait-for graph ever held.
+    pub waitgraph_peak_edges: u64,
+}
+
+/// Outcome of a [`ReservationLedger::try_preempt`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preemption {
+    /// The reorder was applied; the graph is still acyclic. Carries the task
+    /// whose entry was displaced from the queue top (its in-flight
+    /// preparation, if any, must be cancelled by the caller).
+    Applied {
+        /// Task whose entry sat at the top before the reorder.
+        displaced_top: TaskId,
+    },
+    /// The reorder would have made the wait-for graph cyclic; nothing
+    /// changed.
+    RejectedCycle,
+    /// The task has no entry here, is already at the top, or something ahead
+    /// of it is not a preemptible speculative preparation (wrong role,
+    /// already executing or holding a state, or not younger); nothing
+    /// changed.
+    NotEligible,
+}
+
+/// The reservation ledger: every ancilla queue plus the task-level wait-for
+/// graph they imply, kept in sync incrementally.
+///
+/// # Example
+///
+/// ```
+/// use rescq_circuit::Angle;
+/// use rescq_core::{Preemption, QueueEntry, ReservationLedger, Role, TaskId};
+///
+/// let mut ledger = ReservationLedger::new(2);
+/// // Task 1's speculative prep reached ancilla 0 first; task 0's CNOT
+/// // route entry queued behind it.
+/// ledger.push(0, QueueEntry::new(TaskId(1), Role::PrepZz, Angle::T));
+/// ledger.push(0, QueueEntry::new(TaskId(0), Role::Route, Angle::ZERO));
+/// // The older CNOT preempts: the reorder is provably cycle-free.
+/// assert_eq!(
+///     ledger.try_preempt(TaskId(0), 0),
+///     Preemption::Applied { displaced_top: TaskId(1) }
+/// );
+/// assert_eq!(ledger.queue(0).top().unwrap().task, TaskId(0));
+/// assert!(ledger.is_acyclic());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReservationLedger {
+    queues: Vec<AncillaQueue>,
+    next_id: u64,
+    /// Wait-for adjacency: waiter → (holder → multiplicity). An edge exists
+    /// while any queue holds an entry of `waiter` behind one of `holder`.
+    edges: HashMap<TaskId, HashMap<TaskId, u32>>,
+    /// Current number of distinct (waiter, holder) pairs.
+    edge_count: u64,
+    stats: LedgerStats,
+}
+
+impl ReservationLedger {
+    /// Creates a ledger over `num_ancillas` empty queues.
+    pub fn new(num_ancillas: usize) -> Self {
+        ReservationLedger {
+            queues: vec![AncillaQueue::new(); num_ancillas],
+            next_id: 0,
+            edges: HashMap::new(),
+            edge_count: 0,
+            stats: LedgerStats::default(),
+        }
+    }
+
+    /// Number of ancilla queues.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Read access to ancilla `a`'s queue.
+    pub fn queue(&self, a: u32) -> &AncillaQueue {
+        &self.queues[a as usize]
+    }
+
+    /// Iterates `(ancilla, queue)` pairs.
+    pub fn queues(&self) -> impl Iterator<Item = (u32, &AncillaQueue)> {
+        self.queues.iter().enumerate().map(|(i, q)| (i as u32, q))
+    }
+
+    /// Ledger counters.
+    pub fn stats(&self) -> LedgerStats {
+        self.stats
+    }
+
+    /// Current number of distinct wait-for edges.
+    pub fn current_edges(&self) -> u64 {
+        self.edge_count
+    }
+
+    /// Appends `entry` to ancilla `a`'s queue, assigning it a fresh
+    /// reservation id and inserting its wait-for edges. Returns the id.
+    pub fn push(&mut self, a: u32, mut entry: QueueEntry) -> ReservationId {
+        self.next_id += 1;
+        let id = ReservationId(self.next_id);
+        entry.reservation = id;
+        // Incremental edge insertion: the new back entry waits for every
+        // distinct task already queued ahead of it.
+        let waiters: Vec<TaskId> = self.queues[a as usize]
+            .iter()
+            .map(|e| e.task)
+            .filter(|&t| t != entry.task)
+            .collect();
+        for holder in waiters {
+            self.add_edge(entry.task, holder);
+        }
+        self.queues[a as usize].push(entry);
+        id
+    }
+
+    /// Pops the top entry of ancilla `a`, releasing the edges it held.
+    pub fn pop(&mut self, a: u32) -> Option<QueueEntry> {
+        self.mutate(a, |q| q.pop())
+    }
+
+    /// Removes every entry of `task` from ancilla `a`'s queue, releasing the
+    /// edges. Returns how many entries were removed.
+    pub fn remove_task(&mut self, a: u32, task: TaskId) -> usize {
+        if !self.queues[a as usize].contains_task(task) {
+            return 0;
+        }
+        self.mutate(a, |q| q.remove_task(task))
+    }
+
+    /// Rewrites the ladder angle of `task`'s entry on ancilla `a` in place
+    /// (§4.1's `Rθ → R2θ` update; queue position — and therefore the wait
+    /// graph — is untouched).
+    pub fn update_angle(&mut self, a: u32, task: TaskId, angle: Angle) -> bool {
+        self.queues[a as usize].update_angle(task, angle)
+    }
+
+    /// Sets the status of ancilla `a`'s top entry, if any.
+    pub fn set_top_status(&mut self, a: u32, status: EntryStatus) {
+        self.queues[a as usize].set_status_at(0, status);
+    }
+
+    /// Sets the status of ancilla `a`'s top entry only when it belongs to
+    /// `task`.
+    pub fn set_top_status_if(&mut self, a: u32, task: TaskId, status: EntryStatus) {
+        if self.queues[a as usize]
+            .top()
+            .is_some_and(|e| e.task == task)
+        {
+            self.queues[a as usize].set_status_at(0, status);
+        }
+    }
+
+    /// Attempts to reorder `task`'s entry on ancilla `a` to the top, ahead
+    /// of the speculative preparations currently blocking it.
+    ///
+    /// Eligibility (checked first; failures return
+    /// [`Preemption::NotEligible`] and change nothing): `task` must have an
+    /// entry that is not already the top, and **every** entry ahead of it
+    /// must be a speculative preparation of a strictly *younger* task that
+    /// is not executing and not holding a finished state — seniority-safe
+    /// means only older work may overtake, and only work that can actually
+    /// yield.
+    ///
+    /// The reorder reverses wait-for edges (each displaced preparation now
+    /// waits for `task`). Those insertions are committed only if an
+    /// incremental cycle check proves the graph stays acyclic; otherwise the
+    /// queue is restored and [`Preemption::RejectedCycle`] is returned —
+    /// this is precisely the case where a naive yield would have deadlocked.
+    pub fn try_preempt(&mut self, task: TaskId, a: u32) -> Preemption {
+        self.try_preempt_with(task, a, |e| e.task > task)
+    }
+
+    /// [`Self::try_preempt`] with a caller-supplied speculation test.
+    ///
+    /// The ledger still enforces the structural half of eligibility (every
+    /// entry ahead is a preparation that is not executing and not holding a
+    /// state) and the acyclicity check; `may_displace` decides *which*
+    /// preparations count as speculative enough to yield. The default
+    /// [`Self::try_preempt`] passes strict seniority (`prep.task > task`);
+    /// an engine that knows more — e.g. that a preparation's owner cannot
+    /// inject yet because its predecessor gates are incomplete — can widen
+    /// the test without touching the safety invariant.
+    pub fn try_preempt_with(
+        &mut self,
+        task: TaskId,
+        a: u32,
+        may_displace: impl Fn(&QueueEntry) -> bool,
+    ) -> Preemption {
+        let q = &self.queues[a as usize];
+        let Some(pos) = q.position(task) else {
+            return Preemption::NotEligible;
+        };
+        if pos == 0 {
+            return Preemption::NotEligible;
+        }
+        for e in q.iter().take(pos) {
+            // Preparations may yield while not yet done (no state is lost);
+            // helper entries are pure claims and may always structurally
+            // yield. Executing or state-holding entries never yield.
+            let structurally_yields = (e.role.is_prep()
+                && matches!(e.status, EntryStatus::Ready | EntryStatus::Preparing))
+                || (e.role == Role::Helper && e.status == EntryStatus::Ready);
+            if !structurally_yields || !may_displace(e) {
+                return Preemption::NotEligible;
+            }
+        }
+        let displaced_top = q.top().expect("pos > 0").task;
+        // Incremental cycle check. The reorder changes exactly one set of
+        // edges: each `task → p` pair this queue contributed (for every
+        // entry `p` ahead of `task`) reverses into `p → task`. Adding
+        // `p → task` closes a cycle iff `task` already reaches `p` without
+        // the removed pairs — so one targeted reachability walk from `task`
+        // (skipping this queue's doomed `task → p` multiplicities) decides
+        // the whole reorder, touching only the reachable subgraph and
+        // mutating nothing on rejection. This is the check whose absence
+        // made the naive yield deadlock on inconsistent cross-ancilla
+        // orders.
+        let mut displaced: HashMap<TaskId, u32> = HashMap::new();
+        for e in q.iter().take(pos) {
+            *displaced.entry(e.task).or_insert(0) += 1;
+        }
+        if self.reaches_any_without(task, &displaced) {
+            self.stats.preemptions_rejected_cycle += 1;
+            return Preemption::RejectedCycle;
+        }
+        self.mutate(a, |q| q.move_to_front(pos));
+        debug_assert!(self.is_acyclic(), "accepted preemption broke acyclicity");
+        // Displaced preparations restart from Ready when they return to
+        // the top (their in-flight preparation is cancelled by the
+        // caller via the returned `displaced_top`).
+        for i in 1..=pos {
+            self.queues[a as usize].set_status_at(i, EntryStatus::Ready);
+        }
+        self.stats.preemptions += 1;
+        Preemption::Applied { displaced_top }
+    }
+
+    /// Whether `from` reaches any key of `doomed` in the wait-for graph
+    /// *minus* the about-to-be-removed `from → key` multiplicities (the
+    /// value is how many of that pair's edges the reorder deletes). Edges
+    /// between other nodes — including this queue's surviving pairs — stay
+    /// traversable.
+    fn reaches_any_without(&self, from: TaskId, doomed: &HashMap<TaskId, u32>) -> bool {
+        let mut stack = vec![from];
+        let mut seen: HashSet<TaskId> = HashSet::new();
+        seen.insert(from);
+        while let Some(u) = stack.pop() {
+            let Some(succs) = self.edges.get(&u) else {
+                continue;
+            };
+            for (&v, &count) in succs {
+                let removed = if u == from {
+                    doomed.get(&v).copied().unwrap_or(0)
+                } else {
+                    0
+                };
+                if count <= removed {
+                    continue; // every such edge disappears with the reorder
+                }
+                if doomed.contains_key(&v) {
+                    return true;
+                }
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the wait-for graph is acyclic (it always is after any public
+    /// mutation; exposed for property tests and debug assertions).
+    pub fn is_acyclic(&self) -> bool {
+        // Iterative three-colour DFS over the adjacency map.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: HashMap<TaskId, Colour> = HashMap::new();
+        let mut starts: Vec<TaskId> = self.edges.keys().copied().collect();
+        starts.sort_unstable();
+        for start in starts {
+            if *colour.get(&start).unwrap_or(&Colour::White) != Colour::White {
+                continue;
+            }
+            // Stack of (node, next-neighbour cursor).
+            let mut stack: Vec<(TaskId, Vec<TaskId>)> = vec![(start, self.successors(start))];
+            colour.insert(start, Colour::Grey);
+            while let Some((node, succs)) = stack.last_mut() {
+                if let Some(next) = succs.pop() {
+                    match *colour.get(&next).unwrap_or(&Colour::White) {
+                        Colour::Grey => return false,
+                        Colour::Black => {}
+                        Colour::White => {
+                            colour.insert(next, Colour::Grey);
+                            let s = self.successors(next);
+                            stack.push((next, s));
+                        }
+                    }
+                } else {
+                    colour.insert(*node, Colour::Black);
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Ordered successor list of `task` (deterministic iteration).
+    fn successors(&self, task: TaskId) -> Vec<TaskId> {
+        let mut s: Vec<TaskId> = self
+            .edges
+            .get(&task)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        s.sort_unstable();
+        s
+    }
+
+    /// Applies `f` to queue `a` and reconciles the wait-for graph with the
+    /// queue's new contents (remove old contribution, insert new one).
+    fn mutate<R>(&mut self, a: u32, f: impl FnOnce(&mut AncillaQueue) -> R) -> R {
+        let old = Self::queue_pairs(&self.queues[a as usize]);
+        let r = f(&mut self.queues[a as usize]);
+        let new = Self::queue_pairs(&self.queues[a as usize]);
+        if old != new {
+            for &(w, h) in &old {
+                self.remove_edge(w, h);
+            }
+            for &(w, h) in &new {
+                self.add_edge(w, h);
+            }
+        }
+        r
+    }
+
+    /// The (waiter, holder) pairs a queue contributes: entry `j` waits for
+    /// every distinct-task entry `i < j`.
+    fn queue_pairs(q: &AncillaQueue) -> Vec<(TaskId, TaskId)> {
+        let tasks: Vec<TaskId> = q.iter().map(|e| e.task).collect();
+        let mut pairs = Vec::new();
+        for j in 1..tasks.len() {
+            for i in 0..j {
+                if tasks[i] != tasks[j] {
+                    pairs.push((tasks[j], tasks[i]));
+                }
+            }
+        }
+        pairs
+    }
+
+    fn add_edge(&mut self, waiter: TaskId, holder: TaskId) {
+        let m = self.edges.entry(waiter).or_default();
+        let count = m.entry(holder).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.edge_count += 1;
+            self.stats.waitgraph_peak_edges = self.stats.waitgraph_peak_edges.max(self.edge_count);
+        }
+    }
+
+    fn remove_edge(&mut self, waiter: TaskId, holder: TaskId) {
+        let Some(m) = self.edges.get_mut(&waiter) else {
+            debug_assert!(false, "removing unknown edge {waiter}->{holder}");
+            return;
+        };
+        let Some(count) = m.get_mut(&holder) else {
+            debug_assert!(false, "removing unknown edge {waiter}->{holder}");
+            return;
+        };
+        *count -= 1;
+        if *count == 0 {
+            m.remove(&holder);
+            self.edge_count -= 1;
+            if m.is_empty() {
+                self.edges.remove(&waiter);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Role;
+
+    fn prep(task: u32) -> QueueEntry {
+        QueueEntry::new(TaskId(task), Role::PrepZz, Angle::T)
+    }
+
+    fn route(task: u32) -> QueueEntry {
+        QueueEntry::new(TaskId(task), Role::Route, Angle::ZERO)
+    }
+
+    #[test]
+    fn push_assigns_fresh_reservation_ids() {
+        let mut l = ReservationLedger::new(2);
+        let a = l.push(0, route(0));
+        let b = l.push(1, route(0));
+        assert_ne!(a, b);
+        assert_ne!(a, ReservationId::UNREGISTERED);
+        assert_eq!(l.queue(0).top().unwrap().reservation, a);
+    }
+
+    #[test]
+    fn fifo_pushes_keep_edges_younger_to_older() {
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(0));
+        l.push(0, route(1));
+        l.push(0, route(2));
+        // Edges 1->0, 2->0, 2->1.
+        assert_eq!(l.current_edges(), 3);
+        assert!(l.is_acyclic());
+        l.pop(0);
+        assert_eq!(l.current_edges(), 1);
+        l.remove_task(0, TaskId(2));
+        assert_eq!(l.current_edges(), 0);
+        assert_eq!(l.stats().waitgraph_peak_edges, 3);
+    }
+
+    #[test]
+    fn duplicate_task_entries_contribute_no_self_edges() {
+        let mut l = ReservationLedger::new(1);
+        l.push(0, route(5));
+        l.push(0, QueueEntry::new(TaskId(5), Role::EdgeRotate, Angle::ZERO));
+        assert_eq!(l.current_edges(), 0);
+        assert_eq!(l.remove_task(0, TaskId(5)), 2);
+    }
+
+    #[test]
+    fn preempt_applies_when_cycle_free() {
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(3));
+        l.push(0, prep(4));
+        l.push(0, route(1));
+        let got = l.try_preempt(TaskId(1), 0);
+        assert_eq!(
+            got,
+            Preemption::Applied {
+                displaced_top: TaskId(3)
+            }
+        );
+        let order: Vec<u32> = l.queue(0).iter().map(|e| e.task.0).collect();
+        assert_eq!(order, vec![1, 3, 4]);
+        assert!(l.is_acyclic());
+        assert_eq!(l.stats().preemptions, 1);
+        // Displaced preparations are reset to Ready.
+        assert!(l
+            .queue(0)
+            .iter()
+            .skip(1)
+            .all(|e| e.status == EntryStatus::Ready));
+    }
+
+    #[test]
+    fn preempt_requires_strict_seniority() {
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(1));
+        l.push(0, route(2));
+        // Task 2 is younger than the prep ahead of it: not eligible.
+        assert_eq!(l.try_preempt(TaskId(2), 0), Preemption::NotEligible);
+    }
+
+    #[test]
+    fn preempt_refuses_executing_and_holding_preps() {
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(5));
+        l.push(0, route(1));
+        l.set_top_status(0, EntryStatus::DonePreparing);
+        assert_eq!(l.try_preempt(TaskId(1), 0), Preemption::NotEligible);
+        l.set_top_status(0, EntryStatus::Executing);
+        assert_eq!(l.try_preempt(TaskId(1), 0), Preemption::NotEligible);
+        l.set_top_status(0, EntryStatus::Preparing);
+        assert!(matches!(
+            l.try_preempt(TaskId(1), 0),
+            Preemption::Applied { .. }
+        ));
+    }
+
+    #[test]
+    fn preempt_rejects_the_naive_yield_deadlock() {
+        // The counterexample that sank the naive move-top-to-back yield:
+        // after a re-plan, task 1's route entries sit behind task 2's preps
+        // on BOTH ancillas. Reordering either queue alone reverses only one
+        // of the two `1 → 2` waits, leaving `1 → 2` (other queue) and
+        // `2 → 1` (this queue) — a cycle, i.e. the naive yield's deadlock.
+        let mut l = ReservationLedger::new(2);
+        l.push(0, prep(2));
+        l.push(0, route(1));
+        l.push(1, prep(2));
+        l.push(1, route(1));
+        assert_eq!(l.try_preempt(TaskId(1), 0), Preemption::RejectedCycle);
+        assert_eq!(l.try_preempt(TaskId(1), 1), Preemption::RejectedCycle);
+        assert_eq!(l.stats().preemptions_rejected_cycle, 2);
+        // The ledger is untouched: still acyclic, original order intact.
+        assert!(l.is_acyclic());
+        let order: Vec<u32> = l.queue(0).iter().map(|e| e.task.0).collect();
+        assert_eq!(order, vec![2, 1]);
+        // Once task 2's prep on the *other* ancilla completes and its entry
+        // leaves, the same preemption becomes safe.
+        l.remove_task(1, TaskId(2));
+        assert!(matches!(
+            l.try_preempt(TaskId(1), 0),
+            Preemption::Applied { .. }
+        ));
+        assert!(l.is_acyclic());
+    }
+
+    #[test]
+    fn preempt_missing_or_top_entry_is_not_eligible() {
+        let mut l = ReservationLedger::new(1);
+        assert_eq!(l.try_preempt(TaskId(0), 0), Preemption::NotEligible);
+        l.push(0, route(0));
+        assert_eq!(l.try_preempt(TaskId(0), 0), Preemption::NotEligible);
+    }
+
+    #[test]
+    fn angle_update_keeps_graph_untouched() {
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(0));
+        l.push(0, prep(1));
+        let before = l.current_edges();
+        assert!(l.update_angle(0, TaskId(1), Angle::S));
+        assert_eq!(l.current_edges(), before);
+        assert_eq!(l.queue(0).entry(TaskId(1)).unwrap().angle, Angle::S);
+    }
+}

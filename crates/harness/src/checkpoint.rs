@@ -72,19 +72,8 @@ impl Checkpoint {
         let mut needs_newline = false;
         if let Ok(text) = std::fs::read_to_string(path) {
             needs_newline = !text.is_empty() && !text.ends_with('\n');
-            for line in text.lines() {
-                if line.starts_with('#') || line.trim().is_empty() {
-                    continue;
-                }
-                let Some((fp, row)) = line.split_once(' ') else {
-                    continue;
-                };
-                let Ok(fp) = u64::from_str_radix(fp, 16) else {
-                    continue;
-                };
-                if let Ok(metrics) = parse_csv_metrics(row) {
-                    completed.insert(fp, metrics);
-                }
+            for (fp, (_, metrics)) in parse_checkpoint_text(&text) {
+                completed.insert(fp, metrics);
             }
         }
         let fresh = !path.exists();
@@ -131,6 +120,39 @@ impl Checkpoint {
             );
         }
     }
+}
+
+/// Parses checkpoint text into `fingerprint → (raw CSV row, metrics)`,
+/// skipping headers and malformed lines (same tolerance as [`Checkpoint::open`]).
+fn parse_checkpoint_text(text: &str) -> HashMap<u64, (String, JobMetrics)> {
+    let mut rows = HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let Some((fp, row)) = line.split_once(' ') else {
+            continue;
+        };
+        let Ok(fp) = u64::from_str_radix(fp, 16) else {
+            continue;
+        };
+        if let Ok(metrics) = parse_csv_metrics(row) {
+            rows.insert(fp, (row.to_string(), metrics));
+        }
+    }
+    rows
+}
+
+/// Reads a checkpoint file into `fingerprint → (raw CSV row, metrics)` for
+/// merging ([`crate::merge_checkpoints`]). Unlike [`Checkpoint::open`] this
+/// never creates or appends to the file.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read.
+pub fn read_checkpoint_rows(path: &Path) -> Result<HashMap<u64, (String, JobMetrics)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(parse_checkpoint_text(&text))
 }
 
 #[cfg(test)]
@@ -181,6 +203,9 @@ mod tests {
             injection_failures: 4,
             preps_started: 12,
             preps_cancelled: 0,
+            preemptions: 0,
+            preemptions_rejected: 0,
+            waitgraph_peak_edges: 0,
         };
         let fp = job_fingerprint(&job, 42, 1);
         {
@@ -220,6 +245,9 @@ mod tests {
             injection_failures: 0,
             preps_started: 1,
             preps_cancelled: 0,
+            preemptions: 0,
+            preemptions_rejected: 0,
+            waitgraph_peak_edges: 0,
         };
         let fp = job_fingerprint(&job, 7, 1);
         {

@@ -55,9 +55,9 @@ mod run;
 mod spec;
 
 pub use cache::{ArtifactCache, CacheStats};
-pub use checkpoint::{job_fingerprint, Checkpoint};
+pub use checkpoint::{job_fingerprint, read_checkpoint_rows, Checkpoint};
 pub use results::{
     csv_row, parse_csv_metrics, JobMetrics, JobRecord, PointSummary, SweepResults, CSV_HEADER,
 };
-pub use run::{run_sweep, HarnessError, RunOptions};
+pub use run::{merge_checkpoints, run_sweep, HarnessError, ProgressMode, RunOptions, Shard};
 pub use spec::{fmt_k, DecoderPoint, JobSpec, SpecError, SweepSpec};

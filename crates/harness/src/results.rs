@@ -34,6 +34,12 @@ pub struct JobMetrics {
     pub preps_started: u64,
     /// Preparations cancelled.
     pub preps_cancelled: u64,
+    /// Ledger preemptions applied (constrained-fabric RESCQ).
+    pub preemptions: u64,
+    /// Preemptions the ledger rejected to keep the wait-for graph acyclic.
+    pub preemptions_rejected: u64,
+    /// Peak distinct edges in the task wait-for graph.
+    pub waitgraph_peak_edges: u64,
 }
 
 impl JobMetrics {
@@ -50,6 +56,9 @@ impl JobMetrics {
             injection_failures: report.counters.injection_failures,
             preps_started: report.counters.preps_started,
             preps_cancelled: report.counters.preps_cancelled,
+            preemptions: report.counters.preemptions,
+            preemptions_rejected: report.counters.preemptions_rejected_cycle,
+            waitgraph_peak_edges: report.counters.waitgraph_peak_edges,
         }
     }
 }
@@ -68,12 +77,13 @@ pub struct JobRecord {
 /// The CSV column header of per-job rows.
 pub const CSV_HEADER: &str = "workload,scheduler,distance,error_rate,k,compression,decoder,seed,\
 total_cycles,idle_fraction,stall_cycles,decode_windows,peak_backlog,injections,\
-injection_failures,preps_started,preps_cancelled";
+injection_failures,preps_started,preps_cancelled,preemptions,preemptions_rejected,\
+waitgraph_peak_edges";
 
 /// Formats one job + metrics as a CSV row (no trailing newline).
 pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         job.workload,
         job.config.scheduler,
         job.config.distance,
@@ -91,6 +101,9 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
         m.injection_failures,
         m.preps_started,
         m.preps_cancelled,
+        m.preemptions,
+        m.preemptions_rejected,
+        m.waitgraph_peak_edges,
     )
 }
 
@@ -99,8 +112,8 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
 /// fingerprint, not re-parsed).
 pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
     let cols: Vec<&str> = row.split(',').collect();
-    if cols.len() != 17 {
-        return Err(format!("expected 17 columns, got {}", cols.len()));
+    if cols.len() != 20 {
+        return Err(format!("expected 20 columns, got {}", cols.len()));
     }
     let f = |i: usize| -> Result<f64, String> {
         cols[i]
@@ -123,6 +136,9 @@ pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
         injection_failures: u(14)?,
         preps_started: u(15)?,
         preps_cancelled: u(16)?,
+        preemptions: u(17)?,
+        preemptions_rejected: u(18)?,
+        waitgraph_peak_edges: u(19)?,
     })
 }
 
@@ -151,6 +167,12 @@ pub struct PointSummary {
     pub stall_fraction: f64,
     /// Largest decode backlog across seeds.
     pub peak_backlog: u64,
+    /// Total ledger preemptions across seeds.
+    pub preemptions: u64,
+    /// Total cycle-rejected preemptions across seeds.
+    pub preemptions_rejected: u64,
+    /// Largest wait-for-graph edge peak across seeds.
+    pub waitgraph_peak_edges: u64,
 }
 
 /// Smallest value `v` in sorted `xs` such that at least `p` of samples ≤ `v`.
@@ -207,11 +229,22 @@ impl SweepResults {
         out
     }
 
-    /// Per-point aggregate statistics, in point order.
+    /// Per-point aggregate statistics, in point order. Records are grouped
+    /// by their job's point index (not fixed-size chunks), so sharded
+    /// result sets — where a point may hold fewer than `seeds` records —
+    /// aggregate correctly too.
     pub fn summaries(&self) -> Vec<PointSummary> {
         let mut out = Vec::new();
-        let seeds = self.spec.seeds as usize;
-        for chunk in self.records.chunks(seeds.max(1)) {
+        let mut chunks: Vec<&[JobRecord]> = Vec::new();
+        let mut start = 0;
+        for i in 1..=self.records.len() {
+            if i == self.records.len() || self.records[i].job.point != self.records[start].job.point
+            {
+                chunks.push(&self.records[start..i]);
+                start = i;
+            }
+        }
+        for chunk in chunks {
             let Some(first) = chunk.first() else { continue };
             let ok: Vec<&JobMetrics> = chunk
                 .iter()
@@ -245,6 +278,9 @@ impl SweepResults {
                 mean_stall_cycles: mean_stall,
                 stall_fraction,
                 peak_backlog: ok.iter().map(|m| m.peak_backlog).max().unwrap_or(0),
+                preemptions: ok.iter().map(|m| m.preemptions).sum(),
+                preemptions_rejected: ok.iter().map(|m| m.preemptions_rejected).sum(),
+                waitgraph_peak_edges: ok.iter().map(|m| m.waitgraph_peak_edges).max().unwrap_or(0),
             });
         }
         out
@@ -274,7 +310,7 @@ impl SweepResults {
         for (i, s) in summaries.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}}}",
+                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"waitgraph_peak_edges\": {}}}",
                 json_escape(&s.job.workload),
                 s.job.config.scheduler,
                 s.job.config.distance,
@@ -290,7 +326,10 @@ impl SweepResults {
                 s.max_cycles,
                 s.mean_stall_cycles,
                 s.stall_fraction,
-                s.peak_backlog
+                s.peak_backlog,
+                s.preemptions,
+                s.preemptions_rejected,
+                s.waitgraph_peak_edges
             );
             out.push_str(if i + 1 < summaries.len() { ",\n" } else { "\n" });
         }
@@ -343,6 +382,9 @@ mod tests {
             injection_failures: 49,
             preps_started: 120,
             preps_cancelled: 3,
+            preemptions: 2,
+            preemptions_rejected: 5,
+            waitgraph_peak_edges: 17,
         };
         let row = csv_row(&job, &m);
         assert_eq!(

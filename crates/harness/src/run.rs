@@ -10,13 +10,70 @@
 //! for any worker count.
 
 use crate::cache::ArtifactCache;
-use crate::checkpoint::{job_fingerprint, Checkpoint};
+use crate::checkpoint::{job_fingerprint, read_checkpoint_rows, Checkpoint};
 use crate::results::{csv_row, JobMetrics, JobRecord, SweepResults};
 use crate::spec::{JobSpec, SpecError, SweepSpec};
 use rescq_sim::{simulate_prepared, SimArtifacts};
+use std::collections::HashMap;
+use std::io::IsTerminal;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// When the worker pool reports periodic progress to stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// Report only when stderr is a terminal (the default; long sweeps in a
+    /// terminal get a heartbeat, piped/CI runs stay clean).
+    #[default]
+    Auto,
+    /// Never report (`sim sweep --quiet`).
+    Off,
+    /// Always report, terminal or not (useful under `tee`/log capture).
+    Always,
+}
+
+/// A deterministic partition of the expanded job list for cross-process
+/// sharding: shard `index` of `count` runs exactly the jobs whose global
+/// job index `i` satisfies `i % count == index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index in `0..count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the CLI's `i/n` spelling (e.g. `0/4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the syntax is not `i/n` or `i >= n`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard `{s}` (expected i/n, e.g. 0/4)"))?;
+        let index: usize = i.parse().map_err(|_| format!("bad shard index in `{s}`"))?;
+        let count: usize = n.parse().map_err(|_| format!("bad shard count in `{s}`"))?;
+        if count == 0 || index >= count {
+            return Err(format!("shard index {index} outside 0..{count}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether global job index `i` belongs to this shard.
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
 
 /// Execution options of one sweep run.
 #[derive(Debug, Clone, Default)]
@@ -25,6 +82,10 @@ pub struct RunOptions {
     pub threads: usize,
     /// Checkpoint file for resumable execution.
     pub checkpoint: Option<PathBuf>,
+    /// Progress reporting policy.
+    pub progress: ProgressMode,
+    /// Run only this shard of the job list (cross-process sharding).
+    pub shard: Option<Shard>,
 }
 
 impl RunOptions {
@@ -44,6 +105,59 @@ impl RunOptions {
             .map(|n| n.get())
             .unwrap_or(4)
     }
+}
+
+/// Shared stderr progress heartbeat: `jobs done/total, elapsed, ETA`,
+/// throttled to roughly one line every two seconds (the final job always
+/// reports). Workers call [`ProgressReporter::job_done`] concurrently.
+#[derive(Debug)]
+struct ProgressReporter {
+    total: usize,
+    done: AtomicUsize,
+    started: Instant,
+    last_print: Mutex<Instant>,
+}
+
+impl ProgressReporter {
+    const INTERVAL: Duration = Duration::from_secs(2);
+
+    fn new(total: usize) -> Self {
+        let now = Instant::now();
+        ProgressReporter {
+            total,
+            done: AtomicUsize::new(0),
+            started: now,
+            // Backdate so the first completion after the interval reports.
+            last_print: Mutex::new(now),
+        }
+    }
+
+    fn job_done(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let now = Instant::now();
+        {
+            let mut last = self.last_print.lock().expect("progress lock poisoned");
+            if done != self.total && now.duration_since(*last) < Self::INTERVAL {
+                return;
+            }
+            *last = now;
+        }
+        eprintln!(
+            "{}",
+            progress_line(done, self.total, self.started.elapsed().as_secs_f64())
+        );
+    }
+}
+
+/// Formats one progress heartbeat line.
+fn progress_line(done: usize, total: usize, elapsed_secs: f64) -> String {
+    let eta = if done > 0 && done < total {
+        let rate = elapsed_secs / done as f64;
+        format!(", ETA {:.0}s", rate * (total - done) as f64)
+    } else {
+        String::new()
+    };
+    format!("sweep: {done}/{total} jobs done, {elapsed_secs:.1}s elapsed{eta}")
 }
 
 /// Harness-level failure (spec or checkpoint I/O). Job-level simulation
@@ -130,7 +244,12 @@ fn run_job(
 pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<SweepResults, HarnessError> {
     spec.validate()?;
     let started = Instant::now();
-    let jobs = spec.expand();
+    let mut jobs = spec.expand();
+    if let Some(shard) = opts.shard {
+        // Deterministic index partition: every shard sees the same global
+        // expansion, so merged shard outputs reproduce an unsharded run.
+        jobs.retain(|j| shard.owns(j.index));
+    }
     let cache = ArtifactCache::new();
     let checkpoint = match &opts.checkpoint {
         Some(path) => Some(Checkpoint::open(path).map_err(HarnessError::Io)?),
@@ -138,11 +257,22 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<SweepResults, Ha
     };
     let checkpoint = checkpoint.as_ref();
     let threads = opts.resolved_threads().clamp(1, jobs.len().max(1));
+    let progress = match opts.progress {
+        ProgressMode::Off => None,
+        ProgressMode::Always => Some(ProgressReporter::new(jobs.len())),
+        ProgressMode::Auto => std::io::stderr()
+            .is_terminal()
+            .then(|| ProgressReporter::new(jobs.len())),
+    };
+    let progress = progress.as_ref();
 
     let mut table: Vec<Option<JobRecord>> = jobs.iter().map(|_| None).collect();
     if threads <= 1 {
         for (slot, job) in table.iter_mut().zip(&jobs) {
             *slot = Some(run_job(job, spec, &cache, checkpoint));
+            if let Some(p) = progress {
+                p.job_done();
+            }
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -155,6 +285,9 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<SweepResults, Ha
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(job) = jobs.get(i) else { break };
                             local.push((i, run_job(job, spec, &cache, checkpoint)));
+                            if let Some(p) = progress {
+                                p.job_done();
+                            }
                         }
                         local
                     })
@@ -176,6 +309,91 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<SweepResults, Ha
             .into_iter()
             .map(|r| r.expect("every job slot filled"))
             .collect(),
+        cache: cache.stats(),
+        elapsed_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Merges shard checkpoint files back into one deterministic result set.
+///
+/// Every input row's fingerprint is validated: rows sharing a fingerprint
+/// across inputs must be byte-identical (shards of one spec can never
+/// disagree — the simulation is deterministic), and every row must match a
+/// job of `spec` (a foreign row means the wrong spec or a stale file).
+/// Jobs with no row anywhere are reported as per-job errors in the result
+/// (`SweepResults::first_error`), so a partial merge is visible but still
+/// produces the rows it can.
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] for spec validation failures, unreadable
+/// inputs, conflicting duplicate fingerprints, or foreign rows.
+pub fn merge_checkpoints(
+    spec: &SweepSpec,
+    inputs: &[PathBuf],
+) -> Result<SweepResults, HarnessError> {
+    spec.validate()?;
+    let started = Instant::now();
+    let mut merged: HashMap<u64, (String, JobMetrics)> = HashMap::new();
+    for path in inputs {
+        for (fp, (row, metrics)) in read_checkpoint_rows(path).map_err(HarnessError::Io)? {
+            match merged.get(&fp) {
+                Some((existing, _)) if *existing != row => {
+                    return Err(HarnessError::Io(format!(
+                        "conflicting rows for fingerprint {fp:016x} (is {} from a different spec?)",
+                        path.display()
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    merged.insert(fp, (row, metrics));
+                }
+            }
+        }
+    }
+    let cache = ArtifactCache::new();
+    let mut matched = 0usize;
+    let records: Vec<JobRecord> = spec
+        .expand()
+        .into_iter()
+        .map(|job| {
+            let circuit = match cache.circuit(&job.workload, spec.circuit_seed) {
+                Ok((circuit, _)) => circuit,
+                Err(e) => {
+                    return JobRecord {
+                        job,
+                        outcome: Err(e),
+                        resumed: false,
+                    }
+                }
+            };
+            let fp = job_fingerprint(&job, circuit.content_hash(), spec.circuit_seed);
+            match merged.get(&fp) {
+                Some((_, metrics)) => {
+                    matched += 1;
+                    JobRecord {
+                        job,
+                        outcome: Ok(metrics.clone()),
+                        resumed: true,
+                    }
+                }
+                None => JobRecord {
+                    job,
+                    outcome: Err("missing from the merged checkpoints".into()),
+                    resumed: false,
+                },
+            }
+        })
+        .collect();
+    if matched != merged.len() {
+        return Err(HarnessError::Io(format!(
+            "{} checkpoint row(s) match no job of this spec (wrong spec file?)",
+            merged.len() - matched
+        )));
+    }
+    Ok(SweepResults {
+        spec: spec.clone(),
+        records,
         cache: cache.stats(),
         elapsed_secs: started.elapsed().as_secs_f64(),
     })
@@ -225,6 +443,116 @@ mod tests {
     }
 
     #[test]
+    fn shard_parsing_and_ownership() {
+        let s = Shard::parse("1/3").unwrap();
+        assert_eq!((s.index, s.count), (1, 3));
+        assert_eq!(s.to_string(), "1/3");
+        assert!(s.owns(1) && s.owns(4) && !s.owns(0) && !s.owns(2));
+        assert!(Shard::parse("3/3").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("banana").is_err());
+        assert!(Shard::parse("1").is_err());
+    }
+
+    #[test]
+    fn progress_line_reports_counts_and_eta() {
+        let line = progress_line(4, 16, 8.0);
+        assert!(line.contains("4/16 jobs"), "{line}");
+        assert!(line.contains("8.0s elapsed"), "{line}");
+        assert!(line.contains("ETA 24s"), "{line}");
+        // Final line has no ETA.
+        assert!(!progress_line(16, 16, 32.0).contains("ETA"));
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_job_list_deterministically() {
+        let spec = tiny_spec(); // 4 jobs
+        let full = run_sweep(&spec, &RunOptions::with_threads(1)).unwrap();
+        let mut rows: Vec<String> = Vec::new();
+        for index in 0..2 {
+            let opts = RunOptions {
+                threads: 1,
+                shard: Some(Shard { index, count: 2 }),
+                ..RunOptions::default()
+            };
+            let part = run_sweep(&spec, &opts).unwrap();
+            assert_eq!(part.records.len(), 2);
+            assert!(part.records.iter().all(|r| r.job.index % 2 == index));
+            rows.extend(
+                part.ok_rows()
+                    .map(|(job, m)| (job.index, csv_row(job, m)))
+                    .map(|(i, row)| format!("{i} {row}")),
+            );
+        }
+        rows.sort();
+        let full_rows: Vec<String> = full
+            .ok_rows()
+            .map(|(job, m)| format!("{} {}", job.index, csv_row(job, m)))
+            .collect();
+        assert_eq!(rows, full_rows, "shard union must reproduce the full run");
+    }
+
+    #[test]
+    fn merge_checkpoints_reassembles_sharded_sweeps() {
+        let dir = std::env::temp_dir().join("rescq_harness_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec(); // 4 jobs
+        let full = run_sweep(&spec, &RunOptions::with_threads(1)).unwrap();
+
+        let mut paths = Vec::new();
+        for index in 0..2 {
+            let path = dir.join(format!("shard{index}.ckpt"));
+            let _ = std::fs::remove_file(&path);
+            let opts = RunOptions {
+                threads: 1,
+                checkpoint: Some(path.clone()),
+                shard: Some(Shard { index, count: 2 }),
+                ..RunOptions::default()
+            };
+            run_sweep(&spec, &opts).unwrap();
+            paths.push(path);
+        }
+
+        let merged = merge_checkpoints(&spec, &paths).unwrap();
+        assert_eq!(merged.records.len(), 4);
+        assert!(merged.first_error().is_none());
+        assert_eq!(merged.resumed_count(), 4);
+        assert_eq!(
+            merged.to_csv(),
+            full.to_csv(),
+            "merged CSV must be byte-identical to the unsharded run"
+        );
+        // JSON carries wall-clock and cache stats; compare only the
+        // deterministic lines (summaries and rows).
+        let deterministic = |j: String| {
+            j.lines()
+                .filter(|l| !l.contains("\"cache\"") && !l.contains("\"elapsed_secs\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            deterministic(merged.to_json()),
+            deterministic(full.to_json())
+        );
+
+        // A missing shard surfaces as per-job errors, not a hard failure.
+        let partial = merge_checkpoints(&spec, &paths[..1]).unwrap();
+        assert_eq!(partial.resumed_count(), 2);
+        assert!(partial.first_error().unwrap().contains("missing"));
+
+        // Foreign rows (a different spec's checkpoint) are rejected.
+        let moved = SweepSpec {
+            base_seed: 777,
+            ..spec.clone()
+        };
+        let e = merge_checkpoints(&moved, &paths).unwrap_err();
+        assert!(e.to_string().contains("no job"), "{e}");
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
     fn checkpoint_resume_skips_completed_jobs() {
         let dir = std::env::temp_dir().join("rescq_harness_run_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -235,6 +563,7 @@ mod tests {
         let opts = RunOptions {
             threads: 2,
             checkpoint: Some(path.clone()),
+            ..RunOptions::default()
         };
         let first = run_sweep(&spec, &opts).unwrap();
         assert_eq!(first.resumed_count(), 0);

@@ -27,8 +27,8 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, QubitId};
 use rescq_core::{
-    plan_cnot_route, ActivityTracker, AncillaQueue, EntryStatus, MstPipeline, PathCache,
-    QueueEntry, Role, SchedulerKind, SurgeryCosts, TaskId,
+    plan_cnot_route, ActivityTracker, EntryStatus, MstPipeline, PathCache, Preemption, QueueEntry,
+    ReservationLedger, Role, SchedulerKind, SurgeryCosts, TaskId,
 };
 use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::{AncillaIndex, EdgeType};
@@ -141,7 +141,10 @@ struct RtEngine<'a> {
 
     tasks: Vec<Task>,
     live_tasks: Vec<TaskId>,
-    queues: Vec<AncillaQueue>,
+    /// Every ancilla queue plus the explicit task wait-for graph over them;
+    /// all queue mutations (claim, reclaim, re-plan, preemption) go through
+    /// it so the acyclicity invariant is checkable instead of implicit.
+    ledger: ReservationLedger,
     prep_epoch: Vec<u64>,
     /// Angle currently being prepared on each ancilla, if any.
     prepping: Vec<Option<Angle>>,
@@ -201,7 +204,7 @@ pub(crate) fn run_realtime(
         last_progress: 0,
         tasks: Vec::new(),
         live_tasks: Vec::new(),
-        queues: vec![AncillaQueue::new(); num_ancillas],
+        ledger: ReservationLedger::new(num_ancillas),
         prep_epoch: vec![0; num_ancillas],
         prepping: vec![None; num_ancillas],
         activity,
@@ -282,6 +285,10 @@ impl RtEngine<'_> {
                 c.decode_windows = dec.windows_submitted;
                 c.decoder_stall_rounds = dec.stall_rounds;
                 c.decoder_peak_backlog = dec.peak_backlog;
+                let ls = self.ledger.stats();
+                c.preemptions = ls.preemptions;
+                c.preemptions_rejected_cycle = ls.preemptions_rejected_cycle;
+                c.waitgraph_peak_edges = ls.waitgraph_peak_edges;
                 c
             },
         })
@@ -326,10 +333,7 @@ impl RtEngine<'_> {
                                 self.fabric.graph.tile(h),
                                 self.fabric.graph.neighbors(h).contains(&a),
                                 self.fabric.ancilla_free(h, self.clock),
-                                self.queues[h as usize]
-                                    .top()
-                                    .map(|e| e.task.0)
-                                    .unwrap_or(9999)
+                                self.ledger.queue(h).top().map(|e| e.task.0).unwrap_or(9999)
                             );
                         }
                         let adj = self.fabric.layout.data_adjacency(*qubit);
@@ -338,7 +342,7 @@ impl RtEngine<'_> {
                             eprintln!(
                                 "    chan side={side:?} tile={h_tile} dense={h:?} adj={:?} top={:?} free={:?}",
                                 h.map(|h| self.fabric.graph.neighbors(h).contains(&a)),
-                                h.map(|h| self.queues[h as usize].top().map(|e| e.task.0)),
+                                h.map(|h| self.ledger.queue(h).top().map(|e| e.task.0)),
                                 h.map(|h| self.fabric.ancilla_free(h, self.clock)),
                             );
                         }
@@ -356,7 +360,7 @@ impl RtEngine<'_> {
                 t.body
             );
         }
-        for (i, q) in self.queues.iter().enumerate() {
+        for (i, q) in self.ledger.queues() {
             if !q.is_empty() {
                 let entries: Vec<String> = q
                     .iter()
@@ -364,9 +368,9 @@ impl RtEngine<'_> {
                     .collect();
                 eprintln!(
                     "queue {i} free_at={} held={} prepping={:?}: {entries:?}",
-                    self.fabric.ancilla_free_at(i as u32),
-                    self.fabric.is_held(i as u32),
-                    self.prepping[i]
+                    self.fabric.ancilla_free_at(i),
+                    self.fabric.is_held(i),
+                    self.prepping[i as usize]
                 );
             }
         }
@@ -401,7 +405,7 @@ impl RtEngine<'_> {
                 let id = self.live_tasks[i];
                 progress |= self.try_start_task(id);
             }
-            for a in 0..self.queues.len() as u32 {
+            for a in 0..self.ledger.num_queues() as u32 {
                 progress |= self.dispatch_ancilla(a);
             }
             self.live_tasks.retain(|&id| !self.tasks[id.index()].done);
@@ -466,9 +470,14 @@ impl RtEngine<'_> {
             }
             // Preemptive rotation enqueue: while the cursor gate is
             // scheduled/executing, the following continuous rotation on this
-            // qubit already claims its prep ancillas (§4.1). Skipped on
-            // constrained fabrics, where speculative claims starve the
-            // active operations of the few remaining ancillas.
+            // qubit already claims its prep ancillas (§4.1). Still skipped
+            // on constrained fabrics — the ledger's preemption makes the
+            // speculative claims *safe* there (stalled older CNOTs provably
+            // overtake them without wait-graph cycles), but measurement says
+            // they are not *profitable*: the claims push CNOT routes onto
+            // detours at planning time, which no amount of claim-time
+            // preemption can undo (suite geomean at 50% compression drops
+            // ~5% with them on).
             if self.gate_scheduled[gid.index()] && !self.constrained {
                 if let Some(next) = next_gid {
                     let g = self.circuit.gate(next);
@@ -560,7 +569,8 @@ impl RtEngine<'_> {
                 continue;
             };
             if orient.edge_at(side) == EdgeType::Z {
-                self.queues[a as usize].push(QueueEntry::new(id, Role::PrepZz, angle));
+                self.ledger
+                    .push(a, QueueEntry::new(id, Role::PrepZz, angle));
                 prep_sites.push((a, true));
             } else {
                 x_side.push(a);
@@ -573,24 +583,28 @@ impl RtEngine<'_> {
             let Some(h) = helpers.iter().find_map(|&t| self.fabric.graph.index_of(t)) else {
                 continue;
             };
-            self.queues[a as usize].push(QueueEntry::new(
-                id,
-                Role::PrepDiagonal {
-                    helper: self.fabric.graph.tile(h),
-                },
-                angle,
-            ));
+            self.ledger.push(
+                a,
+                QueueEntry::new(
+                    id,
+                    Role::PrepDiagonal {
+                        helper: self.fabric.graph.tile(h),
+                    },
+                    angle,
+                ),
+            );
             prep_sites.push((a, false));
         }
         if prep_sites.is_empty() {
             // Constrained geometry: prepare on the X-edge neighbours.
             for &a in &x_side {
-                self.queues[a as usize].push(QueueEntry::new(id, Role::PrepX, angle));
+                self.ledger.push(a, QueueEntry::new(id, Role::PrepX, angle));
                 prep_sites.push((a, true));
             }
         } else {
             for &a in &x_side {
-                self.queues[a as usize].push(QueueEntry::new(id, Role::Helper, angle));
+                self.ledger
+                    .push(a, QueueEntry::new(id, Role::Helper, angle));
                 helper_sites.push(a);
             }
         }
@@ -604,16 +618,16 @@ impl RtEngine<'_> {
                     .iter()
                     .filter(|&&(a, _)| a != prep_sites[keep_at].0)
                 {
-                    self.queues[a as usize].remove_task(id);
+                    self.ledger.remove_task(a, id);
                 }
                 prep_sites = vec![prep_sites[keep_at]];
                 for &h in &helper_sites {
-                    self.queues[h as usize].remove_task(id);
+                    self.ledger.remove_task(h, id);
                 }
                 helper_sites.clear();
             } else if prep_sites.len() > 1 {
                 for &(a, _) in &prep_sites[1..] {
-                    self.queues[a as usize].remove_task(id);
+                    self.ledger.remove_task(a, id);
                 }
                 prep_sites.truncate(1);
                 // The one helper kept must actually flank the kept diagonal
@@ -625,7 +639,7 @@ impl RtEngine<'_> {
                     .find(|&h| self.fabric.graph.neighbors(h).contains(&keep_site));
                 for &h in &helper_sites {
                     if Some(h) != keep_helper {
-                        self.queues[h as usize].remove_task(id);
+                        self.ledger.remove_task(h, id);
                     }
                 }
                 helper_sites = keep_helper.into_iter().collect();
@@ -668,7 +682,8 @@ impl RtEngine<'_> {
     ) -> Vec<AncillaIndex> {
         let path = self.plan_cnot_path(id, control, target);
         for &a in &path {
-            self.queues[a as usize].push(QueueEntry::new(id, Role::Route, Angle::ZERO));
+            self.ledger
+                .push(a, QueueEntry::new(id, Role::Route, Angle::ZERO));
         }
         path
     }
@@ -680,10 +695,10 @@ impl RtEngine<'_> {
         let cnot = self.costs.cnot_cycles as u64 * d;
         let inj = self.costs.cnot_injection_cycles as u64 * d;
         let rz = self.rz_entry_cost;
-        (0..self.queues.len())
+        (0..self.ledger.num_queues())
             .map(|a| {
                 self.clock
-                    + self.queues[a].expected_free_rounds(|e| {
+                    + self.ledger.queue(a as u32).expected_free_rounds(|e| {
                         if e.task == exclude {
                             return 0;
                         }
@@ -704,7 +719,7 @@ impl RtEngine<'_> {
 
     fn dispatch_ancilla(&mut self, a: AncillaIndex) -> bool {
         let ai = a as usize;
-        let Some(top) = self.queues[ai].top().copied() else {
+        let Some(top) = self.ledger.queue(a).top().copied() else {
             return false;
         };
         if !top.role.is_prep() {
@@ -715,7 +730,7 @@ impl RtEngine<'_> {
         // it is returned to the pool when the rotation has other prep sites
         // *and* the remaining sites can still complete an injection (at
         // least one side-adjacent site, or a diagonal site with helpers).
-        if self.queues[ai].len() > 1 && !self.is_holding(task_id, a) {
+        if self.ledger.queue(a).len() > 1 && !self.is_holding(task_id, a) {
             let can_reclaim = match &self.tasks[task_id.index()].body {
                 TaskBody::Rz {
                     prep_sites,
@@ -737,7 +752,7 @@ impl RtEngine<'_> {
             };
             if can_reclaim {
                 self.cancel_prep_for(a, task_id);
-                self.queues[ai].remove_task(task_id);
+                self.ledger.remove_task(a, task_id);
                 if let TaskBody::Rz { prep_sites, .. } = &mut self.tasks[task_id.index()].body {
                     prep_sites.retain(|&(s, _)| s != a);
                 }
@@ -749,17 +764,15 @@ impl RtEngine<'_> {
         if self.is_holding(task_id, a) {
             return false; // holding a finished state, waiting for injection
         }
-        if self.constrained {
-            // With ancillas scarce, don't speculatively re-prepare while the
-            // task's injection is in flight — a success would discard the
-            // state, and meanwhile the held ancilla blocks CNOT routes.
-            if let TaskBody::Rz {
-                injecting: true, ..
-            } = self.tasks[task_id.index()].body
-            {
-                return false;
-            }
-        }
+        // Eager correction preparation (Fig 1e) runs even on constrained
+        // fabrics now: PR 1 had to forbid re-preparing while the task's
+        // injection was in flight because the held ancilla could starve CNOT
+        // routes with no safe way to take it back. The ledger changed that —
+        // stalled routes preempt speculative claims (cycle-checked), ready
+        // injections evict speculative holds, and the stall breaker discards
+        // holds whose owner cannot consume them — so the correction ladder
+        // may pipeline its next state behind the in-flight injection, which
+        // is where the constrained-fabric rotation win comes from.
         let owner = task_id.0 as u64;
         match self.prepping[ai] {
             Some(angle) if angle == top.angle => false, // already preparing it
@@ -787,9 +800,7 @@ impl RtEngine<'_> {
     fn start_prep(&mut self, a: AncillaIndex, task: TaskId, angle: Angle) {
         let rounds = self.prep_model.sample_prep_rounds(&mut self.rng);
         self.prepping[a as usize] = Some(angle);
-        if let Some(e) = self.queues[a as usize].top_mut() {
-            e.status = EntryStatus::Preparing;
-        }
+        self.ledger.set_top_status(a, EntryStatus::Preparing);
         self.counters.preps_started += 1;
         self.events.push(
             self.clock + rounds,
@@ -807,7 +818,7 @@ impl RtEngine<'_> {
     /// checked against the top).
     fn cancel_prep_for(&mut self, a: AncillaIndex, task: TaskId) {
         let ai = a as usize;
-        if self.queues[ai].top().is_none_or(|e| e.task != task) {
+        if self.ledger.queue(a).top().is_none_or(|e| e.task != task) {
             return;
         }
         if self.prepping[ai].is_some() {
@@ -917,15 +928,18 @@ impl RtEngine<'_> {
                         // at the head of its queue, nobody queued for it, or
                         // every queued claimant is *younger* — seniority
                         // entitles the older gate to the resource (§4.1).
-                        let top = self.queues[h as usize].top();
+                        let top = self.ledger.queue(h).top();
                         if !(top.is_none() || top.is_some_and(|e| e.task >= id)) {
                             continue;
                         }
                         // An "ours" channel must actually carry our fabric
                         // hold (discarding our own eager state frees it); a
-                        // foreign one must simply be free.
+                        // foreign one must simply be free — or freeable by
+                        // evicting a still-speculative preparation's claim
+                        // (the prep keeps its queue position and restarts).
                         let ours = self.is_holding(id, h) && self.fabric.is_held_by(h, id.0 as u64);
-                        if !ours && !self.fabric.ancilla_free(h, self.clock) {
+                        let evictable = !ours && self.speculative_hold_on(h).is_some();
+                        if !ours && !evictable && !self.fabric.ancilla_free(h, self.clock) {
                             continue;
                         }
                         // A Z-side channel supports the 1-cycle ZZ merge
@@ -956,17 +970,21 @@ impl RtEngine<'_> {
         let until = self.clock + cycles as u64 * self.d as u64;
         self.fabric.occupy_qubit(qubit, self.clock, until);
         if let Some((h, ours)) = helper {
+            if !ours && !self.fabric.ancilla_free(h, self.clock) {
+                // Claim eviction: the channel is held by a speculative
+                // preparation that could not be consumed yet; reclaim the
+                // fabric for the injection that is ready *now*.
+                if let Some(t) = self.speculative_hold_on(h) {
+                    self.cancel_displaced_prep(h, t);
+                }
+            }
             if ours {
                 // Discard our own eager state blocking the channel.
                 self.fabric.release_ancilla(h, self.clock);
                 if let TaskBody::Rz { holders, .. } = &mut self.tasks[id.index()].body {
                     holders.retain(|&(x, _)| x != h);
                 }
-                if let Some(e) = self.queues[h as usize].top_mut() {
-                    if e.task == id {
-                        e.status = EntryStatus::Ready;
-                    }
-                }
+                self.ledger.set_top_status_if(h, id, EntryStatus::Ready);
                 self.counters.states_discarded += 1;
             }
             self.fabric.occupy_ancilla(h, self.clock, until);
@@ -978,9 +996,7 @@ impl RtEngine<'_> {
             holders.retain(|&(a, _)| a != holder);
             *injecting = true;
         }
-        if let Some(e) = self.queues[holder as usize].top_mut() {
-            e.status = EntryStatus::Executing;
-        }
+        self.ledger.set_top_status(holder, EntryStatus::Executing);
         self.counters.injections += 1;
         self.events.push(
             until,
@@ -1013,10 +1029,44 @@ impl RtEngine<'_> {
         {
             return false;
         }
-        let all_ready = path.iter().all(|&a| {
-            self.fabric.ancilla_free(a, self.clock)
-                && self.queues[a as usize].top().is_some_and(|e| e.task == id)
-        });
+        let path = path.clone();
+        let mut all_ready = self.cnot_path_ready(id, &path);
+        if !all_ready && self.constrained {
+            // Seniority-safe preemption (the mechanism the naive yield
+            // lacked): ask the ledger to reorder this stalled CNOT ahead of
+            // the younger speculative preparations blocking its path. The
+            // ledger commits a reorder only when the incremental cycle
+            // check proves the wait-for graph stays acyclic.
+            let mut preempted = false;
+            for &a in &path {
+                if self.ledger.queue(a).top().is_some_and(|e| e.task == id) {
+                    continue;
+                }
+                // A preparation may yield when its task is younger than the
+                // stalled CNOT, or when it is still fully speculative — its
+                // owner's predecessor gates are incomplete, so the prepared
+                // state could not be consumed yet anyway.
+                let speculative: std::collections::HashSet<TaskId> = self
+                    .ledger
+                    .queue(a)
+                    .iter()
+                    .filter(|e| e.task != id && (e.role.is_prep() || e.role == Role::Helper))
+                    .map(|e| e.task)
+                    .filter(|&t| self.is_speculative(t))
+                    .collect();
+                let outcome = self
+                    .ledger
+                    .try_preempt_with(id, a, |e| e.task > id || speculative.contains(&e.task));
+                if let Preemption::Applied { displaced_top } = outcome {
+                    debug_assert!(self.ledger.is_acyclic(), "preemption broke acyclicity");
+                    self.cancel_displaced_prep(a, displaced_top);
+                    preempted = true;
+                }
+            }
+            if preempted {
+                all_ready = self.cnot_path_ready(id, &path);
+            }
+        }
         if !all_ready {
             // On a constrained fabric a committed path can stay blocked
             // while an alternative route is free: re-plan a stalled CNOT
@@ -1031,10 +1081,11 @@ impl RtEngine<'_> {
                 let new_path = self.plan_cnot_path(id, control, target);
                 if new_path != old {
                     for &a in &old {
-                        self.queues[a as usize].remove_task(id);
+                        self.ledger.remove_task(a, id);
                     }
                     for &a in &new_path {
-                        self.queues[a as usize].push(QueueEntry::new(id, Role::Route, Angle::ZERO));
+                        self.ledger
+                            .push(a, QueueEntry::new(id, Role::Route, Angle::ZERO));
                     }
                     if let TaskBody::Cnot { path, .. } = &mut self.tasks[id.index()].body {
                         *path = new_path;
@@ -1047,7 +1098,6 @@ impl RtEngine<'_> {
             }
             return false;
         }
-        let path = path.clone();
         // Validate boundary orientations at the endpoints; rotate lazily if a
         // Hadamard (or an earlier rotation) flipped them since planning.
         for (&endpoint, qubit, want) in [
@@ -1084,9 +1134,7 @@ impl RtEngine<'_> {
         self.fabric.occupy_qubit(target, self.clock, until);
         for &a in &path {
             self.fabric.occupy_ancilla(a, self.clock, until);
-            if let Some(e) = self.queues[a as usize].top_mut() {
-                e.status = EntryStatus::Executing;
-            }
+            self.ledger.set_top_status(a, EntryStatus::Executing);
         }
         if let TaskBody::Cnot {
             surgery_started, ..
@@ -1099,16 +1147,73 @@ impl RtEngine<'_> {
         true
     }
 
+    /// Whether every ancilla of a CNOT path is free with the task's Route
+    /// entry at the top of its queue.
+    fn cnot_path_ready(&self, id: TaskId, path: &[AncillaIndex]) -> bool {
+        path.iter().all(|&a| {
+            self.fabric.ancilla_free(a, self.clock)
+                && self.ledger.queue(a).top().is_some_and(|e| e.task == id)
+        })
+    }
+
+    /// Whether `t` is still speculative: its gate's predecessors are not all
+    /// done, so it could not consume a prepared state yet.
+    fn is_speculative(&self, t: TaskId) -> bool {
+        let task = &self.tasks[t.index()];
+        !task.done && !self.dag.preds(task.gate).all(|p| self.gate_done[p.index()])
+    }
+
+    /// The task whose *speculative* in-flight preparation holds ancilla `a`,
+    /// if that claim is evictable: the preparation serves the queue top, has
+    /// not completed (no state would be lost), and its owner cannot consume
+    /// the state yet. Constrained fabrics only.
+    fn speculative_hold_on(&self, a: AncillaIndex) -> Option<TaskId> {
+        if !self.constrained || self.prepping[a as usize].is_none() {
+            return None;
+        }
+        let e = self.ledger.queue(a).top()?;
+        if e.role.is_prep()
+            && e.status == EntryStatus::Preparing
+            && self.fabric.is_held_by(a, e.task.0 as u64)
+            && self.is_speculative(e.task)
+        {
+            Some(e.task)
+        } else {
+            None
+        }
+    }
+
+    /// After a ledger preemption displaced `task`'s preparation from the top
+    /// of ancilla `a`'s queue: cancel the in-flight preparation (it restarts
+    /// when the entry returns to the top) and release the displaced task's
+    /// open-ended claim on the ancilla.
+    fn cancel_displaced_prep(&mut self, a: AncillaIndex, task: TaskId) {
+        let ai = a as usize;
+        if self.prepping[ai].is_some() {
+            self.prep_epoch[ai] += 1;
+            self.prepping[ai] = None;
+            self.counters.preps_cancelled += 1;
+        }
+        if self.fabric.is_held_by(a, task.0 as u64) {
+            self.fabric.release_ancilla(a, self.clock);
+        }
+    }
+
     /// Last-resort stall breaker: when no gate has completed for
     /// [`STALL_BREAK_CYCLES`], speculative eager-correction holds (states for
     /// an angle the ladder does not currently need) are discarded so the
     /// ancillas return to the pool — the paper's reclaim rule applied
-    /// globally. Real work restarts on the next dispatch.
+    /// globally. States held by tasks whose predecessor gates are incomplete
+    /// are discarded too: they cannot be consumed yet, and such holds can
+    /// close a wait cycle *through the dependency DAG* that the ledger's
+    /// queue-level wait-for graph cannot see. Real work restarts on the next
+    /// dispatch.
     fn break_stall(&mut self) {
         for i in 0..self.tasks.len() {
             if self.tasks[i].done {
                 continue;
             }
+            let speculative = self.is_speculative(TaskId(i as u32));
             let TaskBody::Rz {
                 ref ladder,
                 ref holders,
@@ -1120,16 +1225,13 @@ impl RtEngine<'_> {
             let current = ladder.current_angle();
             let stale: Vec<AncillaIndex> = holders
                 .iter()
-                .filter(|&&(_, ang)| ang != current)
+                .filter(|&&(_, ang)| speculative || ang != current)
                 .map(|&(a, _)| a)
                 .collect();
             for a in stale {
                 self.fabric.release_ancilla(a, self.clock);
-                if let Some(e) = self.queues[a as usize].top_mut() {
-                    if e.task.index() == i {
-                        e.status = EntryStatus::Ready;
-                    }
-                }
+                self.ledger
+                    .set_top_status_if(a, TaskId(i as u32), EntryStatus::Ready);
                 if let TaskBody::Rz { holders, .. } = &mut self.tasks[i].body {
                     holders.retain(|&(x, _)| x != a);
                 }
@@ -1235,7 +1337,7 @@ impl RtEngine<'_> {
                 let gate = self.tasks[task.index()].gate;
                 if let TaskBody::Cnot { ref path, .. } = self.tasks[task.index()].body {
                     for &a in &path.clone() {
-                        self.queues[a as usize].remove_task(task);
+                        self.ledger.remove_task(a, task);
                     }
                 }
                 let latency =
@@ -1252,9 +1354,7 @@ impl RtEngine<'_> {
         }
         self.prepping[a as usize] = None;
         self.counters.preps_succeeded += 1;
-        if let Some(e) = self.queues[a as usize].top_mut() {
-            e.status = EntryStatus::DonePreparing;
-        }
+        self.ledger.set_top_status(a, EntryStatus::DonePreparing);
         let TaskBody::Rz {
             ref ladder,
             ref prep_sites,
@@ -1277,7 +1377,7 @@ impl RtEngine<'_> {
                 if s == a || self.is_holding(task, s) {
                     continue;
                 }
-                self.queues[s as usize].update_angle(task, next);
+                self.ledger.update_angle(s, task, next);
             }
         }
         self.try_start_injection(task);
@@ -1368,11 +1468,11 @@ impl RtEngine<'_> {
                 }
                 for &(s, _) in &sites {
                     if !self.is_holding(task, s) {
-                        self.queues[s as usize].update_angle(task, next);
-                        if let Some(e) = self.queues[s as usize].top_mut() {
-                            if e.task == task && e.status == EntryStatus::DonePreparing {
-                                e.status = EntryStatus::Ready;
-                            }
+                        self.ledger.update_angle(s, task, next);
+                        if self.ledger.queue(s).top().is_some_and(|e| {
+                            e.task == task && e.status == EntryStatus::DonePreparing
+                        }) {
+                            self.ledger.set_top_status(s, EntryStatus::Ready);
                         }
                     }
                 }
@@ -1397,10 +1497,10 @@ impl RtEngine<'_> {
         }
         for (a, _) in sites {
             self.cancel_prep_for(a, task);
-            self.queues[a as usize].remove_task(task);
+            self.ledger.remove_task(a, task);
         }
         for h in helpers {
-            self.queues[h as usize].remove_task(task);
+            self.ledger.remove_task(h, task);
         }
         let latency = (self.clock - self.tasks[task.index()].sched_round).div_ceil(self.d as u64);
         self.rz_latency.record(latency);

@@ -19,8 +19,11 @@ use crate::metrics::{ExecutionReport, LatencyHistogram, RunCounters};
 use crate::{SimConfig, SimError};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use rescq_circuit::{Circuit, DependencyDag, Gate, GateId, QubitId};
-use rescq_core::{plan_static_route, SchedulerKind, StaticRouteOutcome};
+use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, QubitId};
+use rescq_core::{
+    plan_static_route, QueueEntry, ReservationLedger, Role, SchedulerKind, StaticRouteOutcome,
+    TaskId,
+};
 use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::AncillaIndex;
 use rescq_rus::{InjectionLadder, PreparationModel};
@@ -55,11 +58,12 @@ enum RzPhase {
     Injecting,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 enum CnotPhase {
     NeedRoute,
     Rotating,
-    Surgery,
+    /// Surgery in flight over this path (released at `SurgeryDone`).
+    Surgery(Vec<AncillaIndex>),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,6 +112,12 @@ pub(crate) fn run_static(
 
     let mut clock: u64 = 0;
     let mut counters = RunCounters::default();
+    // Mirror of the realtime engine's reservation ledger: static baselines
+    // never reorder (no preemption), but their designated-ancilla claims and
+    // in-flight routes go through the same API so the wait-graph counters
+    // are comparable across schedulers. Accounting only — no decision below
+    // reads the ledger.
+    let mut ledger = ReservationLedger::new(fabric.num_ancillas());
     let mut cnot_latency = LatencyHistogram::new();
     let mut rz_latency = LatencyHistogram::new();
     let mut decoder = DecoderRuntime::new(&config.decoder, d);
@@ -170,6 +180,23 @@ pub(crate) fn run_static(
             });
         }
 
+        // Register the layer's designated-ancilla claims with the ledger
+        // (after the AutoBraid sort so task ids match slot indices). The
+        // naive protocol claims its designated ancilla for the gate's whole
+        // lifetime; two same-layer rotations sharing one ancilla show up as
+        // a ledger wait edge.
+        for (idx, (_, state)) in gates.iter().enumerate() {
+            if let LayerGate::Rz {
+                designated, ladder, ..
+            } = state
+            {
+                ledger.push(
+                    *designated,
+                    QueueEntry::new(TaskId(idx as u32), Role::PrepZz, ladder.current_angle()),
+                );
+            }
+        }
+
         let mut remaining = gates
             .iter()
             .filter(|(_, s)| !matches!(s, LayerGate::Done))
@@ -183,6 +210,7 @@ pub(crate) fn run_static(
                     i,
                     &mut gates,
                     &mut fabric,
+                    &mut ledger,
                     &mut events,
                     &mut rng,
                     &prep_model,
@@ -211,6 +239,7 @@ pub(crate) fn run_static(
                 ev,
                 &mut gates,
                 &mut fabric,
+                &mut ledger,
                 &mut events,
                 &mut rng,
                 &mut counters,
@@ -232,6 +261,12 @@ pub(crate) fn run_static(
     counters.decode_windows = dec.windows_submitted;
     counters.decoder_stall_rounds = dec.stall_rounds;
     counters.decoder_peak_backlog = dec.peak_backlog;
+    counters.waitgraph_peak_edges = ledger.stats().waitgraph_peak_edges;
+    debug_assert_eq!(
+        ledger.stats().preemptions,
+        0,
+        "static engines never preempt"
+    );
 
     Ok(ExecutionReport {
         scheduler: kind,
@@ -256,6 +291,7 @@ fn dispatch_gate(
     idx: usize,
     gates: &mut [(GateId, LayerGate)],
     fabric: &mut Fabric,
+    ledger: &mut ReservationLedger,
     events: &mut EventQueue<Ev>,
     rng: &mut ChaCha8Rng,
     prep_model: &PreparationModel,
@@ -389,10 +425,14 @@ fn dispatch_gate(
                     fabric.occupy_qubit(target, now, until);
                     for &a in &path {
                         fabric.occupy_ancilla(a, now, until);
+                        ledger.push(
+                            a,
+                            QueueEntry::new(TaskId(idx as u32), Role::Route, Angle::ZERO),
+                        );
                     }
                     counters.cnot_surgeries += 1;
                     events.push(until, Ev::SurgeryDone(idx));
-                    *phase = CnotPhase::Surgery;
+                    *phase = CnotPhase::Surgery(path);
                 }
                 StaticRouteOutcome::NeedRotation { qubit, using } => {
                     let until = now + costs.edge_rotation_cycles as u64 * d as u64;
@@ -414,6 +454,7 @@ fn handle_event(
     ev: Ev,
     gates: &mut [(GateId, LayerGate)],
     fabric: &mut Fabric,
+    ledger: &mut ReservationLedger,
     events: &mut EventQueue<Ev>,
     rng: &mut ChaCha8Rng,
     counters: &mut RunCounters,
@@ -490,6 +531,7 @@ fn handle_event(
                     success,
                     gates,
                     fabric,
+                    ledger,
                     remaining,
                     rz_latency,
                     latency_cycles,
@@ -508,6 +550,7 @@ fn handle_event(
                 success,
                 gates,
                 fabric,
+                ledger,
                 remaining,
                 rz_latency,
                 latency_cycles,
@@ -521,6 +564,18 @@ fn handle_event(
             }
         }
         Ev::SurgeryDone(idx) => {
+            if let (
+                _,
+                LayerGate::Cnot {
+                    phase: CnotPhase::Surgery(path),
+                    ..
+                },
+            ) = &gates[idx]
+            {
+                for &a in path {
+                    ledger.remove_task(a, TaskId(idx as u32));
+                }
+            }
             cnot_latency.record(latency_cycles);
             gates[idx].1 = LayerGate::Done;
             *remaining -= 1;
@@ -535,6 +590,7 @@ fn apply_rz_outcome(
     success: bool,
     gates: &mut [(GateId, LayerGate)],
     fabric: &mut Fabric,
+    ledger: &mut ReservationLedger,
     remaining: &mut usize,
     rz_latency: &mut LatencyHistogram,
     latency_cycles: u64,
@@ -553,6 +609,7 @@ fn apply_rz_outcome(
         match ladder.record_outcome(success) {
             rescq_rus::LadderStep::Done => {
                 fabric.release_ancilla(*designated, now);
+                ledger.remove_task(*designated, TaskId(idx as u32));
                 rz_latency.record(latency_cycles);
                 gates[idx].1 = LayerGate::Done;
                 *remaining -= 1;

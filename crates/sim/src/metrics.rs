@@ -111,6 +111,14 @@ pub struct RunCounters {
     pub cnot_surgeries: u64,
     /// Stalled CNOT routes re-planned (RESCQ on constrained fabrics).
     pub cnot_replans: u64,
+    /// Ledger preemptions applied: an older stalled task reordered ahead of
+    /// younger speculative preparations (RESCQ on constrained fabrics).
+    pub preemptions: u64,
+    /// Preemptions rejected because the reordered wait-for edges would have
+    /// created a cycle (the naive-yield deadlock, caught by the ledger).
+    pub preemptions_rejected_cycle: u64,
+    /// Largest number of distinct edges the task wait-for graph ever held.
+    pub waitgraph_peak_edges: u64,
     /// MST computations completed (RESCQ).
     pub mst_computations: u64,
     /// Incremental MST edge updates applied (RESCQ, §5.4.1).

@@ -111,16 +111,14 @@ fn compressed_grid_still_completes() {
 
 #[test]
 fn rescq_holds_up_fully_compressed() {
-    // Contribution 3: "Even in the most constrained architectures, RESCQ
-    // results in an average 1.65× improvement in cycle time". This
-    // reproduction does not reach that yet: with fewer than 2 ancillas per
-    // qubit the realtime engine's speculative preparation contends with
-    // routing, and the global queue-seniority invariant (which keeps the
-    // wait-for graph acyclic) rules out preempting a preparation for an
-    // older CNOT. Constrained-fabric throttling (single prep site, no
-    // preemptive claims, stalled-route re-planning) brings RESCQ from 0.85×
-    // to ≈1.0× of greedy; this test pins near-parity so regressions to the
-    // old behaviour fail, and ROADMAP.md tracks closing the remaining gap.
+    // On *this* synthetic workload — a fully serialized CNOT chain whose
+    // dependency structure already hands greedy all available parallelism —
+    // the two schedulers share the critical path, so near-parity is the
+    // correct expectation and this test pins it against regressions (the
+    // pre-ledger engine briefly hit 0.85× here). The paper's actual
+    // constrained-fabric claim (1.65× on the benchmark suite, Fig 9) is
+    // asserted as a strict ≥1.15× win in
+    // `tests/paper_claims.rs::rescq_wins_on_compressed_fabrics`.
     let c = rz_heavy(12, 5);
     let mean = |s: SchedulerKind| -> f64 {
         (0..4)
@@ -141,6 +139,47 @@ fn rescq_holds_up_fully_compressed() {
         rescq <= greedy * 1.05,
         "RESCQ ({rescq:.0}) fell behind greedy ({greedy:.0}) at 100% compression"
     );
+}
+
+#[test]
+fn uncompressed_runs_bit_identical_to_pre_ledger_engine() {
+    // The reservation-ledger refactor rewrote every queue access in the
+    // realtime engine and re-enabled eager correction preparation on
+    // constrained fabrics. Uncompressed fabrics are unconstrained, so their
+    // schedules — and therefore their RNG streams and exact round counts —
+    // must be bit-identical to the pre-refactor engine. Golden values
+    // captured from the PR 2 tree.
+    for (qubits, layers, seed, rounds) in [
+        (9u32, 4u32, 11u64, 411u64),
+        (9, 4, 40, 421),
+        (9, 4, 41, 449),
+        (6, 3, 11, 306),
+        (6, 3, 40, 284),
+        (6, 3, 41, 248),
+    ] {
+        let c = rz_heavy(qubits, layers);
+        let r = simulate(&c, &config(SchedulerKind::Rescq, seed)).unwrap();
+        assert_eq!(
+            r.total_rounds, rounds,
+            "rz_heavy({qubits},{layers}) seed={seed} diverged from the pre-ledger engine"
+        );
+    }
+}
+
+#[test]
+fn constrained_fabric_counters_are_wired() {
+    // The ledger's counters flow into the report: compressed RESCQ runs
+    // populate the wait-graph peak, and the static baseline reports its
+    // (preemption-free) ledger accounting too.
+    let c = rz_heavy(8, 3);
+    let cfg = SimConfig::builder().compression(1.0).seed(3).build();
+    let r = simulate(&c, &cfg).unwrap();
+    assert!(r.counters.waitgraph_peak_edges > 0);
+    let mut gcfg = cfg.clone();
+    gcfg.scheduler = SchedulerKind::Greedy;
+    let g = simulate(&c, &gcfg).unwrap();
+    assert_eq!(g.counters.preemptions, 0, "static engines never preempt");
+    assert_eq!(g.counters.preemptions_rejected_cycle, 0);
 }
 
 #[test]

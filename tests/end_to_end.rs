@@ -33,6 +33,16 @@ fn simulation_is_deterministic_across_repeats() {
 }
 
 #[test]
+fn uncompressed_benchmark_run_matches_pre_ledger_golden() {
+    // Cross-crate pin of the reservation-ledger refactor's bit-identity
+    // guarantee on an unconstrained fabric (golden from the PR 2 tree).
+    let circuit = rescq_repro::workloads::generate("wstate_n27", 1).unwrap();
+    let config = SimConfig::builder().seed(7).build();
+    let report = simulate(&circuit, &config).unwrap();
+    assert_eq!(report.total_rounds, 2391);
+}
+
+#[test]
 fn rotation_counters_track_eq1() {
     // Generic angles average ≈2 injections; the engine's counters must
     // reflect the RUS ladder (Eq. 1) within Monte-Carlo noise.

@@ -13,6 +13,46 @@ fn mean_cycles(name: &str, scheduler: SchedulerKind, seeds: u64) -> f64 {
         .mean_cycles()
 }
 
+fn compressed_mean_cycles(name: &str, scheduler: SchedulerKind, seeds: u64) -> f64 {
+    let circuit = rescq_repro::workloads::generate(name, 1).unwrap();
+    let config = SimConfig::builder()
+        .scheduler(scheduler)
+        .compression(0.5)
+        .build();
+    run_seeds(&circuit, &config, 1, seeds, 4)
+        .unwrap()
+        .mean_cycles()
+}
+
+#[test]
+fn rescq_wins_on_compressed_fabrics() {
+    // Contribution 3 / Fig 9: "Even in the most constrained architectures,
+    // RESCQ results in an average 1.65× improvement in cycle time." Until
+    // the reservation-ledger scheduling core landed, this assertion was
+    // pinned at near-parity (rescq ≤ 1.05× greedy) because the constrained
+    // throttles of PR 1 forfeited eager correction preparation; with
+    // ledger-mediated preemption the win is real. Pin: ≥ 1.15× per
+    // representative benchmark at 50% grid compression, ratios printed so
+    // the CI release gate can surface them.
+    let mut speedups = Vec::new();
+    for name in ["gcm_n13", "qft_n18", "wstate_n27"] {
+        let greedy = compressed_mean_cycles(name, SchedulerKind::Greedy, 3);
+        let rescq = compressed_mean_cycles(name, SchedulerKind::Rescq, 3);
+        let ratio = greedy / rescq;
+        println!(
+            "compressed-fabric speedup {name}: {ratio:.2}x (rescq {rescq:.0} vs greedy {greedy:.0} cycles)"
+        );
+        assert!(
+            ratio >= 1.15,
+            "{name}: rescq must beat greedy by >=1.15x at 50% compression, got {ratio:.2}x"
+        );
+        speedups.push(ratio);
+    }
+    let gm = geomean(&speedups);
+    println!("compressed-fabric geomean speedup: {gm:.2}x");
+    assert!(gm >= 1.3, "geomean speedup {gm:.2} too small");
+}
+
 #[test]
 fn rescq_beats_baselines_on_representative_set() {
     // Fig 10's core claim on the §5.2 representative benchmarks.
