@@ -13,6 +13,7 @@
 //! compression = 0.0
 //! seeds = 10
 //! base_seed = 1
+//! engine_threads = 4       # realtime-engine shards; 0 = auto, schedule unchanged
 //! decoder = adaptive       # ideal | fixed | adaptive
 //! decoder_throughput = 0.5 # syndrome rounds decoded per round
 //! decoder_workers = 4      # adaptive only
@@ -118,6 +119,9 @@ pub fn parse_config(text: &str) -> Result<RunSpec, ConfigError> {
             "seeds" | "number_of_runs" => spec.seeds = parse_u64(value)?.max(1),
             "base_seed" | "seed" => spec.base_seed = parse_u64(value)?,
             "max_cycles" => spec.config.max_cycles = parse_u64(value)?,
+            "engine_threads" => {
+                spec.config.engine_threads = parse_u64(value)? as usize;
+            }
             "block_columns" => {
                 spec.config.block_columns = Some(parse_u64(value)? as u32);
             }
@@ -166,6 +170,12 @@ pub fn write_config(spec: &RunSpec) -> String {
     );
     if let Some(cols) = spec.config.block_columns {
         out.push_str(&format!("block_columns = {cols}\n"));
+    }
+    if spec.config.engine_threads != 1 {
+        out.push_str(&format!(
+            "engine_threads = {}\n",
+            spec.config.engine_threads
+        ));
     }
     if spec.config.decoder != rescq_decoder::DecoderConfig::default() {
         let d = &spec.config.decoder;
@@ -261,6 +271,24 @@ base_seed = 7
     #[test]
     fn default_config_omits_decoder_keys() {
         assert!(!write_config(&RunSpec::default()).contains("decoder"));
+    }
+
+    #[test]
+    fn engine_threads_key_parses_and_round_trips() {
+        let spec = parse_config("engine_threads = 4\n").unwrap();
+        assert_eq!(spec.config.engine_threads, 4);
+        let text = write_config(&spec);
+        assert!(text.contains("engine_threads = 4"));
+        assert_eq!(parse_config(&text).unwrap(), spec);
+        // 0 = auto-detect; the default (1) stays out of written configs.
+        assert_eq!(
+            parse_config("engine_threads = 0\n")
+                .unwrap()
+                .config
+                .engine_threads,
+            0
+        );
+        assert!(!write_config(&RunSpec::default()).contains("engine_threads"));
     }
 
     #[test]

@@ -47,15 +47,19 @@ fn print_usage() {
     println!("sim — RESCQ scheduling simulator (paper reproduction)");
     println!();
     println!("Usage:");
-    println!("  sim run <config-file> [--csv DIR]   run an experiment from a config file");
+    println!("  sim run <config-file> [--csv DIR] [--engine-threads N]");
+    println!("                                      run an experiment from a config file");
     println!("  sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE]");
     println!("            [--checkpoint FILE] [--shard i/n] [--quiet | --progress]");
+    println!("            [--layout-cache DIR]  persist layouts across invocations");
     println!("                                      run a declarative parameter sweep");
     println!("  sim merge-checkpoints <spec.toml> <out.csv> <in.ckpt...> [--json FILE]");
     println!("            [--allow-missing]         merge shard checkpoints into one CSV/JSON");
     println!("  sim bench <name> [--seeds N] [--compression F] [--distance D] [--csv DIR]");
     println!("            [--decoder ideal|fixed|adaptive] [--decoder-throughput F]");
     println!("            [--decoder-workers N] [--decoder-prep]");
+    println!("            [--engine-threads N]   realtime-engine shards (0 = auto;");
+    println!("                                   schedule is bit-identical for any N)");
     println!("  sim list                            list Table 3 benchmarks");
     println!("  sim table3                          regenerate Table 3");
     println!("  sim fig <3|5|10|11|12|13|14|15|16|a2|decoder> [--full]");
@@ -124,9 +128,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or("usage: sim run <config-file> [--csv DIR]")?;
+        .ok_or("usage: sim run <config-file> [--csv DIR] [--engine-threads N]")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let spec = parse_config(&text).map_err(|e| e.to_string())?;
+    let mut spec = parse_config(&text).map_err(|e| e.to_string())?;
+    if let Some(t) = flag_value(args, "--engine-threads") {
+        spec.config.engine_threads = t.parse().map_err(|_| "bad --engine-threads")?;
+    }
     run_spec(&spec, flag_value(args, "--csv").map(PathBuf::from))
 }
 
@@ -134,7 +141,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     use rescq_harness::{run_sweep, ProgressMode, RunOptions, Shard, SweepSpec};
     let path = args.first().filter(|a| !a.starts_with("--")).ok_or(
         "usage: sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE] \
-         [--checkpoint FILE] [--shard i/n] [--quiet | --progress]",
+         [--checkpoint FILE] [--shard i/n] [--layout-cache DIR] [--quiet | --progress]",
     )?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
@@ -143,6 +150,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         opts.threads = t.parse().map_err(|_| "bad --threads")?;
     }
     opts.checkpoint = flag_value(args, "--checkpoint").map(PathBuf::from);
+    opts.layout_cache_dir = flag_value(args, "--layout-cache").map(PathBuf::from);
     if let Some(shard) = flag_value(args, "--shard") {
         opts.shard = Some(Shard::parse(&shard)?);
     }
@@ -325,6 +333,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--decoder-prep") {
         spec.config.decoder.decode_prep = true;
+    }
+    if let Some(t) = flag_value(args, "--engine-threads") {
+        spec.config.engine_threads = t.parse().map_err(|_| "bad --engine-threads")?;
     }
     let csv = flag_value(args, "--csv").map(PathBuf::from);
     for sched in SchedulerKind::ALL {

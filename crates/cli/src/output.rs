@@ -11,14 +11,18 @@ use std::path::Path;
 /// Propagates I/O errors.
 pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
+    // `engine_threads` is deliberately the LAST column: it is the one
+    // field that varies with the execution resource rather than the
+    // schedule, so determinism checks (CI's engine-thread smoke) can strip
+    // it with a single `cut` and byte-compare everything else.
     writeln!(
         f,
-        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog,preemptions,preemptions_rejected_cycle,waitgraph_peak_edges"
+        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog,preemptions,preemptions_rejected_cycle,preemptions_cross_shard,claims_cross_shard,waitgraph_peak_edges,engine_threads"
     )?;
     for r in reports {
         writeln!(
             f,
-            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{}",
+            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{}",
             r.scheduler,
             r.seed,
             r.distance,
@@ -38,7 +42,10 @@ pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::R
             r.counters.decoder_peak_backlog,
             r.counters.preemptions,
             r.counters.preemptions_rejected_cycle,
+            r.counters.preemptions_cross_shard,
+            r.counters.claims_cross_shard,
             r.counters.waitgraph_peak_edges,
+            r.engine_threads,
         )?;
     }
     Ok(())

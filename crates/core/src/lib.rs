@@ -40,6 +40,6 @@ mod types;
 pub use activity::ActivityTracker;
 pub use dynmst::{KPolicy, MstPipeline, TauModel};
 pub use queue::{AncillaQueue, EntryStatus, QueueEntry, Role};
-pub use reservation::{LedgerStats, Preemption, ReservationId, ReservationLedger};
+pub use reservation::{LedgerStats, Preemption, ReservationId, ReservationLedger, ShardId};
 pub use routing::{plan_cnot_route, plan_static_route, PathCache, RoutePlan, StaticRouteOutcome};
 pub use types::{SchedulerKind, SurgeryCosts, TaskId};

@@ -41,6 +41,19 @@ impl ReservationId {
     pub const UNREGISTERED: ReservationId = ReservationId(0);
 }
 
+/// Identifier of one scheduling shard: a contiguous region of the ancilla
+/// network served by one scheduling worker (the partition itself lives with
+/// the engine; the ledger only tags claims and preemptions with the shards
+/// involved so cross-shard arbitration is observable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
 /// Counters describing a ledger's preemption and wait-graph history.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LedgerStats {
@@ -50,6 +63,12 @@ pub struct LedgerStats {
     /// Preemptions rejected because the reversed wait-for edges would have
     /// created a cycle (the naive-yield deadlock, caught).
     pub preemptions_rejected_cycle: u64,
+    /// Applied preemptions whose target ancilla lay outside the preempting
+    /// task's home shard ([`ReservationLedger::try_preempt_across`]).
+    pub preemptions_cross_shard: u64,
+    /// Claims registered on an ancilla hosted outside the claiming task's
+    /// home shard ([`ReservationLedger::push_claim`]).
+    pub claims_cross_shard: u64,
     /// Largest number of distinct edges the wait-for graph ever held.
     pub waitgraph_peak_edges: u64,
 }
@@ -165,6 +184,26 @@ impl ReservationLedger {
         id
     }
 
+    /// [`Self::push`] tagged with the shards involved: `owner` is the home
+    /// shard of the claiming task, `host` the shard hosting ancilla `a`.
+    /// The claim itself is identical to a plain push — arbitration is by
+    /// queue seniority and the wait-for graph, never by shard — but
+    /// cross-shard claims are counted so a sharded engine can observe how
+    /// often work crosses region boundaries (e.g. a CNOT route leaving its
+    /// home region).
+    pub fn push_claim(
+        &mut self,
+        a: u32,
+        entry: QueueEntry,
+        owner: ShardId,
+        host: ShardId,
+    ) -> ReservationId {
+        if owner != host {
+            self.stats.claims_cross_shard += 1;
+        }
+        self.push(a, entry)
+    }
+
     /// Pops the top entry of ancilla `a`, releasing the edges it held.
     pub fn pop(&mut self, a: u32) -> Option<QueueEntry> {
         self.mutate(a, |q| q.pop())
@@ -220,6 +259,33 @@ impl ReservationLedger {
     /// this is precisely the case where a naive yield would have deadlocked.
     pub fn try_preempt(&mut self, task: TaskId, a: u32) -> Preemption {
         self.try_preempt_with(task, a, |e| e.task > task)
+    }
+
+    /// [`Self::try_preempt_with`] tagged with the shards involved: `owner`
+    /// is the preempting task's home shard, `host` the shard hosting
+    /// ancilla `a`.
+    ///
+    /// Cross-shard preemptions go through exactly the same ledger-level
+    /// arbitration — the structural eligibility check and the incremental
+    /// acyclicity proof are shard-agnostic, which is what makes them safe
+    /// regardless of which scheduling worker proposed the reorder — but
+    /// applied reorders that crossed a shard boundary are counted in
+    /// [`LedgerStats::preemptions_cross_shard`].
+    pub fn try_preempt_across(
+        &mut self,
+        task: TaskId,
+        a: u32,
+        owner: ShardId,
+        host: ShardId,
+        may_displace: impl Fn(&QueueEntry) -> bool,
+    ) -> Preemption {
+        let outcome = self.try_preempt_with(task, a, may_displace);
+        if owner != host {
+            if let Preemption::Applied { .. } = outcome {
+                self.stats.preemptions_cross_shard += 1;
+            }
+        }
+        outcome
     }
 
     /// [`Self::try_preempt`] with a caller-supplied speculation test.
@@ -433,6 +499,23 @@ impl ReservationLedger {
     }
 }
 
+// Send/Sync audit: a sharded engine hands read-only views of the ledger and
+// its queues to scheduling workers on other threads, so every type on that
+// path must be `Send + Sync`. Asserted at compile time — a field change that
+// introduces interior mutability or a thread-bound type fails the build
+// here, not in a data race.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ReservationLedger>();
+    assert_send_sync::<AncillaQueue>();
+    assert_send_sync::<QueueEntry>();
+    assert_send_sync::<EntryStatus>();
+    assert_send_sync::<ReservationId>();
+    assert_send_sync::<ShardId>();
+    assert_send_sync::<Preemption>();
+    assert_send_sync::<LedgerStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +649,45 @@ mod tests {
         assert_eq!(l.try_preempt(TaskId(0), 0), Preemption::NotEligible);
         l.push(0, route(0));
         assert_eq!(l.try_preempt(TaskId(0), 0), Preemption::NotEligible);
+    }
+
+    #[test]
+    fn cross_shard_preemptions_are_counted_but_arbitrated_identically() {
+        // The same reorder, once within a shard and once across shards:
+        // identical queue outcome, the cross-shard one counted.
+        let mut l = ReservationLedger::new(2);
+        l.push(0, prep(3));
+        l.push(0, route(1));
+        l.push(1, prep(4));
+        l.push(1, route(2));
+        let same =
+            l.try_preempt_across(TaskId(1), 0, ShardId(0), ShardId(0), |e| e.task > TaskId(1));
+        assert!(matches!(same, Preemption::Applied { .. }));
+        let cross =
+            l.try_preempt_across(TaskId(2), 1, ShardId(0), ShardId(1), |e| e.task > TaskId(2));
+        assert!(matches!(cross, Preemption::Applied { .. }));
+        assert_eq!(l.stats().preemptions, 2);
+        assert_eq!(l.stats().preemptions_cross_shard, 1);
+        // Rejections never count as cross-shard applications.
+        let mut l2 = ReservationLedger::new(2);
+        for a in 0..2u32 {
+            l2.push(a, prep(2));
+            l2.push(a, route(1));
+        }
+        let out =
+            l2.try_preempt_across(TaskId(1), 0, ShardId(0), ShardId(1), |e| e.task > TaskId(1));
+        assert_eq!(out, Preemption::RejectedCycle);
+        assert_eq!(l2.stats().preemptions_cross_shard, 0);
+    }
+
+    #[test]
+    fn cross_shard_claims_are_counted() {
+        let mut l = ReservationLedger::new(2);
+        let id = l.push_claim(0, route(0), ShardId(0), ShardId(0));
+        assert_ne!(id, ReservationId::UNREGISTERED);
+        l.push_claim(1, route(0), ShardId(0), ShardId(1));
+        assert_eq!(l.stats().claims_cross_shard, 1);
+        assert_eq!(l.queue(1).top().unwrap().task, TaskId(0));
     }
 
     #[test]

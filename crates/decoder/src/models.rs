@@ -153,7 +153,7 @@ impl DecoderModel for AdaptiveDecoder {
 }
 
 /// Instantiates the model a configuration names.
-pub fn build_model(config: &DecoderConfig) -> Box<dyn DecoderModel + Send> {
+pub fn build_model(config: &DecoderConfig) -> Box<dyn DecoderModel + Send + Sync> {
     use crate::DecoderKind;
     match config.kind {
         DecoderKind::Ideal => Box::new(IdealDecoder),

@@ -27,7 +27,7 @@ pub struct DecoderStats {
 /// [`retire`](DecoderRuntime::retire), which updates the backlog accounting.
 #[derive(Debug)]
 pub struct DecoderRuntime {
-    model: Box<dyn DecoderModel + Send>,
+    model: Box<dyn DecoderModel + Send + Sync>,
     backlog: DecodeBacklog,
     stats: DecoderStats,
     /// Syndrome rounds per lattice-surgery cycle (the code distance).
@@ -35,6 +35,14 @@ pub struct DecoderRuntime {
     /// Whether preparation-verification windows are decoded too.
     decode_prep: bool,
 }
+
+// The sharded realtime engine hands `&DecoderRuntime` (inside its frozen
+// state view) to scheduling workers on other threads; the model box is
+// `Send + Sync` precisely so that view is shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DecoderRuntime>();
+};
 
 impl DecoderRuntime {
     /// Builds the runtime a configuration describes. `rounds_per_cycle` is

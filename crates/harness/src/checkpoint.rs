@@ -25,8 +25,11 @@ const HEADER: &str = "# rescq-harness checkpoint v1";
 /// deterministic).
 pub fn job_fingerprint(job: &JobSpec, circuit_hash: u64, circuit_seed: u64) -> u64 {
     let c = &job.config;
+    // `engine_threads` is part of the fingerprint even though schedules are
+    // thread-count invariant: the checkpoint stores the raw CSV row, whose
+    // engine_threads grid column must echo the job that wrote it.
     let canonical = format!(
-        "w={}|ch={circuit_hash}|cs={circuit_seed}|s={}|d={}|p={}|k={:?}|aw={}|layout={:?}|bc={:?}|comp={}|compseed={}|dec={:?}|seed={}|mc={}|tau={:?}|costs={:?}|cal={:?}",
+        "w={}|ch={circuit_hash}|cs={circuit_seed}|s={}|d={}|p={}|k={:?}|aw={}|layout={:?}|bc={:?}|comp={}|compseed={}|dec={:?}|seed={}|mc={}|tau={:?}|costs={:?}|cal={:?}|et={}",
         job.workload,
         c.scheduler,
         c.distance,
@@ -43,6 +46,7 @@ pub fn job_fingerprint(job: &JobSpec, circuit_hash: u64, circuit_seed: u64) -> u
         c.tau_model,
         c.costs,
         c.calibration,
+        c.engine_threads,
     );
     rescq_circuit::fnv1a_64(canonical.bytes())
 }

@@ -74,8 +74,11 @@ pub struct JobRecord {
     pub resumed: bool,
 }
 
-/// The CSV column header of per-job rows.
-pub const CSV_HEADER: &str = "workload,scheduler,distance,error_rate,k,compression,decoder,seed,\
+/// The CSV column header of per-job rows. `engine_threads` sits with the
+/// grid columns (it is a spec axis, not a result — the schedule is
+/// bit-identical for every value).
+pub const CSV_HEADER: &str = "workload,scheduler,distance,error_rate,k,compression,decoder,\
+engine_threads,seed,\
 total_cycles,idle_fraction,stall_cycles,decode_windows,peak_backlog,injections,\
 injection_failures,preps_started,preps_cancelled,preemptions,preemptions_rejected,\
 waitgraph_peak_edges";
@@ -83,7 +86,7 @@ waitgraph_peak_edges";
 /// Formats one job + metrics as a CSV row (no trailing newline).
 pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         job.workload,
         job.config.scheduler,
         job.config.distance,
@@ -91,6 +94,7 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
         fmt_k(job.config.k_policy),
         job.config.compression,
         job.decoder,
+        job.config.engine_threads,
         m.seed,
         m.total_cycles,
         m.idle_fraction,
@@ -112,8 +116,11 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
 /// fingerprint, not re-parsed).
 pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
     let cols: Vec<&str> = row.split(',').collect();
-    if cols.len() != 20 {
-        return Err(format!("expected 20 columns, got {}", cols.len()));
+    // 21 columns since the engine_threads axis; older 20-column checkpoint
+    // rows fail here and are skipped gracefully by the checkpoint loader
+    // (the jobs simply re-run).
+    if cols.len() != 21 {
+        return Err(format!("expected 21 columns, got {}", cols.len()));
     }
     let f = |i: usize| -> Result<f64, String> {
         cols[i]
@@ -126,19 +133,19 @@ pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
             .map_err(|_| format!("bad integer `{}` in column {i}", cols[i]))
     };
     Ok(JobMetrics {
-        seed: u(7)?,
-        total_cycles: f(8)?,
-        idle_fraction: f(9)?,
-        stall_cycles: f(10)?,
-        decode_windows: u(11)?,
-        peak_backlog: u(12)?,
-        injections: u(13)?,
-        injection_failures: u(14)?,
-        preps_started: u(15)?,
-        preps_cancelled: u(16)?,
-        preemptions: u(17)?,
-        preemptions_rejected: u(18)?,
-        waitgraph_peak_edges: u(19)?,
+        seed: u(8)?,
+        total_cycles: f(9)?,
+        idle_fraction: f(10)?,
+        stall_cycles: f(11)?,
+        decode_windows: u(12)?,
+        peak_backlog: u(13)?,
+        injections: u(14)?,
+        injection_failures: u(15)?,
+        preps_started: u(16)?,
+        preps_cancelled: u(17)?,
+        preemptions: u(18)?,
+        preemptions_rejected: u(19)?,
+        waitgraph_peak_edges: u(20)?,
     })
 }
 
@@ -310,7 +317,7 @@ impl SweepResults {
         for (i, s) in summaries.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"waitgraph_peak_edges\": {}}}",
+                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"waitgraph_peak_edges\": {}}}",
                 json_escape(&s.job.workload),
                 s.job.config.scheduler,
                 s.job.config.distance,
@@ -318,6 +325,7 @@ impl SweepResults {
                 fmt_k(s.job.config.k_policy),
                 s.job.config.compression,
                 s.job.decoder,
+                s.job.config.engine_threads,
                 s.completed,
                 s.mean_cycles,
                 s.p50_cycles,

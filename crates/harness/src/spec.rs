@@ -118,6 +118,11 @@ pub struct SweepSpec {
     pub compressions: Vec<f64>,
     /// Decoder points swept.
     pub decoders: Vec<DecoderPoint>,
+    /// Engine worker-thread counts swept (`0` = auto). The schedule is
+    /// bit-identical for every value — this axis exists so sweeps can trade
+    /// job-level parallelism (harness workers) against run-level
+    /// parallelism (engine shards) and measure the wall-clock frontier.
+    pub engine_threads: Vec<usize>,
     /// Seeded runs per sweep point.
     pub seeds: u64,
     /// First run seed.
@@ -141,6 +146,7 @@ impl Default for SweepSpec {
             k_values: vec![KPolicy::Fixed(25)],
             compressions: vec![0.0],
             decoders: vec![DecoderPoint::ideal()],
+            engine_threads: vec![1],
             seeds: 3,
             base_seed: 1,
             circuit_seed: 1,
@@ -341,6 +347,7 @@ impl SweepSpec {
     /// | `k` | integer-or-`"dynamic"` array | `[25]` |
     /// | `compressions` | number array | `[0.0]` |
     /// | `decoders` | string array (`ideal`, `fixed:TP`, `adaptive:TPxW`) | `["ideal"]` |
+    /// | `engine_threads` | integer array (`0` = auto; schedule-invariant) | `[1]` |
     /// | `seeds` | integer | `3` |
     /// | `base_seed` | integer | `1` |
     /// | `circuit_seed` | integer | `1` |
@@ -424,6 +431,12 @@ impl SweepSpec {
                         })
                         .collect::<Result<_, _>>()?;
                 }
+                "engine_threads" => {
+                    spec.engine_threads = values
+                        .iter()
+                        .map(|v| v.as_u64(lineno).map(|t| t as usize))
+                        .collect::<Result<_, _>>()?;
+                }
                 "seeds" => spec.seeds = one_scalar(&values, lineno)?.as_u64(lineno)?,
                 "base_seed" => spec.base_seed = one_scalar(&values, lineno)?.as_u64(lineno)?,
                 "circuit_seed" => {
@@ -472,6 +485,7 @@ impl SweepSpec {
             ("k", self.k_values.is_empty()),
             ("compressions", self.compressions.is_empty()),
             ("decoders", self.decoders.is_empty()),
+            ("engine_threads", self.engine_threads.is_empty()),
         ] {
             if field.1 {
                 return Err(err(0, format!("{} must not be empty", field.0)));
@@ -495,11 +509,12 @@ impl SweepSpec {
             * self.k_values.len()
             * self.compressions.len()
             * self.decoders.len()
+            * self.engine_threads.len()
     }
 
     /// Expands the grid into the deterministic job list (seed innermost;
     /// loop order workload → scheduler → distance → error rate → k →
-    /// compression → decoder → seed).
+    /// compression → decoder → engine threads → seed).
     pub fn expand(&self) -> Vec<JobSpec> {
         let mut jobs = Vec::with_capacity(self.num_points() * self.seeds as usize);
         let mut point = 0;
@@ -510,32 +525,35 @@ impl SweepSpec {
                         for &k in &self.k_values {
                             for &compression in &self.compressions {
                                 for &decoder in &self.decoders {
-                                    for i in 0..self.seeds {
-                                        let mut config = SimConfig::builder()
-                                            .scheduler(scheduler)
-                                            .distance(distance)
-                                            .physical_error_rate(error_rate)
-                                            .k_policy(k)
-                                            .compression(compression)
-                                            .seed(self.base_seed + i)
-                                            .build();
-                                        config.decoder = decoder.0;
-                                        // Spec-level flag turns prep decoding
-                                        // ON; it never clears a point that
-                                        // already opted in.
-                                        config.decoder.decode_prep |= self.decode_prep;
-                                        if let Some(mc) = self.max_cycles {
-                                            config.max_cycles = mc;
+                                    for &threads in &self.engine_threads {
+                                        for i in 0..self.seeds {
+                                            let mut config = SimConfig::builder()
+                                                .scheduler(scheduler)
+                                                .distance(distance)
+                                                .physical_error_rate(error_rate)
+                                                .k_policy(k)
+                                                .compression(compression)
+                                                .engine_threads(threads)
+                                                .seed(self.base_seed + i)
+                                                .build();
+                                            config.decoder = decoder.0;
+                                            // Spec-level flag turns prep
+                                            // decoding ON; it never clears a
+                                            // point that already opted in.
+                                            config.decoder.decode_prep |= self.decode_prep;
+                                            if let Some(mc) = self.max_cycles {
+                                                config.max_cycles = mc;
+                                            }
+                                            jobs.push(JobSpec {
+                                                index: jobs.len(),
+                                                point,
+                                                workload: workload.clone(),
+                                                decoder,
+                                                config,
+                                            });
                                         }
-                                        jobs.push(JobSpec {
-                                            index: jobs.len(),
-                                            point,
-                                            workload: workload.clone(),
-                                            decoder,
-                                            config,
-                                        });
+                                        point += 1;
                                     }
-                                    point += 1;
                                 }
                             }
                         }
@@ -605,6 +623,24 @@ max_cycles   = 500000
         assert!(jobs.iter().all(|j| j.config.max_cycles == 500_000));
         // Indices are the identity permutation.
         assert!(jobs.iter().enumerate().all(|(i, j)| j.index == i));
+    }
+
+    #[test]
+    fn engine_threads_axis_expands_per_point() {
+        let spec =
+            SweepSpec::parse("workloads = [\"dnn_n16\"]\nengine_threads = [1, 4]\nseeds = 2\n")
+                .unwrap();
+        assert_eq!(spec.engine_threads, vec![1, 4]);
+        assert_eq!(spec.num_points(), 2);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 4);
+        // Engine threads vary per point, outside the innermost seed loop.
+        let axis: Vec<usize> = jobs.iter().map(|j| j.config.engine_threads).collect();
+        assert_eq!(axis, vec![1, 1, 4, 4]);
+        assert!(jobs[..2].iter().all(|j| j.point == 0));
+        assert!(jobs[2..].iter().all(|j| j.point == 1));
+        // An empty axis is a validation error, like every other axis.
+        assert!(SweepSpec::parse("workloads = [\"x\"]\nengine_threads = []\n").is_err());
     }
 
     #[test]

@@ -342,6 +342,169 @@ impl Layout {
         self.compression()
     }
 
+    /// Serializes the layout to the stable, versioned text form used by the
+    /// harness's on-disk layout cache. Round-trips exactly through
+    /// [`Layout::from_cache_string`]; the format is line-oriented so a
+    /// truncated or hand-damaged file fails parsing instead of yielding a
+    /// subtly wrong fabric.
+    pub fn to_cache_string(&self) -> String {
+        let mut out = String::from("rescq-layout v1\n");
+        let kind = match self.kind {
+            LayoutKind::Star2x2 => "star2x2",
+            LayoutKind::Compact3x1 => "compact3x1",
+        };
+        out.push_str(&format!("kind {kind}\n"));
+        out.push_str(&format!(
+            "grid {} {}\n",
+            self.grid.width(),
+            self.grid.height()
+        ));
+        // Row-major tile kinds: data identities come from the `data` line.
+        out.push_str("tiles ");
+        for y in 0..self.grid.height() {
+            for x in 0..self.grid.width() {
+                out.push(match self.grid.kind(self.grid.tile_at(x, y)) {
+                    TileKind::Data(_) => 'd',
+                    TileKind::Ancilla => 'a',
+                    TileKind::Void => 'v',
+                });
+            }
+        }
+        out.push('\n');
+        out.push_str("data");
+        for &t in &self.data_tiles {
+            out.push_str(&format!(" {}", t.0));
+        }
+        out.push('\n');
+        for (q, block) in self.block_ancillas.iter().enumerate() {
+            out.push_str(&format!("block {q}"));
+            for &t in block {
+                out.push_str(&format!(" {}", t.0));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("removed {}\n", self.removed_ancillas));
+        out
+    }
+
+    /// Parses a layout previously written by [`Layout::to_cache_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for version mismatches, malformed lines, or
+    /// internally inconsistent content (tile/data disagreements, out-of-grid
+    /// indices) — the caller treats any error as a cache miss and rebuilds.
+    pub fn from_cache_string(text: &str) -> Result<Layout, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("rescq-layout v1") {
+            return Err("unknown layout-cache version".into());
+        }
+        let mut kind = None;
+        let mut grid_dims = None;
+        let mut tiles = None;
+        let mut data: Vec<TileId> = Vec::new();
+        let mut blocks: Vec<(usize, Vec<TileId>)> = Vec::new();
+        let mut removed = None;
+        for line in lines {
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match tag {
+                "kind" => {
+                    kind = Some(match rest {
+                        "star2x2" => LayoutKind::Star2x2,
+                        "compact3x1" => LayoutKind::Compact3x1,
+                        other => return Err(format!("unknown layout kind `{other}`")),
+                    });
+                }
+                "grid" => {
+                    let (w, h) = rest.split_once(' ').ok_or("malformed grid line")?;
+                    let w: u32 = w.parse().map_err(|_| "bad grid width")?;
+                    let h: u32 = h.parse().map_err(|_| "bad grid height")?;
+                    grid_dims = Some((w, h));
+                }
+                "tiles" => tiles = Some(rest.to_string()),
+                "data" => {
+                    data = rest
+                        .split_whitespace()
+                        .map(|t| t.parse().map(TileId).map_err(|_| "bad data tile id"))
+                        .collect::<Result<_, _>>()?;
+                }
+                "block" => {
+                    let mut it = rest.split_whitespace();
+                    let q: usize = it
+                        .next()
+                        .ok_or("malformed block line")?
+                        .parse()
+                        .map_err(|_| "bad block qubit")?;
+                    let tiles: Vec<TileId> = it
+                        .map(|t| t.parse().map(TileId).map_err(|_| "bad block tile id"))
+                        .collect::<Result<_, _>>()?;
+                    blocks.push((q, tiles));
+                }
+                "removed" => {
+                    removed = Some(rest.parse::<usize>().map_err(|_| "bad removed count")?);
+                }
+                "" => {}
+                other => return Err(format!("unknown layout-cache line `{other}`")),
+            }
+        }
+        let kind = kind.ok_or("missing kind")?;
+        let (w, h) = grid_dims.ok_or("missing grid")?;
+        let tiles = tiles.ok_or("missing tiles")?;
+        let removed = removed.ok_or("missing removed count")?;
+        if tiles.chars().count() != (w as usize) * (h as usize) {
+            return Err("tile row length disagrees with grid dimensions".into());
+        }
+        if data.is_empty() {
+            return Err("layout has no data qubits".into());
+        }
+        let mut grid = Grid::filled(w, h, TileKind::Void);
+        let mut data_count = 0usize;
+        for (i, c) in tiles.chars().enumerate() {
+            let t = TileId(i as u32);
+            match c {
+                'a' => grid.set_kind(t, TileKind::Ancilla),
+                'v' => {}
+                'd' => data_count += 1, // identity assigned below
+                other => return Err(format!("unknown tile char `{other}`")),
+            }
+        }
+        if data_count != data.len() {
+            return Err("data line disagrees with tile map".into());
+        }
+        let in_grid = |t: TileId| (t.0 as usize) < (w as usize) * (h as usize);
+        for (q, &t) in data.iter().enumerate() {
+            if !in_grid(t) {
+                return Err("data tile outside the grid".into());
+            }
+            if tiles.as_bytes()[t.0 as usize] != b'd' {
+                return Err("data tile not marked `d` in the tile map".into());
+            }
+            grid.set_kind(t, TileKind::Data(QubitId(q as u32)));
+        }
+        blocks.sort_by_key(|&(q, _)| q);
+        if blocks.iter().enumerate().any(|(i, &(q, _))| i != q) {
+            return Err("block lines must cover every qubit exactly once".into());
+        }
+        if blocks.len() != data.len() {
+            return Err("block count disagrees with data qubits".into());
+        }
+        let block_ancillas: Vec<Vec<TileId>> = blocks.into_iter().map(|(_, b)| b).collect();
+        for block in &block_ancillas {
+            for &t in block {
+                if !in_grid(t) || tiles.as_bytes()[t.0 as usize] != b'a' {
+                    return Err("block ancilla is not an ancilla tile".into());
+                }
+            }
+        }
+        Ok(Layout {
+            grid,
+            kind,
+            data_tiles: data,
+            block_ancillas,
+            removed_ancillas: removed,
+        })
+    }
+
     /// Renders the fabric as ASCII art (Fig 15 style): `D` = data, `.` =
     /// ancilla, space = void.
     pub fn render_ascii(&self) -> String {
@@ -472,6 +635,45 @@ mod tests {
         assert!(art.contains('D'));
         assert!(art.contains('.'));
         assert_eq!(art.lines().count(), l.grid().height() as usize);
+    }
+
+    #[test]
+    fn cache_string_round_trips_compressed_layouts() {
+        for kind in [LayoutKind::Star2x2, LayoutKind::Compact3x1] {
+            for (n, fraction) in [(1u32, 0.0), (9, 0.0), (16, 0.5), (20, 1.0)] {
+                let mut l = Layout::new(kind, n).unwrap();
+                l.compress(fraction, 42);
+                let text = l.to_cache_string();
+                let back = Layout::from_cache_string(&text).unwrap();
+                assert_eq!(back.kind(), l.kind());
+                assert_eq!(back.num_qubits(), l.num_qubits());
+                assert_eq!(back.render_ascii(), l.render_ascii());
+                assert_eq!(back.compression(), l.compression());
+                assert_eq!(back.to_cache_string(), text, "stable round trip");
+                for q in 0..n {
+                    assert_eq!(back.data_tile(QubitId(q)), l.data_tile(QubitId(q)));
+                    assert_eq!(
+                        back.block_ancillas(QubitId(q)),
+                        l.block_ancillas(QubitId(q))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_string_rejects_damage() {
+        let mut l = Layout::new(LayoutKind::Star2x2, 4).unwrap();
+        l.compress(0.5, 3);
+        let text = l.to_cache_string();
+        assert!(Layout::from_cache_string("garbage").is_err());
+        assert!(Layout::from_cache_string(&text.replace("v1", "v9")).is_err());
+        // Truncation drops required lines.
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(Layout::from_cache_string(&truncated).is_err());
+        // A flipped tile char breaks the data/tile cross-check.
+        let damaged = text.replacen('d', "a", 1);
+        assert!(Layout::from_cache_string(&damaged).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! lattice-surgery cycle is `d` rounds (§5.2.1).
 
 mod realtime;
+mod shard;
 mod static_sched;
 
 use crate::artifacts::SimArtifacts;

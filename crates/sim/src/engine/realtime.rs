@@ -1,4 +1,34 @@
-//! The RESCQ realtime engine (paper §4).
+//! The RESCQ realtime engine (paper §4) — the coordinator of the sharded
+//! realtime architecture (worker machinery in [`crate::engine::shard`]).
+//!
+//! # The cycle-phase protocol
+//!
+//! Sharding forced the engine's implicit ordering to become an explicit
+//! protocol shared by every scheduling worker. Event handling retires
+//! strictly in `(round, insertion-order)` sequence — inject outcomes,
+//! decode completions, preparation completions, surgeries — and each
+//! retirement triggers a *scheduling pass* with four phases:
+//!
+//! 1. **schedule** — the qubit worklist drains deepest-remaining-chain
+//!    first; new gate tasks enqueue their claims through the ledger;
+//! 2. **start** — live tasks attempt injections and surgeries; a stalled
+//!    CNOT may preempt younger speculative claims here, cross-shard
+//!    preemptions going through the ledger's arbitration
+//!    ([`rescq_core::ReservationLedger::try_preempt_across`]), which
+//!    preserves the acyclicity proof regardless of the shards involved;
+//! 3. **propose** — shard workers scan their regions of the *frozen*
+//!    engine state in parallel and propose candidate ancillas (reclaims,
+//!    preparation starts/restarts). Workers never mutate;
+//! 4. **commit** — the coordinator revalidates each proposal against
+//!    committed state and applies it through the ledger, in canonical
+//!    ascending-ancilla order. This is the deterministic barrier that
+//!    reconciles shard frontiers: commit order — and therefore the RNG
+//!    draw order, the event order and every counter — is independent of
+//!    the thread count, so the schedule is bit-identical for 1, 2 or N
+//!    engine threads (`engine_threads = 1` reproduces the historical
+//!    monolithic engine exactly; golden-pinned in `tests/engines.rs`).
+//!
+//! The pass repeats until a fixpoint (no phase made progress).
 //!
 //! Realtime behaviours implemented here, with their paper anchors:
 //!
@@ -19,6 +49,7 @@
 //! - when several gates become schedulable simultaneously, qubits with
 //!   larger remaining circuit depth go first (Fig 7 caption).
 
+use crate::engine::shard::{RegionPartition, ShardExecutor};
 use crate::engine::EventQueue;
 use crate::fabric::Fabric;
 use crate::metrics::{ExecutionReport, LatencyHistogram, RunCounters};
@@ -28,7 +59,7 @@ use rand_chacha::ChaCha8Rng;
 use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, QubitId};
 use rescq_core::{
     plan_cnot_route, ActivityTracker, EntryStatus, MstPipeline, PathCache, Preemption, QueueEntry,
-    ReservationLedger, Role, SchedulerKind, SurgeryCosts, TaskId,
+    ReservationLedger, Role, SchedulerKind, ShardId, SurgeryCosts, TaskId,
 };
 use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::{AncillaIndex, EdgeType};
@@ -74,6 +105,19 @@ struct Task {
     sched_round: u64,
     done: bool,
     body: TaskBody,
+}
+
+/// A shard worker's proposal for one ancilla (the *propose* phase of the
+/// protocol). Proposals carry no payload: the commit phase recomputes the
+/// decision against committed state, so a stale proposal is simply dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AncillaAction {
+    /// Return a still-preparing ancilla to the pool (§3.2 reclaim).
+    Reclaim,
+    /// An in-place angle rewrite hit a running preparation: restart it.
+    RestartPrep,
+    /// Hold the ancilla and start preparing the queue-top rotation state.
+    StartPrep,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -160,6 +204,17 @@ struct RtEngine<'a> {
     /// scarce ancillas stay available for injections and routing.
     constrained: bool,
 
+    /// Contiguous regions of the ancilla network, one per scheduling shard.
+    /// A function of the fabric alone (never the thread count), so every
+    /// region-derived quantity is thread-count invariant.
+    partition: RegionPartition,
+    /// Executes region scans: inline for one thread, over the persistent
+    /// shard worker pool otherwise. Invisible to the schedule by
+    /// construction (workers only propose; commits are canonical-order).
+    exec: ShardExecutor,
+    /// Resolved worker-thread count (reported).
+    engine_threads: u32,
+
     counters: RunCounters,
     cnot_latency: LatencyHistogram,
     rz_latency: LatencyHistogram,
@@ -169,6 +224,14 @@ struct RtEngine<'a> {
     /// Expected rounds an Rz queue entry occupies its ancilla (precomputed).
     rz_entry_cost: u64,
 }
+
+// Shard workers scan a frozen `&RtEngine` concurrently during the propose
+// phase, so the whole engine state must be `Sync`; asserted at compile time
+// (part of the sharding refactor's Send/Sync audit).
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<RtEngine<'static>>();
+};
 
 /// Runs the realtime RESCQ schedule.
 pub(crate) fn run_realtime(
@@ -186,6 +249,13 @@ pub(crate) fn run_realtime(
     let activity = ActivityTracker::new(num_ancillas, config.activity_window.clamp(1, 128));
     let rz_entry_cost = prep_model.expected_rounds().ceil() as u64
         + 2 * config.costs.cnot_injection_cycles as u64 * d as u64;
+    // More executors than regions would idle; the clamp only affects the
+    // reported thread count, never the schedule.
+    let partition = RegionPartition::for_fabric(num_ancillas);
+    let threads = config
+        .resolved_engine_threads()
+        .clamp(1, partition.num_regions());
+    let exec = ShardExecutor::new(threads);
 
     let mut engine = RtEngine {
         circuit,
@@ -213,6 +283,9 @@ pub(crate) fn run_realtime(
         events: EventQueue::new(),
         sched_worklist: Vec::new(),
         constrained: 2 * num_ancillas <= 4 * circuit.num_qubits() as usize,
+        partition,
+        engine_threads: exec.threads() as u32,
+        exec,
         counters: RunCounters::default(),
         cnot_latency: LatencyHistogram::new(),
         rz_latency: LatencyHistogram::new(),
@@ -262,6 +335,7 @@ impl RtEngine<'_> {
         Ok(ExecutionReport {
             scheduler: SchedulerKind::Rescq,
             seed: config.seed,
+            engine_threads: self.engine_threads,
             distance: self.d,
             total_rounds: self.last_completion,
             gates_executed: self.gates_executed,
@@ -288,6 +362,8 @@ impl RtEngine<'_> {
                 let ls = self.ledger.stats();
                 c.preemptions = ls.preemptions;
                 c.preemptions_rejected_cycle = ls.preemptions_rejected_cycle;
+                c.preemptions_cross_shard = ls.preemptions_cross_shard;
+                c.claims_cross_shard = ls.claims_cross_shard;
                 c.waitgraph_peak_edges = ls.waitgraph_peak_edges;
                 c
             },
@@ -398,21 +474,54 @@ impl RtEngine<'_> {
     fn dispatch(&mut self) {
         loop {
             let mut progress = false;
+            // Phase 1 — schedule: new tasks claim queue positions.
             progress |= self.drain_sched_worklist();
-            // Real work (injections, surgeries) grabs resources before new
-            // speculative preparations are started.
+            // Phase 2 — start: real work (injections, surgeries) grabs
+            // resources before new speculative preparations are started.
             for i in 0..self.live_tasks.len() {
                 let id = self.live_tasks[i];
                 progress |= self.try_start_task(id);
             }
-            for a in 0..self.ledger.num_queues() as u32 {
-                progress |= self.dispatch_ancilla(a);
-            }
+            // Phases 3 + 4 — propose and commit (the shard barrier).
+            progress |= self.dispatch_ancillas();
             self.live_tasks.retain(|&id| !self.tasks[id.index()].done);
             if !progress {
                 break;
             }
         }
+    }
+
+    /// The shard phases of one scheduling pass: every region is scanned
+    /// (in parallel for `engine_threads > 1`) against the frozen pass-start
+    /// state, producing candidate ancillas; the coordinator then commits
+    /// the candidates serially in ascending-ancilla order, recomputing each
+    /// decision against committed state.
+    ///
+    /// Why this is bit-identical to the historical mutate-as-you-scan loop
+    /// (`for a in 0..n { dispatch_ancilla(a) }`): within the ancilla phase,
+    /// committing an action on ancilla `a` can *disable* a pending action
+    /// on another ancilla (a reclaim shrinks its task's remaining prep
+    /// sites) but can never *enable* one — every enabling condition reads
+    /// only state local to the candidate ancilla (its queue, its fabric
+    /// slot, its preparation) or task state the phase never grows. So the
+    /// committed set of one pass equals exactly the snapshot-enabled set
+    /// minus commit-time invalidations — the same set, in the same
+    /// ascending order, as the sequential loop — and anything enabled by
+    /// this pass's commits is picked up by the next pass of the fixpoint,
+    /// again matching the sequential loop. RNG draws, event pushes and
+    /// counters therefore occur in an identical total order for any thread
+    /// count.
+    fn dispatch_ancillas(&mut self) -> bool {
+        let candidates = {
+            let this = &*self;
+            this.exec
+                .scan(&this.partition, &|a| this.ancilla_action(a).is_some())
+        };
+        let mut progress = false;
+        for a in candidates {
+            progress |= self.commit_ancilla(a);
+        }
+        progress
     }
 
     /// Processes qubits waiting for scheduling, deepest-remaining-chain
@@ -681,88 +790,77 @@ impl RtEngine<'_> {
         target: QubitId,
     ) -> Vec<AncillaIndex> {
         let path = self.plan_cnot_path(id, control, target);
-        for &a in &path {
-            self.ledger
-                .push(a, QueueEntry::new(id, Role::Route, Angle::ZERO));
-        }
+        self.enqueue_route_claims(id, &path);
         path
+    }
+
+    /// Registers a CNOT path's Route claims with the ledger, tagged with
+    /// the shards involved: the task's home shard is the region of the
+    /// path's control-side endpoint, and every claim on an ancilla hosted
+    /// in another region is a cross-shard claim (counted by the ledger's
+    /// arbitration; the claims themselves are ordinary seniority-ordered
+    /// reservations).
+    fn enqueue_route_claims(&mut self, id: TaskId, path: &[AncillaIndex]) {
+        let Some(&first) = path.first() else { return };
+        let home = ShardId(self.partition.region_of(first));
+        for &a in path {
+            let host = ShardId(self.partition.region_of(a));
+            self.ledger
+                .push_claim(a, QueueEntry::new(id, Role::Route, Angle::ZERO), home, host);
+        }
     }
 
     /// `E[f_a]` for every ancilla: the sum of expected durations of its
     /// queued operations (§4.2), excluding entries of `exclude` itself.
+    /// Per-ancilla terms are independent, so the shard executor computes
+    /// region slices in parallel — the planner's hottest read.
     fn expected_free_vec(&self, exclude: TaskId) -> Vec<u64> {
         let d = self.d as u64;
         let cnot = self.costs.cnot_cycles as u64 * d;
         let inj = self.costs.cnot_injection_cycles as u64 * d;
         let rz = self.rz_entry_cost;
-        (0..self.ledger.num_queues())
-            .map(|a| {
-                self.clock
-                    + self.ledger.queue(a as u32).expected_free_rounds(|e| {
-                        if e.task == exclude {
-                            return 0;
-                        }
-                        match e.role {
-                            Role::Route => cnot,
-                            Role::Helper => inj,
-                            Role::EdgeRotate => 3 * d,
-                            _ => rz,
-                        }
-                    })
-            })
-            .collect()
+        self.exec.fill_u64(&self.partition, &|a| {
+            self.clock
+                + self.ledger.queue(a).expected_free_rounds(|e| {
+                    if e.task == exclude {
+                        return 0;
+                    }
+                    match e.role {
+                        Role::Route => cnot,
+                        Role::Helper => inj,
+                        Role::EdgeRotate => 3 * d,
+                        _ => rz,
+                    }
+                })
+        })
     }
 
     // ------------------------------------------------------------------
     // Ancilla queue processing
     // ------------------------------------------------------------------
 
-    fn dispatch_ancilla(&mut self, a: AncillaIndex) -> bool {
-        let ai = a as usize;
-        let Some(top) = self.ledger.queue(a).top().copied() else {
-            return false;
-        };
+    /// The pure per-ancilla scheduling decision — the shard workers'
+    /// *propose* half. Reads only frozen state (this runs concurrently on
+    /// worker threads), and is re-evaluated by [`Self::commit_ancilla`]
+    /// against committed state before anything is applied.
+    fn ancilla_action(&self, a: AncillaIndex) -> Option<AncillaAction> {
+        let top = self.ledger.queue(a).top()?;
         if !top.role.is_prep() {
-            return false;
+            return None;
         }
         let task_id = top.task;
         // Reclaim (§3.2): a still-preparing ancilla with work queued behind
         // it is returned to the pool when the rotation has other prep sites
         // *and* the remaining sites can still complete an injection (at
         // least one side-adjacent site, or a diagonal site with helpers).
-        if self.ledger.queue(a).len() > 1 && !self.is_holding(task_id, a) {
-            let can_reclaim = match &self.tasks[task_id.index()].body {
-                TaskBody::Rz {
-                    prep_sites,
-                    helper_sites,
-                    ..
-                } => {
-                    // The remaining sites must still be able to inject: a
-                    // side-adjacent site injects on its own; a diagonal site
-                    // needs a recorded helper it actually touches.
-                    prep_sites.iter().any(|&(s, side)| {
-                        s != a
-                            && (side
-                                || helper_sites
-                                    .iter()
-                                    .any(|&h| self.fabric.graph.neighbors(h).contains(&s)))
-                    })
-                }
-                _ => false,
-            };
-            if can_reclaim {
-                self.cancel_prep_for(a, task_id);
-                self.ledger.remove_task(a, task_id);
-                if let TaskBody::Rz { prep_sites, .. } = &mut self.tasks[task_id.index()].body {
-                    prep_sites.retain(|&(s, _)| s != a);
-                }
-                self.counters.preps_cancelled += 1;
-                return true;
-            }
+        if self.ledger.queue(a).len() > 1
+            && !self.is_holding(task_id, a)
+            && self.can_reclaim(task_id, a)
+        {
+            return Some(AncillaAction::Reclaim);
         }
-        // Start (or restart after an in-place angle rewrite) a preparation.
         if self.is_holding(task_id, a) {
-            return false; // holding a finished state, waiting for injection
+            return None; // holding a finished state, waiting for injection
         }
         // Eager correction preparation (Fig 1e) runs even on constrained
         // fabrics now: PR 1 had to forbid re-preparing while the task's
@@ -773,28 +871,76 @@ impl RtEngine<'_> {
         // holds whose owner cannot consume them — so the correction ladder
         // may pipeline its next state behind the in-flight injection, which
         // is where the constrained-fabric rotation win comes from.
-        let owner = task_id.0 as u64;
-        match self.prepping[ai] {
-            Some(angle) if angle == top.angle => false, // already preparing it
-            Some(_) => {
-                // In-place rewrite hit a running preparation: restart it.
-                self.prep_epoch[ai] += 1;
-                self.counters.preps_cancelled += 1;
-                self.start_prep(a, task_id, top.angle);
-                true
-            }
+        match self.prepping[a as usize] {
+            Some(angle) if angle == top.angle => None, // already preparing it
+            // In-place rewrite hit a running preparation: restart it.
+            Some(_) => Some(AncillaAction::RestartPrep),
             None => {
+                let owner = task_id.0 as u64;
                 if self.fabric.ancilla_free(a, self.clock) || self.fabric.is_held_by(a, owner) {
-                    if !self.fabric.is_held_by(a, owner) {
-                        self.fabric.hold_ancilla(a, owner);
-                    }
-                    self.start_prep(a, task_id, top.angle);
-                    true
+                    Some(AncillaAction::StartPrep)
                 } else {
-                    false
+                    None
                 }
             }
         }
+    }
+
+    /// Whether `task`'s rotation keeps enough other prep sites to inject if
+    /// site `a` is reclaimed: a remaining side-adjacent site injects on its
+    /// own; a diagonal site needs a recorded helper it actually touches.
+    fn can_reclaim(&self, task_id: TaskId, a: AncillaIndex) -> bool {
+        match &self.tasks[task_id.index()].body {
+            TaskBody::Rz {
+                prep_sites,
+                helper_sites,
+                ..
+            } => prep_sites.iter().any(|&(s, side)| {
+                s != a
+                    && (side
+                        || helper_sites
+                            .iter()
+                            .any(|&h| self.fabric.graph.neighbors(h).contains(&s)))
+            }),
+            _ => false,
+        }
+    }
+
+    /// The *commit* half: revalidates a shard proposal against committed
+    /// state (earlier commits of the same pass may have invalidated it, or
+    /// changed which action applies) and executes it through the ledger.
+    /// Always called in ascending-ancilla order — the canonical commit
+    /// order the determinism contract rests on.
+    fn commit_ancilla(&mut self, a: AncillaIndex) -> bool {
+        let Some(action) = self.ancilla_action(a) else {
+            return false; // proposal invalidated by an earlier commit
+        };
+        let ai = a as usize;
+        let top = *self.ledger.queue(a).top().expect("action implies an entry");
+        let task_id = top.task;
+        match action {
+            AncillaAction::Reclaim => {
+                self.cancel_prep_for(a, task_id);
+                self.ledger.remove_task(a, task_id);
+                if let TaskBody::Rz { prep_sites, .. } = &mut self.tasks[task_id.index()].body {
+                    prep_sites.retain(|&(s, _)| s != a);
+                }
+                self.counters.preps_cancelled += 1;
+            }
+            AncillaAction::RestartPrep => {
+                self.prep_epoch[ai] += 1;
+                self.counters.preps_cancelled += 1;
+                self.start_prep(a, task_id, top.angle);
+            }
+            AncillaAction::StartPrep => {
+                let owner = task_id.0 as u64;
+                if !self.fabric.is_held_by(a, owner) {
+                    self.fabric.hold_ancilla(a, owner);
+                }
+                self.start_prep(a, task_id, top.angle);
+            }
+        }
+        true
     }
 
     fn start_prep(&mut self, a: AncillaIndex, task: TaskId, angle: Angle) {
@@ -1036,7 +1182,11 @@ impl RtEngine<'_> {
             // lacked): ask the ledger to reorder this stalled CNOT ahead of
             // the younger speculative preparations blocking its path. The
             // ledger commits a reorder only when the incremental cycle
-            // check proves the wait-for graph stays acyclic.
+            // check proves the wait-for graph stays acyclic — the proof is
+            // shard-agnostic, so a path spanning several regions preempts
+            // across shard boundaries through the same arbitration (the
+            // ledger tags such reorders in its cross-shard counter).
+            let home = ShardId(self.partition.region_of(path[0]));
             let mut preempted = false;
             for &a in &path {
                 if self.ledger.queue(a).top().is_some_and(|e| e.task == id) {
@@ -1054,9 +1204,10 @@ impl RtEngine<'_> {
                     .map(|e| e.task)
                     .filter(|&t| self.is_speculative(t))
                     .collect();
-                let outcome = self
-                    .ledger
-                    .try_preempt_with(id, a, |e| e.task > id || speculative.contains(&e.task));
+                let host = ShardId(self.partition.region_of(a));
+                let outcome = self.ledger.try_preempt_across(id, a, home, host, |e| {
+                    e.task > id || speculative.contains(&e.task)
+                });
                 if let Preemption::Applied { displaced_top } = outcome {
                     debug_assert!(self.ledger.is_acyclic(), "preemption broke acyclicity");
                     self.cancel_displaced_prep(a, displaced_top);
@@ -1083,10 +1234,7 @@ impl RtEngine<'_> {
                     for &a in &old {
                         self.ledger.remove_task(a, id);
                     }
-                    for &a in &new_path {
-                        self.ledger
-                            .push(a, QueueEntry::new(id, Role::Route, Angle::ZERO));
-                    }
+                    self.enqueue_route_claims(id, &new_path);
                     if let TaskBody::Cnot { path, .. } = &mut self.tasks[id.index()].body {
                         *path = new_path;
                     }

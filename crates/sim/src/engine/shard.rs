@@ -1,0 +1,518 @@
+//! Region-partitioned scheduling workers for the realtime engine.
+//!
+//! A single 420-qubit realtime run used to be one monolithic cycle loop on
+//! one core. Real-time QEC control stacks get their latency headroom from
+//! *spatial* parallelism over the fabric (Triage's per-region window
+//! workers; the region-partitioned classical pipeline of the real-time QEC
+//! system stack), and the explicit [`ReservationLedger`] arbitration from
+//! the scheduling core makes that safe here: shard workers only ever
+//! *propose*, and every queue mutation still commits through the ledger.
+//!
+//! Three pieces:
+//!
+//! - [`RegionPartition`] splits the ancilla index space into contiguous
+//!   regions of roughly [`REGION_TARGET`] ancillas. The partition is a
+//!   property of the **fabric alone** — never of the thread count — so
+//!   every region-derived quantity (e.g. the cross-shard claim/preemption
+//!   counters) is identical no matter how many workers ran the scan.
+//! - [`ShardPool`] is a persistent fork-join pool: worker threads park on a
+//!   condvar between scheduling passes and execute read-only region scans
+//!   when the coordinator publishes a job. The pool exists for the lifetime
+//!   of one engine run (no per-pass thread spawning).
+//! - [`ShardExecutor`] is the engine-facing facade: `scan` evaluates a pure
+//!   per-ancilla predicate over every region and returns the matching
+//!   ancillas **in ascending index order** regardless of which worker
+//!   scanned which region, and `fill_u64` computes a per-ancilla vector
+//!   (the §4.2 expected-free estimates) the same way.
+//!
+//! # The determinism contract
+//!
+//! Shard workers never mutate: they scan a frozen snapshot of the engine
+//! between barriers and produce *proposals* (candidate ancilla indices).
+//! The coordinator then revalidates and commits each proposal serially, in
+//! canonical (ascending ancilla) order, through the reservation ledger —
+//! recomputing the decision against committed state, exactly as the old
+//! sequential loop did. Because the scan is pure and the commit order is
+//! canonical, the schedule produced is **bit-identical for any shard/thread
+//! count**, including `engine_threads = 1`, which reproduces the historical
+//! single-threaded engine exactly (golden-pinned in `tests/engines.rs`).
+
+use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Target ancillas per region. Small enough that modest benchmarks span
+/// several regions (exercising cross-shard arbitration), large enough that
+/// a region scan amortises the barrier cost.
+pub(crate) const REGION_TARGET: usize = 32;
+
+/// A partition of the ancilla index space `0..n` into contiguous regions.
+///
+/// Regions are balanced to within one ancilla and depend only on `n`, so
+/// the same fabric always produces the same partition.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionPartition {
+    /// Region boundaries: region `r` covers `bounds[r]..bounds[r + 1]`.
+    bounds: Vec<u32>,
+}
+
+impl RegionPartition {
+    /// Partitions `num_ancillas` indices into regions of roughly
+    /// [`REGION_TARGET`] ancillas.
+    pub(crate) fn for_fabric(num_ancillas: usize) -> Self {
+        Self::with_regions(num_ancillas, num_ancillas.div_ceil(REGION_TARGET).max(1))
+    }
+
+    /// Partitions `num_ancillas` indices into exactly `regions` contiguous,
+    /// balanced ranges (sizes differ by at most one).
+    pub(crate) fn with_regions(num_ancillas: usize, regions: usize) -> Self {
+        let regions = regions.clamp(1, num_ancillas.max(1));
+        let base = num_ancillas / regions;
+        let extra = num_ancillas % regions;
+        let mut bounds = Vec::with_capacity(regions + 1);
+        let mut at = 0usize;
+        bounds.push(0);
+        for r in 0..regions {
+            at += base + usize::from(r < extra);
+            bounds.push(at as u32);
+        }
+        debug_assert_eq!(at, num_ancillas);
+        RegionPartition { bounds }
+    }
+
+    /// Number of regions.
+    pub(crate) fn num_regions(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The ancilla index range of region `r`.
+    pub(crate) fn range(&self, r: usize) -> Range<u32> {
+        self.bounds[r]..self.bounds[r + 1]
+    }
+
+    /// The region hosting ancilla `a`.
+    pub(crate) fn region_of(&self, a: u32) -> u32 {
+        // Regions are balanced, so a direct partition-point search is
+        // O(log regions); partition sizes differ by one, so the simple
+        // binary search over `bounds` is exact.
+        match self.bounds.binary_search(&a) {
+            // `a` is a boundary: it starts the region at that index (the
+            // final boundary equals `n` and is never a valid ancilla).
+            Ok(i) => (i as u32).min(self.num_regions() as u32 - 1),
+            Err(i) => i as u32 - 1,
+        }
+    }
+}
+
+/// One scan job published to the pool: a type-erased `Fn(region_index)`
+/// plus the region count and executor stride.
+#[derive(Clone, Copy)]
+struct Job {
+    /// Borrowed closure, valid strictly until the publishing `run` call
+    /// observes `remaining == 0`.
+    f: *const (dyn Fn(usize) + Sync),
+    regions: usize,
+    /// Total executors (pool workers + the coordinator).
+    stride: usize,
+}
+
+// SAFETY: the pointer is only dereferenced by pool workers between job
+// publication and the `remaining == 0` acknowledgement, and `ShardPool::run`
+// blocks the owning (borrowing) thread for exactly that window.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct PoolState {
+    job: Option<Job>,
+    generation: u64,
+    remaining: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A persistent fork-join pool of scheduling workers.
+///
+/// Workers park between barriers; [`ShardPool::run`] publishes one job,
+/// participates as executor 0 itself, and returns once every worker has
+/// finished the generation — the deterministic barrier of the shard
+/// protocol.
+#[derive(Debug)]
+pub(crate) struct ShardPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared").finish_non_exhaustive()
+    }
+}
+
+impl ShardPool {
+    /// Spawns `workers` parked worker threads (callers pass `threads - 1`;
+    /// the coordinator itself is the remaining executor).
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                // Executor 0 is the coordinator; workers are 1-based.
+                let executor = i + 1;
+                std::thread::Builder::new()
+                    .name(format!("rescq-shard-{executor}"))
+                    .spawn(move || worker_loop(&shared, executor))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool { shared, handles }
+    }
+
+    /// Number of executors a `run` call uses (workers + coordinator).
+    pub(crate) fn executors(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `f(region)` once for every region in `0..regions`, fanning the
+    /// regions out round-robin over the executors, and returns after **all**
+    /// of them completed (the barrier). The coordinator thread itself
+    /// executes the regions assigned to executor 0.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic) any panic that occurred on a worker.
+    pub(crate) fn run(&self, regions: usize, f: &(dyn Fn(usize) + Sync)) {
+        let stride = self.executors();
+        {
+            let mut st = self.shared.state.lock().expect("shard pool poisoned");
+            debug_assert_eq!(st.remaining, 0, "overlapping shard jobs");
+            // SAFETY (lifetime erasure): the raw pointer's trait object is
+            // nominally `'static`, but `f` only needs to outlive this call —
+            // the wait loop below does not return until every worker
+            // finished using the pointer, and `st.job` is cleared before
+            // returning.
+            let f_erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+            };
+            st.job = Some(Job {
+                f: f_erased,
+                regions,
+                stride,
+            });
+            st.generation += 1;
+            st.remaining = self.handles.len();
+            st.panicked = false;
+            self.shared.work_cv.notify_all();
+        }
+        // The coordinator is executor 0. Its own panics must NOT unwind
+        // past the barrier below: workers still hold the lifetime-erased
+        // closure pointer, and unwinding would free the closure (and the
+        // caller's output buffers) under them — so catch, reach the
+        // barrier, and only then re-raise.
+        let own = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut r = 0;
+            while r < regions {
+                f(r);
+                r += stride;
+            }
+        }));
+        let mut st = self.shared.state.lock().expect("shard pool poisoned");
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).expect("shard pool poisoned");
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+        if let Err(payload) = own {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("a shard scheduling worker panicked");
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("shard pool poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, executor: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("shard pool poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > seen_generation {
+                    seen_generation = st.generation;
+                    break st.job.expect("job published with generation");
+                }
+                st = shared.work_cv.wait(st).expect("shard pool poisoned");
+            }
+        };
+        // SAFETY: see `Job::f` — the coordinator blocks in `run` until this
+        // worker decrements `remaining`, keeping the borrow alive.
+        let f = unsafe { &*job.f };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut r = executor;
+            while r < job.regions {
+                f(r);
+                r += job.stride;
+            }
+        }));
+        let mut st = shared.state.lock().expect("shard pool poisoned");
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Per-region scratch the scan phase writes into. Each region buffer is
+/// written by exactly the one executor that owns the region for the current
+/// job, which is what makes the unsynchronised access sound.
+struct RegionBufs {
+    bufs: Vec<std::cell::UnsafeCell<Vec<u32>>>,
+}
+
+// SAFETY: region `r`'s cell is touched only by the single executor that
+// `ShardPool::run` assigned region `r` to, and the coordinator only reads
+// the buffers after the barrier.
+unsafe impl Sync for RegionBufs {}
+
+/// The engine-facing executor: serial inline scans for `engine_threads = 1`
+/// (zero overhead, the historical engine), a [`ShardPool`] otherwise. Both
+/// paths produce identical output by construction — the executor choice is
+/// invisible to the schedule.
+#[derive(Debug)]
+pub(crate) enum ShardExecutor {
+    /// Inline scans on the coordinator thread.
+    Serial,
+    /// Region scans fanned out over a persistent worker pool.
+    Pooled(ShardPool),
+}
+
+impl ShardExecutor {
+    /// Builds an executor running `threads` executors in total.
+    pub(crate) fn new(threads: usize) -> Self {
+        if threads <= 1 {
+            ShardExecutor::Serial
+        } else {
+            ShardExecutor::Pooled(ShardPool::new(threads - 1))
+        }
+    }
+
+    /// The number of executors (1 for serial).
+    pub(crate) fn threads(&self) -> usize {
+        match self {
+            ShardExecutor::Serial => 1,
+            ShardExecutor::Pooled(pool) => pool.executors(),
+        }
+    }
+
+    /// Evaluates `pred` for every ancilla of every region and returns the
+    /// matching indices in ascending order. `pred` must be pure with
+    /// respect to the engine state (it is called concurrently from shard
+    /// workers); the result is independent of the executor variant.
+    pub(crate) fn scan(
+        &self,
+        partition: &RegionPartition,
+        pred: &(dyn Fn(u32) -> bool + Sync),
+    ) -> Vec<u32> {
+        match self {
+            ShardExecutor::Serial => {
+                let n = partition.range(partition.num_regions() - 1).end;
+                (0..n).filter(|&a| pred(a)).collect()
+            }
+            ShardExecutor::Pooled(pool) => {
+                let regions = partition.num_regions();
+                let bufs = RegionBufs {
+                    bufs: (0..regions)
+                        .map(|_| std::cell::UnsafeCell::new(Vec::new()))
+                        .collect(),
+                };
+                // Capture the `Sync` wrapper, not its non-`Sync` field
+                // (closures capture disjoint field paths by default).
+                let bufs_ref = &bufs;
+                pool.run(regions, &|r| {
+                    // SAFETY: `RegionBufs` — one executor per region.
+                    let buf = unsafe { &mut *bufs_ref.bufs[r].get() };
+                    buf.extend(partition.range(r).filter(|&a| pred(a)));
+                });
+                // Concatenating in region order restores ascending ancilla
+                // order (regions are contiguous and ordered).
+                let mut out = Vec::new();
+                for cell in bufs.bufs {
+                    out.append(&mut cell.into_inner());
+                }
+                out
+            }
+        }
+    }
+
+    /// Computes `f(a)` for every ancilla `a` into a dense vector, fanning
+    /// regions out over the executors. Equivalent to
+    /// `(0..n).map(f).collect()` for any executor variant.
+    pub(crate) fn fill_u64(
+        &self,
+        partition: &RegionPartition,
+        f: &(dyn Fn(u32) -> u64 + Sync),
+    ) -> Vec<u64> {
+        let n = partition.range(partition.num_regions() - 1).end as usize;
+        match self {
+            ShardExecutor::Serial => (0..n as u32).map(f).collect(),
+            ShardExecutor::Pooled(pool) => {
+                let mut out = vec![0u64; n];
+                let slots = SliceWriter {
+                    ptr: out.as_mut_ptr(),
+                };
+                let slots_ref = &slots;
+                pool.run(partition.num_regions(), &|r| {
+                    for a in partition.range(r) {
+                        // SAFETY: regions are disjoint index ranges within
+                        // `0..n` and each region is written by exactly one
+                        // executor before the barrier; the coordinator
+                        // reads `out` only after `run` returns.
+                        unsafe { slots_ref.ptr.add(a as usize).write(f(a)) };
+                    }
+                });
+                out
+            }
+        }
+    }
+}
+
+/// A raw, `Sync` handle to the output slice of [`ShardExecutor::fill_u64`].
+struct SliceWriter {
+    ptr: *mut u64,
+}
+
+// SAFETY: see the write site — executors write disjoint index ranges.
+unsafe impl Sync for SliceWriter {}
+unsafe impl Send for SliceWriter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn partition_is_contiguous_balanced_and_thread_independent() {
+        for n in [1usize, 5, 31, 32, 33, 100, 421] {
+            let p = RegionPartition::for_fabric(n);
+            assert_eq!(p.range(0).start, 0);
+            assert_eq!(p.range(p.num_regions() - 1).end as usize, n);
+            let mut sizes = Vec::new();
+            for r in 0..p.num_regions() {
+                let range = p.range(r);
+                assert!(range.start <= range.end);
+                if r > 0 {
+                    assert_eq!(p.range(r - 1).end, range.start, "contiguous");
+                }
+                sizes.push(range.len());
+                for a in range {
+                    assert_eq!(p.region_of(a), r as u32, "n={n} a={a}");
+                }
+            }
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {sizes:?}");
+        }
+        // Region count follows the fabric, not the executor.
+        assert_eq!(RegionPartition::for_fabric(64).num_regions(), 2);
+        assert_eq!(RegionPartition::for_fabric(65).num_regions(), 3);
+    }
+
+    #[test]
+    fn explicit_region_counts_clamp() {
+        assert_eq!(RegionPartition::with_regions(4, 9).num_regions(), 4);
+        assert_eq!(RegionPartition::with_regions(0, 3).num_regions(), 1);
+        assert_eq!(RegionPartition::with_regions(10, 3).num_regions(), 3);
+    }
+
+    #[test]
+    fn pool_runs_every_region_exactly_once() {
+        let pool = ShardPool::new(3);
+        assert_eq!(pool.executors(), 4);
+        let counts: Vec<AtomicUsize> = (0..11).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(counts.len(), &|r| {
+                counts[r].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for (r, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 50, "region {r}");
+        }
+    }
+
+    #[test]
+    fn scan_matches_serial_for_any_executor() {
+        let partition = RegionPartition::for_fabric(130);
+        let pred = |a: u32| a.is_multiple_of(7) || a % 11 == 3;
+        let serial = ShardExecutor::Serial.scan(&partition, &pred);
+        for threads in [2usize, 3, 8] {
+            let exec = ShardExecutor::new(threads);
+            assert_eq!(exec.threads(), threads);
+            assert_eq!(exec.scan(&partition, &pred), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_matches_serial_for_any_executor() {
+        let partition = RegionPartition::for_fabric(97);
+        let f = |a: u32| (a as u64) * 31 + 7;
+        let serial = ShardExecutor::Serial.fill_u64(&partition, &f);
+        assert_eq!(serial.len(), 97);
+        for threads in [2usize, 5] {
+            let exec = ShardExecutor::new(threads);
+            assert_eq!(exec.fill_u64(&partition, &f), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panics_on_either_side_of_the_barrier_propagate_safely() {
+        // 3 executors over 4 regions of 10: regions 0 and 3 run on the
+        // coordinator (executor 0), regions 1 and 2 on pool workers. Both
+        // panic paths must reach the barrier first (workers still hold the
+        // borrowed closure pointer until then) and then re-raise — and the
+        // pool must stay usable afterwards.
+        let exec = ShardExecutor::new(3);
+        let partition = RegionPartition::with_regions(40, 4);
+        for poisoned in [35u32, 15] {
+            // 35 = coordinator's region 3; 15 = a worker's region 1.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                exec.scan(&partition, &|a| {
+                    assert!(a != poisoned, "boom at {a}");
+                    true
+                });
+            }));
+            assert!(result.is_err(), "panic at {poisoned} must not be swallowed");
+            // The barrier completed: a fresh job runs to completion.
+            let all = exec.scan(&partition, &|_| true);
+            assert_eq!(all.len(), 40, "pool unusable after panic at {poisoned}");
+        }
+    }
+}

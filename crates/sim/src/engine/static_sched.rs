@@ -271,6 +271,9 @@ pub(crate) fn run_static(
     Ok(ExecutionReport {
         scheduler: kind,
         seed: config.seed,
+        // The static baselines are layer-synchronous single-threaded loops;
+        // `engine_threads` only shards the realtime engine.
+        engine_threads: 1,
         distance: d,
         total_rounds: clock,
         gates_executed,

@@ -117,6 +117,13 @@ pub struct RunCounters {
     /// Preemptions rejected because the reordered wait-for edges would have
     /// created a cycle (the naive-yield deadlock, caught by the ledger).
     pub preemptions_rejected_cycle: u64,
+    /// Applied preemptions whose target ancilla lay outside the preempting
+    /// task's home shard (region-partitioned RESCQ engine; thread-count
+    /// invariant because the region partition follows the fabric alone).
+    pub preemptions_cross_shard: u64,
+    /// Ledger claims registered on an ancilla hosted outside the claiming
+    /// task's home shard (CNOT routes leaving their home region).
+    pub claims_cross_shard: u64,
     /// Largest number of distinct edges the task wait-for graph ever held.
     pub waitgraph_peak_edges: u64,
     /// MST computations completed (RESCQ).
@@ -143,6 +150,9 @@ pub struct ExecutionReport {
     pub scheduler: SchedulerKind,
     /// The run seed.
     pub seed: u64,
+    /// Engine worker threads the run resolved to (always 1 for the static
+    /// baselines; never affects the schedule, only wall-clock).
+    pub engine_threads: u32,
     /// Code distance.
     pub distance: u32,
     /// Total execution time in measurement rounds.
@@ -248,6 +258,7 @@ mod tests {
         let r = ExecutionReport {
             scheduler: SchedulerKind::Rescq,
             seed: 1,
+            engine_threads: 1,
             distance: 7,
             total_rounds: 700,
             gates_executed: 10,

@@ -43,6 +43,24 @@ fn uncompressed_benchmark_run_matches_pre_ledger_golden() {
 }
 
 #[test]
+fn sharded_engine_matches_the_golden_on_every_thread_count() {
+    // The sharded-engine determinism contract pinned on a paper workload:
+    // the same golden round count (and the full report) for 1, 2 and 4
+    // engine threads, with 1-thread output matching the historical engine
+    // exactly.
+    let circuit = rescq_repro::workloads::generate("wstate_n27", 1).unwrap();
+    let mk = |threads: usize| SimConfig::builder().seed(7).engine_threads(threads).build();
+    let reference = simulate(&circuit, &mk(1)).unwrap();
+    assert_eq!(reference.total_rounds, 2391, "1-thread golden moved");
+    for threads in [2usize, 4] {
+        let mut r = simulate(&circuit, &mk(threads)).unwrap();
+        assert_eq!(r.total_rounds, 2391, "{threads}-thread run diverged");
+        r.engine_threads = reference.engine_threads;
+        assert_eq!(r, reference, "full report diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn rotation_counters_track_eq1() {
     // Generic angles average ≈2 injections; the engine's counters must
     // reflect the RUS ladder (Eq. 1) within Monte-Carlo noise.

@@ -246,6 +246,79 @@ fn constrained_preemption_terminates_and_stays_acyclic() {
     );
 }
 
+/// The sharded-engine determinism contract: for random shard counts ×
+/// constrained workloads, every run terminates with every gate executed,
+/// the ledger stays acyclic across cross-shard preemptions (the engine
+/// `debug_assert`s `ReservationLedger::is_acyclic()` after every applied
+/// preemption, so these debug-profile runs abort on a violation), and the
+/// schedule is **byte-identical to the 1-thread run** — total rounds,
+/// latency histograms, RNG-dependent failure counts, every counter. The
+/// `engine_threads` report field is the one legitimate difference, so it is
+/// normalised before comparison. Thread counts above the region count
+/// exercise the executor clamp; `0` exercises auto-detection.
+#[test]
+fn sharded_engine_is_thread_count_invariant() {
+    let mut cross_shard_activity = 0u64;
+    for case in 0..20u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5AAD_0000 ^ case);
+        let n = rng.gen_range(4u32..12);
+        let len = rng.gen_range(10usize..50);
+        let gates: Vec<Gate> = (0..len).map(|_| arb_gate(&mut rng, n)).collect();
+        let circuit = Circuit::from_gates(n, gates).unwrap();
+        let compression = [0.0, 0.5, 0.75, 1.0][(case % 4) as usize];
+        let seed = rng.gen_range(0u64..1000);
+        let threads = [2usize, 3, 4, 8, 0][(case % 5) as usize];
+        let build = |t: usize| {
+            SimConfig::builder()
+                .scheduler(SchedulerKind::Rescq)
+                .compression(compression)
+                .engine_threads(t)
+                .seed(seed)
+                .max_cycles(500_000)
+                .build()
+        };
+        let reference = simulate(&circuit, &build(1))
+            .unwrap_or_else(|e| panic!("case {case}: 1-thread run failed: {e}"));
+        assert_eq!(reference.gates_executed, circuit.len(), "case {case}");
+        let sharded = simulate(&circuit, &build(threads))
+            .unwrap_or_else(|e| panic!("case {case} ({threads} threads): {e}"));
+        let mut normalised = sharded.clone();
+        normalised.engine_threads = reference.engine_threads;
+        assert_eq!(
+            normalised, reference,
+            "case {case}: {threads}-thread schedule diverged from the 1-thread run"
+        );
+        cross_shard_activity +=
+            reference.counters.claims_cross_shard + reference.counters.preemptions_cross_shard;
+    }
+    // Structured benchmarks whose paths are known to span several regions,
+    // so the corpus provably exercises cross-shard arbitration.
+    for (name, compression, seed) in [("qft_n18", 0.5, 7u64), ("wstate_n27", 0.0, 7)] {
+        let circuit = rescq_repro::workloads::generate(name, 1).unwrap();
+        let build = |t: usize| {
+            SimConfig::builder()
+                .scheduler(SchedulerKind::Rescq)
+                .compression(compression)
+                .engine_threads(t)
+                .seed(seed)
+                .max_cycles(500_000)
+                .build()
+        };
+        let reference = simulate(&circuit, &build(1)).unwrap();
+        for threads in [2usize, 4] {
+            let mut sharded = simulate(&circuit, &build(threads)).unwrap();
+            sharded.engine_threads = reference.engine_threads;
+            assert_eq!(sharded, reference, "{name}@{compression} x{threads}");
+        }
+        cross_shard_activity +=
+            reference.counters.claims_cross_shard + reference.counters.preemptions_cross_shard;
+    }
+    assert!(
+        cross_shard_activity > 0,
+        "the corpus must cross shard boundaries at least once"
+    );
+}
+
 /// Regression: the naive move-top-entry-to-back yield that was tried before
 /// the ledger existed deadlocks on exactly this shape — one task's route
 /// entries re-planned behind another task's preparations on two ancillas.
