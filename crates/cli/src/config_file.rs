@@ -14,12 +14,13 @@
 //! seeds = 10
 //! base_seed = 1
 //! engine_threads = 4       # realtime-engine shards; 0 = auto, schedule unchanged
+//! priority_classes = factory>injection>compute>speculative  # or `off` (default)
 //! decoder = adaptive       # ideal | fixed | adaptive
 //! decoder_throughput = 0.5 # syndrome rounds decoded per round
 //! decoder_workers = 4      # adaptive only
 //! ```
 
-use rescq_core::{KPolicy, SchedulerKind};
+use rescq_core::{ClassLattice, KPolicy, SchedulerKind};
 use rescq_decoder::DecoderKind;
 use rescq_sim::SimConfig;
 use std::fmt;
@@ -122,6 +123,10 @@ pub fn parse_config(text: &str) -> Result<RunSpec, ConfigError> {
             "engine_threads" => {
                 spec.config.engine_threads = parse_u64(value)? as usize;
             }
+            "priority_classes" => {
+                spec.config.priority_classes =
+                    ClassLattice::parse_setting(value).map_err(|e| err(lineno, e))?;
+            }
             "block_columns" => {
                 spec.config.block_columns = Some(parse_u64(value)? as u32);
             }
@@ -176,6 +181,9 @@ pub fn write_config(spec: &RunSpec) -> String {
             "engine_threads = {}\n",
             spec.config.engine_threads
         ));
+    }
+    if let Some(lattice) = &spec.config.priority_classes {
+        out.push_str(&format!("priority_classes = {lattice}\n"));
     }
     if spec.config.decoder != rescq_decoder::DecoderConfig::default() {
         let d = &spec.config.decoder;
@@ -289,6 +297,30 @@ base_seed = 7
             0
         );
         assert!(!write_config(&RunSpec::default()).contains("engine_threads"));
+    }
+
+    #[test]
+    fn priority_classes_key_parses_and_round_trips() {
+        let spec =
+            parse_config("priority_classes = factory>injection>compute>speculative\n").unwrap();
+        assert_eq!(spec.config.priority_classes, Some(ClassLattice::default()));
+        let text = write_config(&spec);
+        assert!(text.contains("priority_classes = factory>injection>compute>speculative"));
+        assert_eq!(parse_config(&text).unwrap(), spec);
+        // `off` and absence both mean class-blind; the default stays out of
+        // written configs.
+        assert_eq!(
+            parse_config("priority_classes = off\n")
+                .unwrap()
+                .config
+                .priority_classes,
+            None
+        );
+        assert!(!write_config(&RunSpec::default()).contains("priority_classes"));
+        // A lattice missing a canonical class is rejected with the line.
+        let e = parse_config("priority_classes = factory>compute>speculative\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("injection"));
     }
 
     #[test]

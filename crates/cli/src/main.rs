@@ -48,6 +48,8 @@ fn print_usage() {
     println!();
     println!("Usage:");
     println!("  sim run <config-file> [--csv DIR] [--engine-threads N]");
+    println!("            [--priority-classes SPEC]   class lattice, e.g.");
+    println!("                                   factory>injection>compute>speculative | off");
     println!("                                      run an experiment from a config file");
     println!("  sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE]");
     println!("            [--checkpoint FILE] [--shard i/n] [--quiet | --progress]");
@@ -60,6 +62,7 @@ fn print_usage() {
     println!("            [--decoder-workers N] [--decoder-prep]");
     println!("            [--engine-threads N]   realtime-engine shards (0 = auto;");
     println!("                                   schedule is bit-identical for any N)");
+    println!("            [--priority-classes SPEC]  class-aware ledger arbitration");
     println!("  sim list                            list Table 3 benchmarks");
     println!("  sim table3                          regenerate Table 3");
     println!("  sim fig <3|5|10|11|12|13|14|15|16|a2|decoder> [--full]");
@@ -124,6 +127,14 @@ fn run_spec(spec: &RunSpec, csv_dir: Option<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies the shared `--priority-classes` flag (`off` = class-blind).
+fn apply_priority_flag(args: &[String], config: &mut rescq_sim::SimConfig) -> Result<(), String> {
+    if let Some(spec) = flag_value(args, "--priority-classes") {
+        config.priority_classes = rescq_core::ClassLattice::parse_setting(&spec)?;
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args
         .first()
@@ -134,6 +145,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(t) = flag_value(args, "--engine-threads") {
         spec.config.engine_threads = t.parse().map_err(|_| "bad --engine-threads")?;
     }
+    apply_priority_flag(args, &mut spec.config)?;
     run_spec(&spec, flag_value(args, "--csv").map(PathBuf::from))
 }
 
@@ -337,6 +349,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     if let Some(t) = flag_value(args, "--engine-threads") {
         spec.config.engine_threads = t.parse().map_err(|_| "bad --engine-threads")?;
     }
+    apply_priority_flag(args, &mut spec.config)?;
     let csv = flag_value(args, "--csv").map(PathBuf::from);
     for sched in SchedulerKind::ALL {
         spec.config.scheduler = sched;

@@ -11,18 +11,21 @@ use std::path::Path;
 /// Propagates I/O errors.
 pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    // `engine_threads` is deliberately the LAST column: it is the one
-    // field that varies with the execution resource rather than the
-    // schedule, so determinism checks (CI's engine-thread smoke) can strip
-    // it with a single `cut` and byte-compare everything else.
+    // The per-class preemption counters sit LAST among the schedule-derived
+    // columns (strip-last-column convention: they are the newest additions,
+    // so older tooling keeps its column positions), and `engine_threads` is
+    // deliberately the very LAST column overall: it is the one field that
+    // varies with the execution resource rather than the schedule, so
+    // determinism checks (CI's engine-thread smoke) can strip it with a
+    // single `cut` and byte-compare everything else.
     writeln!(
         f,
-        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog,preemptions,preemptions_rejected_cycle,preemptions_cross_shard,claims_cross_shard,waitgraph_peak_edges,engine_threads"
+        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog,preemptions,preemptions_rejected_cycle,preemptions_cross_shard,claims_cross_shard,waitgraph_peak_edges,preemptions_class,preempt_speculative,preempt_compute,preempt_injection,preempt_factory,engine_threads"
     )?;
     for r in reports {
         writeln!(
             f,
-            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{}",
+            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.scheduler,
             r.seed,
             r.distance,
@@ -45,6 +48,11 @@ pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::R
             r.counters.preemptions_cross_shard,
             r.counters.claims_cross_shard,
             r.counters.waitgraph_peak_edges,
+            r.counters.preemptions_class,
+            r.counters.preemptions_by_class[0],
+            r.counters.preemptions_by_class[1],
+            r.counters.preemptions_by_class[2],
+            r.counters.preemptions_by_class[3],
             r.engine_threads,
         )?;
     }
@@ -91,6 +99,9 @@ pub fn summarize(r: &ExecutionReport) -> String {
             ", {} preemptions ({} cycle-rejected)",
             r.counters.preemptions, r.counters.preemptions_rejected_cycle,
         ));
+        if r.counters.preemptions_class > 0 {
+            s.push_str(&format!(", {} class-won", r.counters.preemptions_class));
+        }
     }
     s
 }

@@ -13,6 +13,11 @@
 //! [`KPolicy::Dynamic`] mode inverts this model to pick the smallest `k` that
 //! keeps the number of in-flight computations bounded — the paper's
 //! "dynamically selects the frequency of realtime updates".
+//!
+//! Determinism contract: the pipeline is driven solely by the cycle counter
+//! its caller passes to [`MstPipeline::on_cycle`] — completion times are
+//! modelled, never measured — so schedules that consult the tree are
+//! reproducible run-to-run and independent of host speed or thread count.
 
 use rescq_lattice::IncrementalMst;
 use std::collections::VecDeque;

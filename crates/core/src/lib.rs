@@ -3,8 +3,11 @@
 //! The RESCQ scheduling framework (the paper's primary contribution): the
 //! per-ancilla operation queues with in-place ladder rewriting
 //! ([`AncillaQueue`], §4.1), the [`ReservationLedger`] that makes the
-//! task-level wait-for graph explicit and supports seniority-safe
-//! preemption, the sliding-window [`ActivityTracker`] and the
+//! task-level wait-for graph explicit and supports seniority-safe,
+//! class-aware preemption (the [`ClassLattice`] priority lattice —
+//! `factory > injection > compute > speculative` by default — decides who
+//! may overtake whom; an incremental cycle check decides whether the
+//! reorder is safe), the sliding-window [`ActivityTracker`] and the
 //! pipelined stale-tolerant [`MstPipeline`] (§4.2 / Fig 8), Algorithm-1
 //! routing with a per-generation [`PathCache`] ([`routing`]), and the
 //! baseline static-routing policy the evaluation compares against.
@@ -40,6 +43,8 @@ mod types;
 pub use activity::ActivityTracker;
 pub use dynmst::{KPolicy, MstPipeline, TauModel};
 pub use queue::{AncillaQueue, EntryStatus, QueueEntry, Role};
-pub use reservation::{LedgerStats, Preemption, ReservationId, ReservationLedger, ShardId};
+pub use reservation::{
+    ClassLattice, LedgerStats, Preemption, ReservationId, ReservationLedger, ShardId, TaskClass,
+};
 pub use routing::{plan_cnot_route, plan_static_route, PathCache, RoutePlan, StaticRouteOutcome};
 pub use types::{SchedulerKind, SurgeryCosts, TaskId};

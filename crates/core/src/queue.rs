@@ -8,9 +8,14 @@
 //! sibling ancilla's preparation succeeds (anticipating injection failure).
 //! Seniority (enqueue order) decides priority; the simulation enqueues
 //! atomically in scheduling order, so entry order is consistent across all
-//! queues and the wait-for graph between gates stays acyclic.
+//! queues and the wait-for graph between gates stays acyclic. Any
+//! *reordering* of a queue (preemption) must therefore go through the
+//! [`crate::ReservationLedger`], which owns the cross-queue acyclicity
+//! proof — raw queues only expose reorder primitives crate-privately. The
+//! queue itself is a plain deterministic container: no clocks, no
+//! randomness, identical op sequences give identical states.
 
-use crate::reservation::ReservationId;
+use crate::reservation::{ReservationId, TaskClass};
 use crate::TaskId;
 use rescq_circuit::Angle;
 use rescq_lattice::TileId;
@@ -75,6 +80,12 @@ pub struct QueueEntry {
     pub angle: Angle,
     /// Status; meaningful only while this entry is at the top (Table 2).
     pub status: EntryStatus,
+    /// Priority class in the [`crate::ClassLattice`]; arbitration lets a
+    /// strictly higher class reorder ahead of a strictly lower one (cycle
+    /// check permitting) while equal classes keep the seniority rule. The
+    /// default ([`TaskClass::COMPUTE`]) makes class-blind queues uniform,
+    /// so default runs reproduce the pre-lattice ledger bit for bit.
+    pub class: TaskClass,
     /// The ledger reservation backing this entry
     /// ([`ReservationId::UNREGISTERED`] until pushed through a
     /// [`crate::ReservationLedger`]).
@@ -82,15 +93,22 @@ pub struct QueueEntry {
 }
 
 impl QueueEntry {
-    /// Creates a `Ready` entry.
+    /// Creates a `Ready` entry of the default [`TaskClass`].
     pub fn new(task: TaskId, role: Role, angle: Angle) -> Self {
         QueueEntry {
             task,
             role,
             angle,
             status: EntryStatus::Ready,
+            class: TaskClass::default(),
             reservation: ReservationId::UNREGISTERED,
         }
+    }
+
+    /// The same entry with its priority class set (builder style).
+    pub fn with_class(mut self, class: TaskClass) -> Self {
+        self.class = class;
+        self
     }
 }
 
@@ -185,6 +203,22 @@ impl AncillaQueue {
         for e in &mut self.entries {
             if e.task == task {
                 e.angle = angle;
+                updated = true;
+            }
+        }
+        updated
+    }
+
+    /// Rewrites the priority class of `task`'s entries in place (e.g. a
+    /// speculative rotation promoted once its predecessors complete).
+    /// Queue position — and therefore the wait graph — is untouched; the
+    /// new class affects future arbitration only. Returns whether an entry
+    /// was updated.
+    pub fn update_class(&mut self, task: TaskId, class: TaskClass) -> bool {
+        let mut updated = false;
+        for e in &mut self.entries {
+            if e.task == task {
+                e.class = class;
                 updated = true;
             }
         }

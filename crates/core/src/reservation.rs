@@ -22,11 +22,50 @@
 //! acyclic** — the mechanism the naive yield lacked. Rejected preemptions
 //! leave the ledger untouched and are counted, so schedulers can observe
 //! how often the safety check bites.
+//!
+//! # The priority-class lattice
+//!
+//! Arbitration is two-layered. The *safety* layer never changes: a reorder
+//! happens only when every displaced entry can structurally yield (a
+//! preparation that is not executing and holds no finished state, or an
+//! unused helper claim) **and** the incremental cycle check proves the
+//! wait-for graph stays acyclic. Above it sits a *policy* layer: every
+//! [`QueueEntry`] carries a [`TaskClass`] drawn from a small ordered
+//! lattice ([`ClassLattice`], `factory > injection > compute > speculative`
+//! by default, user-extensible), and [`ReservationLedger::try_preempt_with`]
+//! applies one class-aware rule:
+//!
+//! - a **strictly higher** class may reorder ahead of a strictly lower one
+//!   (seniority notwithstanding) — iff the cycle check passes;
+//! - **equal** classes fall back to the caller's speculation test (strict
+//!   seniority for [`ReservationLedger::try_preempt`]), exactly the
+//!   pre-lattice behaviour, so runs where every entry carries the default
+//!   class are bit-identical to the class-blind ledger;
+//! - a **lower** class never displaces a higher one.
+//!
+//! This is how a T-gate factory region outranks logical compute without
+//! touching the acyclicity machinery: urgency is expressed entirely in the
+//! policy layer, and every reorder — class-driven or seniority-driven —
+//! still goes through the same structural and cycle proofs.
+//!
+//! # Invariants
+//!
+//! 1. **Acyclicity** — the task wait-for graph is acyclic after every
+//!    public mutation; [`ReservationLedger::is_acyclic`] checks it in
+//!    O(V + E) for property tests and engine debug assertions.
+//! 2. **Seniority** — plain pushes append in arrival order, and equal-class
+//!    arbitration only ever lets *older* tasks overtake (or whatever the
+//!    caller's stricter test allows), so FIFO runs are reorder-free.
+//! 3. **Determinism** — the ledger holds no clocks, no randomness and no
+//!    thread identity: the same op sequence yields the same queues, ids,
+//!    graph and counters, which is what lets a sharded engine commit
+//!    through it at a barrier and stay bit-identical for any thread count.
 
 use crate::queue::{AncillaQueue, EntryStatus, QueueEntry, Role};
 use crate::types::TaskId;
 use rescq_circuit::Angle;
 use std::collections::{HashMap, HashSet};
+use std::str::FromStr;
 
 /// Identifier of one queue reservation (unique within a ledger's lifetime).
 ///
@@ -54,6 +93,246 @@ impl std::fmt::Display for ShardId {
     }
 }
 
+/// Priority class of one queue reservation: the rank of a task in the
+/// [`ClassLattice`]. Higher ranks outrank lower ones in ledger arbitration
+/// (see the module docs); equal ranks keep the seniority rule.
+///
+/// The named constants are the ranks of the **default** lattice. A custom
+/// lattice re-maps names to ranks via [`ClassLattice::class_of`]; the
+/// arbitration rule only ever compares ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskClass(pub u8);
+
+impl TaskClass {
+    /// Speculative work (e.g. a preemptively enqueued rotation whose
+    /// predecessor gates are incomplete): yields to everything.
+    pub const SPECULATIVE: TaskClass = TaskClass(0);
+    /// Ordinary logical compute (CNOT surgeries, Hadamards) — the default
+    /// class of every entry, so class-blind runs are uniform-`COMPUTE`.
+    pub const COMPUTE: TaskClass = TaskClass(1);
+    /// A ready continuous-angle injection (`|mθ⟩` consumption is the
+    /// latency-critical feed-forward step).
+    pub const INJECTION: TaskClass = TaskClass(2);
+    /// T-gate factory work: rotation pipelines whose output feeds the
+    /// compute block; outranks everything by default.
+    pub const FACTORY: TaskClass = TaskClass(3);
+
+    /// The number of per-class counter buckets tracked by [`LedgerStats`]
+    /// (custom lattices deeper than this clamp into the top bucket).
+    pub const TRACKED: usize = 4;
+
+    /// The rank within the lattice (0 = lowest priority).
+    pub fn rank(self) -> u8 {
+        self.0
+    }
+
+    /// The [`LedgerStats::preemptions_by_class`] bucket of this class.
+    pub fn bucket(self) -> usize {
+        (self.0 as usize).min(Self::TRACKED - 1)
+    }
+}
+
+impl Default for TaskClass {
+    fn default() -> Self {
+        TaskClass::COMPUTE
+    }
+}
+
+impl std::fmt::Display for TaskClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// An ordered set of task classes: the priority lattice ledger arbitration
+/// ranks reservations by.
+///
+/// The textual form lists class names from **highest to lowest** priority,
+/// separated by `>` — the default lattice is
+/// `factory>injection>compute>speculative`. Users may extend the lattice
+/// with additional named classes (e.g.
+/// `magic_state_cache>factory>injection>compute>speculative`) as long as
+/// the four canonical names stay present: the scheduler maps its internal
+/// task kinds onto those names via [`ClassLattice::factory`] & co, and a
+/// region urgency override may name any class in the lattice.
+///
+/// # Example
+///
+/// ```
+/// use rescq_core::{ClassLattice, TaskClass};
+///
+/// let lattice = ClassLattice::default();
+/// assert_eq!(lattice.factory(), TaskClass::FACTORY);
+/// assert!(lattice.factory() > lattice.compute());
+/// assert_eq!(lattice.to_string(), "factory>injection>compute>speculative");
+///
+/// // User-extensible: extra classes slot anywhere in the order.
+/// let custom: ClassLattice = "cache>factory>injection>compute>speculative"
+///     .parse()
+///     .unwrap();
+/// assert!(custom.class_of("cache").unwrap() > custom.factory());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassLattice {
+    /// Class names in ascending rank order (index = rank).
+    names: Vec<String>,
+}
+
+impl Default for ClassLattice {
+    fn default() -> Self {
+        ClassLattice {
+            names: ["speculative", "compute", "injection", "factory"]
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+}
+
+impl ClassLattice {
+    /// The rank of the named class, if present.
+    pub fn class_of(&self, name: &str) -> Option<TaskClass> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| TaskClass(i as u8))
+    }
+
+    /// Class names in ascending rank order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Number of classes in the lattice.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the lattice is empty (never true for a parsed lattice).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn canonical(&self, name: &str) -> TaskClass {
+        self.class_of(name)
+            .expect("canonical classes are validated at parse time")
+    }
+
+    /// Rank of the canonical `speculative` class.
+    pub fn speculative(&self) -> TaskClass {
+        self.canonical("speculative")
+    }
+
+    /// Rank of the canonical `compute` class.
+    pub fn compute(&self) -> TaskClass {
+        self.canonical("compute")
+    }
+
+    /// Rank of the canonical `injection` class.
+    pub fn injection(&self) -> TaskClass {
+        self.canonical("injection")
+    }
+
+    /// Rank of the canonical `factory` class.
+    pub fn factory(&self) -> TaskClass {
+        self.canonical("factory")
+    }
+
+    /// Parses the shared configuration spelling used by every surface
+    /// (CLI flag, config-file key, harness axis): `off` (case-insensitive)
+    /// means class-blind arbitration (`None`), anything else must be a
+    /// valid lattice.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FromStr`] error message for an invalid lattice.
+    pub fn parse_setting(s: &str) -> Result<Option<ClassLattice>, String> {
+        if s.trim().eq_ignore_ascii_case("off") {
+            return Ok(None);
+        }
+        s.parse::<ClassLattice>().map(Some)
+    }
+
+    /// The rank → canonical-counter-bucket map for this lattice
+    /// ([`ReservationLedger::set_class_buckets`]): rank `r` counts toward
+    /// the **highest canonical class at or below it**, so custom classes
+    /// slotted between canonical ones attribute to their canonical floor
+    /// and classes above `factory` clamp into the factory bucket — the
+    /// named per-class counters stay truthful for any lattice.
+    pub fn canonical_buckets(&self) -> Vec<u8> {
+        let mut canonical: Vec<u8> = [
+            self.speculative(),
+            self.compute(),
+            self.injection(),
+            self.factory(),
+        ]
+        .iter()
+        .map(|c| c.rank())
+        .collect();
+        canonical.sort_unstable();
+        (0..self.len() as u8)
+            .map(|rank| {
+                let at_or_below = canonical.iter().filter(|&&c| c <= rank).count();
+                (at_or_below.max(1) - 1).min(TaskClass::TRACKED - 1) as u8
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ClassLattice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, name) in self.names.iter().rev().enumerate() {
+            if i > 0 {
+                f.write_str(">")?;
+            }
+            f.write_str(name)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ClassLattice {
+    type Err = String;
+
+    /// Parses the `highest>…>lowest` spelling. Every name must be a
+    /// non-empty `[a-z0-9_]` identifier, names must be unique, at most
+    /// [`TaskClass`]`(u8)` many, and the four canonical names
+    /// (`factory`, `injection`, `compute`, `speculative`) must all appear.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut names: Vec<String> = Vec::new();
+        for part in s.split('>') {
+            let name = part.trim().to_ascii_lowercase();
+            if name.is_empty() {
+                return Err(format!("empty class name in `{s}`"));
+            }
+            if !name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            {
+                return Err(format!("bad class name `{name}` (use [a-z0-9_])"));
+            }
+            if names.contains(&name) {
+                return Err(format!("duplicate class `{name}` in `{s}`"));
+            }
+            names.push(name);
+        }
+        if names.len() > u8::MAX as usize {
+            return Err(format!("too many classes ({})", names.len()));
+        }
+        // Input is highest-first; store ascending (index = rank).
+        names.reverse();
+        let lattice = ClassLattice { names };
+        for canonical in ["factory", "injection", "compute", "speculative"] {
+            if lattice.class_of(canonical).is_none() {
+                return Err(format!(
+                    "lattice `{s}` is missing the canonical class `{canonical}`"
+                ));
+            }
+        }
+        Ok(lattice)
+    }
+}
+
 /// Counters describing a ledger's preemption and wait-graph history.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LedgerStats {
@@ -69,6 +348,19 @@ pub struct LedgerStats {
     /// Claims registered on an ancilla hosted outside the claiming task's
     /// home shard ([`ReservationLedger::push_claim`]).
     pub claims_cross_shard: u64,
+    /// Applied preemptions where the preemptor's [`TaskClass`] strictly
+    /// outranked at least one displaced entry — reorders that seniority (or
+    /// the caller's equal-class test) alone would not have granted. Always 0
+    /// when every entry carries the same class (class-blind runs).
+    pub preemptions_class: u64,
+    /// Applied preemptions bucketed by the preemptor's class. With a
+    /// bucket map installed ([`ReservationLedger::set_class_buckets`],
+    /// built from [`ClassLattice::canonical_buckets`]) the four buckets
+    /// are the canonical classes — `speculative, compute, injection,
+    /// factory` — whatever ranks a custom lattice assigns them; without
+    /// one, the raw rank clamps via [`TaskClass::bucket`]. Class-blind
+    /// runs land everything in the default [`TaskClass::COMPUTE`] bucket.
+    pub preemptions_by_class: [u64; TaskClass::TRACKED],
     /// Largest number of distinct edges the wait-for graph ever held.
     pub waitgraph_peak_edges: u64,
 }
@@ -124,6 +416,10 @@ pub struct ReservationLedger {
     edges: HashMap<TaskId, HashMap<TaskId, u32>>,
     /// Current number of distinct (waiter, holder) pairs.
     edge_count: u64,
+    /// Rank → counter-bucket map for [`LedgerStats::preemptions_by_class`]
+    /// (empty = raw-rank clamping via [`TaskClass::bucket`]). Affects
+    /// counters only, never arbitration.
+    class_buckets: Vec<u8>,
     stats: LedgerStats,
 }
 
@@ -135,7 +431,26 @@ impl ReservationLedger {
             next_id: 0,
             edges: HashMap::new(),
             edge_count: 0,
+            class_buckets: Vec::new(),
             stats: LedgerStats::default(),
+        }
+    }
+
+    /// Installs the rank → bucket map used to attribute
+    /// [`LedgerStats::preemptions_by_class`] (typically
+    /// [`ClassLattice::canonical_buckets`], so the named buckets stay
+    /// truthful for custom lattices). Counters only — arbitration always
+    /// compares raw ranks.
+    pub fn set_class_buckets(&mut self, buckets: Vec<u8>) {
+        self.class_buckets = buckets;
+    }
+
+    /// The counter bucket of `class` under the installed map (falling back
+    /// to raw-rank clamping).
+    fn bucket_of(&self, class: TaskClass) -> usize {
+        match self.class_buckets.get(class.rank() as usize) {
+            Some(&b) => (b as usize).min(TaskClass::TRACKED - 1),
+            None => class.bucket(),
         }
     }
 
@@ -225,6 +540,14 @@ impl ReservationLedger {
         self.queues[a as usize].update_angle(task, angle)
     }
 
+    /// Rewrites the priority class of `task`'s entries on ancilla `a` in
+    /// place (class *promotion* — e.g. a speculative rotation becoming
+    /// runnable). Queue position and the wait graph are untouched; only
+    /// future arbitration sees the new class.
+    pub fn update_class(&mut self, a: u32, task: TaskId, class: TaskClass) -> bool {
+        self.queues[a as usize].update_class(task, class)
+    }
+
     /// Sets the status of ancilla `a`'s top entry, if any.
     pub fn set_top_status(&mut self, a: u32, status: EntryStatus) {
         self.queues[a as usize].set_status_at(0, status);
@@ -288,16 +611,30 @@ impl ReservationLedger {
         outcome
     }
 
-    /// [`Self::try_preempt`] with a caller-supplied speculation test.
+    /// [`Self::try_preempt`] with a caller-supplied *equal-class*
+    /// speculation test — the single class-aware arbitration rule every
+    /// preemption entry point shares.
     ///
-    /// The ledger still enforces the structural half of eligibility (every
+    /// The ledger always enforces the structural half of eligibility (every
     /// entry ahead is a preparation that is not executing and not holding a
-    /// state) and the acyclicity check; `may_displace` decides *which*
-    /// preparations count as speculative enough to yield. The default
-    /// [`Self::try_preempt`] passes strict seniority (`prep.task > task`);
-    /// an engine that knows more — e.g. that a preparation's owner cannot
-    /// inject yet because its predecessor gates are incomplete — can widen
-    /// the test without touching the safety invariant.
+    /// state, or an unused helper claim) and the acyclicity check. Above
+    /// that, each displaced entry is judged by the [`TaskClass`] lattice:
+    ///
+    /// - the preemptor's class **strictly outranks** the entry's → the
+    ///   entry yields (this is the reorder seniority alone would refuse —
+    ///   counted in [`LedgerStats::preemptions_class`]);
+    /// - **equal** classes → `may_displace` decides, exactly the
+    ///   pre-lattice behaviour. The default [`Self::try_preempt`] passes
+    ///   strict seniority (`prep.task > task`); an engine that knows more —
+    ///   e.g. that a preparation's owner cannot inject yet because its
+    ///   predecessor gates are incomplete — can widen the test without
+    ///   touching the safety invariant;
+    /// - the entry's class **outranks** the preemptor's → never displaced.
+    ///
+    /// The preemptor's class is read from its own entry in this queue, so
+    /// class policy travels with the reservation; when every entry carries
+    /// the default class the rule degenerates to the class-blind ledger
+    /// bit for bit.
     pub fn try_preempt_with(
         &mut self,
         task: TaskId,
@@ -311,6 +648,8 @@ impl ReservationLedger {
         if pos == 0 {
             return Preemption::NotEligible;
         }
+        let class = q.entry(task).expect("position implies entry").class;
+        let mut class_win = false;
         for e in q.iter().take(pos) {
             // Preparations may yield while not yet done (no state is lost);
             // helper entries are pure claims and may always structurally
@@ -318,9 +657,15 @@ impl ReservationLedger {
             let structurally_yields = (e.role.is_prep()
                 && matches!(e.status, EntryStatus::Ready | EntryStatus::Preparing))
                 || (e.role == Role::Helper && e.status == EntryStatus::Ready);
-            if !structurally_yields || !may_displace(e) {
+            let may_reorder = match class.cmp(&e.class) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => may_displace(e),
+                std::cmp::Ordering::Less => false,
+            };
+            if !structurally_yields || !may_reorder {
                 return Preemption::NotEligible;
             }
+            class_win |= class > e.class;
         }
         let displaced_top = q.top().expect("pos > 0").task;
         // Incremental cycle check. The reorder changes exactly one set of
@@ -350,6 +695,10 @@ impl ReservationLedger {
             self.queues[a as usize].set_status_at(i, EntryStatus::Ready);
         }
         self.stats.preemptions += 1;
+        self.stats.preemptions_by_class[self.bucket_of(class)] += 1;
+        if class_win {
+            self.stats.preemptions_class += 1;
+        }
         Preemption::Applied { displaced_top }
     }
 
@@ -512,6 +861,8 @@ const _: () = {
     assert_send_sync::<EntryStatus>();
     assert_send_sync::<ReservationId>();
     assert_send_sync::<ShardId>();
+    assert_send_sync::<TaskClass>();
+    assert_send_sync::<ClassLattice>();
     assert_send_sync::<Preemption>();
     assert_send_sync::<LedgerStats>();
 };
@@ -688,6 +1039,207 @@ mod tests {
         l.push_claim(1, route(0), ShardId(0), ShardId(1));
         assert_eq!(l.stats().claims_cross_shard, 1);
         assert_eq!(l.queue(1).top().unwrap().task, TaskId(0));
+    }
+
+    #[test]
+    fn lattice_parses_displays_and_validates() {
+        let default = ClassLattice::default();
+        assert_eq!(default.to_string(), "factory>injection>compute>speculative");
+        assert_eq!(
+            "factory>injection>compute>speculative"
+                .parse::<ClassLattice>()
+                .unwrap(),
+            default
+        );
+        assert_eq!(default.speculative(), TaskClass::SPECULATIVE);
+        assert_eq!(default.compute(), TaskClass::COMPUTE);
+        assert_eq!(default.injection(), TaskClass::INJECTION);
+        assert_eq!(default.factory(), TaskClass::FACTORY);
+        assert_eq!(default.compute(), TaskClass::default());
+        // User-extensible: extra classes may outrank factory.
+        let custom: ClassLattice = "cache>factory>injection>compute>speculative"
+            .parse()
+            .unwrap();
+        assert_eq!(custom.len(), 5);
+        assert!(custom.class_of("cache").unwrap() > custom.factory());
+        assert_eq!(custom.class_of("cache").unwrap().bucket(), 3, "clamped");
+        // Round trip through Display.
+        assert_eq!(custom.to_string().parse::<ClassLattice>().unwrap(), custom);
+        // The shared config spelling: `off` (any case) = class-blind.
+        assert_eq!(ClassLattice::parse_setting("off"), Ok(None));
+        assert_eq!(ClassLattice::parse_setting(" OFF "), Ok(None));
+        assert_eq!(
+            ClassLattice::parse_setting("factory>injection>compute>speculative"),
+            Ok(Some(default.clone()))
+        );
+        assert!(ClassLattice::parse_setting("nonsense").is_err());
+        // Canonical names are mandatory; duplicates and bad names rejected.
+        assert!("factory>compute>speculative"
+            .parse::<ClassLattice>()
+            .is_err());
+        assert!("factory>factory>injection>compute>speculative"
+            .parse::<ClassLattice>()
+            .is_err());
+        assert!("fac tory>injection>compute>speculative"
+            .parse::<ClassLattice>()
+            .is_err());
+        assert!(">factory".parse::<ClassLattice>().is_err());
+    }
+
+    #[test]
+    fn factory_class_preempts_where_seniority_would_refuse() {
+        // An OLDER speculative prep sits ahead of a YOUNGER factory task.
+        // Strict seniority rejects the reorder (the entry ahead is not
+        // younger); the class lattice grants it — and the structural +
+        // acyclicity machinery still runs unchanged underneath.
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(1).with_class(TaskClass::SPECULATIVE));
+        l.push(0, prep(2).with_class(TaskClass::FACTORY));
+        // Seniority-only (both entries forced to one class): refused.
+        let mut blind = ReservationLedger::new(1);
+        blind.push(0, prep(1));
+        blind.push(0, prep(2));
+        assert_eq!(blind.try_preempt(TaskId(2), 0), Preemption::NotEligible);
+        // Class-aware: the factory entry overtakes the speculative claim.
+        assert_eq!(
+            l.try_preempt(TaskId(2), 0),
+            Preemption::Applied {
+                displaced_top: TaskId(1)
+            }
+        );
+        let order: Vec<u32> = l.queue(0).iter().map(|e| e.task.0).collect();
+        assert_eq!(order, vec![2, 1]);
+        assert!(l.is_acyclic());
+        assert_eq!(l.stats().preemptions, 1);
+        assert_eq!(l.stats().preemptions_class, 1);
+        assert_eq!(
+            l.stats().preemptions_by_class,
+            [0, 0, 0, 1],
+            "bucketed under the factory rank"
+        );
+    }
+
+    #[test]
+    fn lower_class_never_displaces_higher() {
+        // An older compute route behind a younger FACTORY prep: seniority
+        // alone would grant the reorder, the lattice refuses it.
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(5).with_class(TaskClass::FACTORY));
+        l.push(0, route(1).with_class(TaskClass::COMPUTE));
+        assert_eq!(l.try_preempt(TaskId(1), 0), Preemption::NotEligible);
+        // Same shape with equal classes: today's seniority rule applies.
+        let mut eq = ReservationLedger::new(1);
+        eq.push(0, prep(5));
+        eq.push(0, route(1));
+        assert!(matches!(
+            eq.try_preempt(TaskId(1), 0),
+            Preemption::Applied { .. }
+        ));
+        assert_eq!(
+            eq.stats().preemptions_class,
+            0,
+            "equal classes: no class win"
+        );
+        assert_eq!(eq.stats().preemptions_by_class, [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn class_preemption_still_cycle_checked() {
+        // The naive-yield counterexample with a class advantage: class may
+        // outrank, but the acyclicity proof still vetoes the reorder.
+        let mut l = ReservationLedger::new(2);
+        for a in 0..2u32 {
+            l.push(a, prep(2).with_class(TaskClass::SPECULATIVE));
+            l.push(a, route(1).with_class(TaskClass::FACTORY));
+        }
+        assert_eq!(l.try_preempt(TaskId(1), 0), Preemption::RejectedCycle);
+        assert_eq!(l.stats().preemptions_class, 0);
+        assert_eq!(l.stats().preemptions_rejected_cycle, 1);
+        // Structural safety also outranks class: an executing entry never
+        // yields, whatever its class.
+        let mut busy = ReservationLedger::new(1);
+        busy.push(0, prep(3).with_class(TaskClass::SPECULATIVE));
+        busy.push(0, route(1).with_class(TaskClass::FACTORY));
+        busy.set_top_status(0, EntryStatus::Executing);
+        assert_eq!(busy.try_preempt(TaskId(1), 0), Preemption::NotEligible);
+    }
+
+    #[test]
+    fn class_promotion_rewrites_entries_in_place() {
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(1).with_class(TaskClass::COMPUTE));
+        l.push(0, prep(2).with_class(TaskClass::SPECULATIVE));
+        let edges = l.current_edges();
+        // Promoted: position unchanged, graph unchanged, class visible to
+        // future arbitration.
+        assert!(l.update_class(0, TaskId(2), TaskClass::INJECTION));
+        assert_eq!(l.queue(0).position(TaskId(2)), Some(1));
+        assert_eq!(l.current_edges(), edges);
+        assert_eq!(
+            l.queue(0).entry(TaskId(2)).unwrap().class,
+            TaskClass::INJECTION
+        );
+        assert!(matches!(
+            l.try_preempt(TaskId(2), 0),
+            Preemption::Applied { .. }
+        ));
+        assert!(!l.update_class(0, TaskId(9), TaskClass::FACTORY));
+    }
+
+    #[test]
+    fn canonical_buckets_attribute_custom_lattices_truthfully() {
+        // A custom class BELOW compute must not shift the canonical
+        // columns: `background` attributes to the speculative bucket, the
+        // canonical four keep their own buckets, and a class above factory
+        // clamps into the factory bucket.
+        let lattice: ClassLattice = "cache>factory>injection>compute>background>speculative"
+            .parse()
+            .unwrap();
+        let buckets = lattice.canonical_buckets();
+        assert_eq!(buckets.len(), 6);
+        assert_eq!(buckets[lattice.speculative().rank() as usize], 0);
+        assert_eq!(
+            buckets[lattice.class_of("background").unwrap().rank() as usize],
+            0
+        );
+        assert_eq!(buckets[lattice.compute().rank() as usize], 1);
+        assert_eq!(buckets[lattice.injection().rank() as usize], 2);
+        assert_eq!(buckets[lattice.factory().rank() as usize], 3);
+        assert_eq!(
+            buckets[lattice.class_of("cache").unwrap().rank() as usize],
+            3
+        );
+        // Default lattice: identity.
+        assert_eq!(
+            ClassLattice::default().canonical_buckets(),
+            vec![0, 1, 2, 3]
+        );
+
+        // And the ledger uses the map: a compute-rank-2 preemptor lands in
+        // the compute bucket, not the injection column.
+        let mut l = ReservationLedger::new(1);
+        l.set_class_buckets(buckets);
+        let spec = lattice.speculative();
+        let compute = lattice.compute();
+        l.push(0, prep(3).with_class(spec));
+        l.push(0, route(1).with_class(compute));
+        assert!(matches!(
+            l.try_preempt(TaskId(1), 0),
+            Preemption::Applied { .. }
+        ));
+        assert_eq!(l.stats().preemptions_by_class, [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn mixed_classes_ahead_need_every_entry_displaceable() {
+        // A factory entry ahead blocks an injection preemptor even though a
+        // speculative entry ahead would yield: all-or-nothing, like the
+        // structural rule.
+        let mut l = ReservationLedger::new(1);
+        l.push(0, prep(1).with_class(TaskClass::SPECULATIVE));
+        l.push(0, prep(2).with_class(TaskClass::FACTORY));
+        l.push(0, route(3).with_class(TaskClass::INJECTION));
+        assert_eq!(l.try_preempt(TaskId(3), 0), Preemption::NotEligible);
     }
 
     #[test]

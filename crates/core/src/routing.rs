@@ -12,6 +12,13 @@
 //! currently-free ancillas from the control's Z-edge neighbours to the
 //! target's X-edge neighbours, requesting an edge rotation when a side has no
 //! usable ancilla (paper Fig 4).
+//!
+//! Both planners are pure functions of their inputs (tree, cache
+//! generation, free-time estimates): candidates are enumerated in a fixed
+//! adjacency order and ties keep the first candidate — hash maps are only
+//! ever used for keyed lookups, never iterated — so route choice is
+//! deterministic and thread-count invariant, part of the engine's
+//! bit-identical schedule contract.
 
 use crate::SurgeryCosts;
 use rescq_circuit::QubitId;

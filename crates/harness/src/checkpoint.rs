@@ -29,7 +29,7 @@ pub fn job_fingerprint(job: &JobSpec, circuit_hash: u64, circuit_seed: u64) -> u
     // thread-count invariant: the checkpoint stores the raw CSV row, whose
     // engine_threads grid column must echo the job that wrote it.
     let canonical = format!(
-        "w={}|ch={circuit_hash}|cs={circuit_seed}|s={}|d={}|p={}|k={:?}|aw={}|layout={:?}|bc={:?}|comp={}|compseed={}|dec={:?}|seed={}|mc={}|tau={:?}|costs={:?}|cal={:?}|et={}",
+        "w={}|ch={circuit_hash}|cs={circuit_seed}|s={}|d={}|p={}|k={:?}|aw={}|layout={:?}|bc={:?}|comp={}|compseed={}|dec={:?}|seed={}|mc={}|tau={:?}|costs={:?}|cal={:?}|et={}|prio={}",
         job.workload,
         c.scheduler,
         c.distance,
@@ -47,6 +47,7 @@ pub fn job_fingerprint(job: &JobSpec, circuit_hash: u64, circuit_seed: u64) -> u
         c.costs,
         c.calibration,
         c.engine_threads,
+        crate::spec::fmt_priority(&c.priority_classes),
     );
     rescq_circuit::fnv1a_64(canonical.bytes())
 }
@@ -210,6 +211,7 @@ mod tests {
             preemptions: 0,
             preemptions_rejected: 0,
             waitgraph_peak_edges: 0,
+            preemptions_class: 0,
         };
         let fp = job_fingerprint(&job, 42, 1);
         {
@@ -252,6 +254,7 @@ mod tests {
             preemptions: 0,
             preemptions_rejected: 0,
             waitgraph_peak_edges: 0,
+            preemptions_class: 0,
         };
         let fp = job_fingerprint(&job, 7, 1);
         {

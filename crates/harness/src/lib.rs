@@ -60,4 +60,4 @@ pub use results::{
     csv_row, parse_csv_metrics, JobMetrics, JobRecord, PointSummary, SweepResults, CSV_HEADER,
 };
 pub use run::{merge_checkpoints, run_sweep, HarnessError, ProgressMode, RunOptions, Shard};
-pub use spec::{fmt_k, DecoderPoint, JobSpec, SpecError, SweepSpec};
+pub use spec::{fmt_k, fmt_priority, DecoderPoint, JobSpec, SpecError, SweepSpec};

@@ -7,7 +7,7 @@
 //! so a checkpointed row parses back to exactly the value that was written.
 
 use crate::cache::CacheStats;
-use crate::spec::{fmt_k, JobSpec, SweepSpec};
+use crate::spec::{fmt_k, fmt_priority, JobSpec, SweepSpec};
 use rescq_sim::ExecutionReport;
 use std::fmt::Write as _;
 
@@ -40,6 +40,9 @@ pub struct JobMetrics {
     pub preemptions_rejected: u64,
     /// Peak distinct edges in the task wait-for graph.
     pub waitgraph_peak_edges: u64,
+    /// Preemptions granted by the priority-class lattice (the preemptor's
+    /// class strictly outranked a displaced entry; 0 in class-blind runs).
+    pub preemptions_class: u64,
 }
 
 impl JobMetrics {
@@ -59,6 +62,7 @@ impl JobMetrics {
             preemptions: report.counters.preemptions,
             preemptions_rejected: report.counters.preemptions_rejected_cycle,
             waitgraph_peak_edges: report.counters.waitgraph_peak_edges,
+            preemptions_class: report.counters.preemptions_class,
         }
     }
 }
@@ -74,19 +78,22 @@ pub struct JobRecord {
     pub resumed: bool,
 }
 
-/// The CSV column header of per-job rows. `engine_threads` sits with the
-/// grid columns (it is a spec axis, not a result — the schedule is
-/// bit-identical for every value).
+/// The CSV column header of per-job rows. `engine_threads` and `priority`
+/// sit with the grid columns (they are spec axes, not results — the
+/// schedule is bit-identical along `engine_threads`, and `priority` names
+/// the arbitration policy a point ran under). `preemptions_class` is the
+/// last metric column, per the strip-last-column convention for newly
+/// added counters.
 pub const CSV_HEADER: &str = "workload,scheduler,distance,error_rate,k,compression,decoder,\
-engine_threads,seed,\
+engine_threads,priority,seed,\
 total_cycles,idle_fraction,stall_cycles,decode_windows,peak_backlog,injections,\
 injection_failures,preps_started,preps_cancelled,preemptions,preemptions_rejected,\
-waitgraph_peak_edges";
+waitgraph_peak_edges,preemptions_class";
 
 /// Formats one job + metrics as a CSV row (no trailing newline).
 pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         job.workload,
         job.config.scheduler,
         job.config.distance,
@@ -95,6 +102,7 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
         job.config.compression,
         job.decoder,
         job.config.engine_threads,
+        fmt_priority(&job.config.priority_classes),
         m.seed,
         m.total_cycles,
         m.idle_fraction,
@@ -108,6 +116,7 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
         m.preemptions,
         m.preemptions_rejected,
         m.waitgraph_peak_edges,
+        m.preemptions_class,
     )
 }
 
@@ -116,11 +125,11 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
 /// fingerprint, not re-parsed).
 pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
     let cols: Vec<&str> = row.split(',').collect();
-    // 21 columns since the engine_threads axis; older 20-column checkpoint
-    // rows fail here and are skipped gracefully by the checkpoint loader
-    // (the jobs simply re-run).
-    if cols.len() != 21 {
-        return Err(format!("expected 21 columns, got {}", cols.len()));
+    // 23 columns since the priority axis and the class-preemption counter;
+    // older 20/21-column checkpoint rows fail here and are skipped
+    // gracefully by the checkpoint loader (the jobs simply re-run).
+    if cols.len() != 23 {
+        return Err(format!("expected 23 columns, got {}", cols.len()));
     }
     let f = |i: usize| -> Result<f64, String> {
         cols[i]
@@ -133,19 +142,20 @@ pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
             .map_err(|_| format!("bad integer `{}` in column {i}", cols[i]))
     };
     Ok(JobMetrics {
-        seed: u(8)?,
-        total_cycles: f(9)?,
-        idle_fraction: f(10)?,
-        stall_cycles: f(11)?,
-        decode_windows: u(12)?,
-        peak_backlog: u(13)?,
-        injections: u(14)?,
-        injection_failures: u(15)?,
-        preps_started: u(16)?,
-        preps_cancelled: u(17)?,
-        preemptions: u(18)?,
-        preemptions_rejected: u(19)?,
-        waitgraph_peak_edges: u(20)?,
+        seed: u(9)?,
+        total_cycles: f(10)?,
+        idle_fraction: f(11)?,
+        stall_cycles: f(12)?,
+        decode_windows: u(13)?,
+        peak_backlog: u(14)?,
+        injections: u(15)?,
+        injection_failures: u(16)?,
+        preps_started: u(17)?,
+        preps_cancelled: u(18)?,
+        preemptions: u(19)?,
+        preemptions_rejected: u(20)?,
+        waitgraph_peak_edges: u(21)?,
+        preemptions_class: u(22)?,
     })
 }
 
@@ -178,6 +188,8 @@ pub struct PointSummary {
     pub preemptions: u64,
     /// Total cycle-rejected preemptions across seeds.
     pub preemptions_rejected: u64,
+    /// Total class-lattice-granted preemptions across seeds.
+    pub preemptions_class: u64,
     /// Largest wait-for-graph edge peak across seeds.
     pub waitgraph_peak_edges: u64,
 }
@@ -287,6 +299,7 @@ impl SweepResults {
                 peak_backlog: ok.iter().map(|m| m.peak_backlog).max().unwrap_or(0),
                 preemptions: ok.iter().map(|m| m.preemptions).sum(),
                 preemptions_rejected: ok.iter().map(|m| m.preemptions_rejected).sum(),
+                preemptions_class: ok.iter().map(|m| m.preemptions_class).sum(),
                 waitgraph_peak_edges: ok.iter().map(|m| m.waitgraph_peak_edges).max().unwrap_or(0),
             });
         }
@@ -317,7 +330,7 @@ impl SweepResults {
         for (i, s) in summaries.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"waitgraph_peak_edges\": {}}}",
+                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"priority\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"preemptions_class\": {}, \"waitgraph_peak_edges\": {}}}",
                 json_escape(&s.job.workload),
                 s.job.config.scheduler,
                 s.job.config.distance,
@@ -326,6 +339,7 @@ impl SweepResults {
                 s.job.config.compression,
                 s.job.decoder,
                 s.job.config.engine_threads,
+                fmt_priority(&s.job.config.priority_classes),
                 s.completed,
                 s.mean_cycles,
                 s.p50_cycles,
@@ -337,6 +351,7 @@ impl SweepResults {
                 s.peak_backlog,
                 s.preemptions,
                 s.preemptions_rejected,
+                s.preemptions_class,
                 s.waitgraph_peak_edges
             );
             out.push_str(if i + 1 < summaries.len() { ",\n" } else { "\n" });
@@ -393,6 +408,7 @@ mod tests {
             preemptions: 2,
             preemptions_rejected: 5,
             waitgraph_peak_edges: 17,
+            preemptions_class: 3,
         };
         let row = csv_row(&job, &m);
         assert_eq!(

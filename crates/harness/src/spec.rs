@@ -22,7 +22,7 @@
 //! seeds        = 4
 //! ```
 
-use rescq_core::{KPolicy, SchedulerKind};
+use rescq_core::{ClassLattice, KPolicy, SchedulerKind};
 use rescq_decoder::{DecoderConfig, DecoderKind};
 use rescq_sim::SimConfig;
 use std::fmt;
@@ -100,6 +100,15 @@ pub fn fmt_k(k: KPolicy) -> String {
     }
 }
 
+/// Formats a priority-class point the way specs and CSV columns spell it
+/// (`off`, or the lattice's `>`-separated spelling — CSV-safe either way).
+pub fn fmt_priority(p: &Option<ClassLattice>) -> String {
+    match p {
+        None => "off".to_string(),
+        Some(lattice) => lattice.to_string(),
+    }
+}
+
 /// A declarative cartesian sweep over simulation configurations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
@@ -123,6 +132,11 @@ pub struct SweepSpec {
     /// job-level parallelism (harness workers) against run-level
     /// parallelism (engine shards) and measure the wall-clock frontier.
     pub engine_threads: Vec<usize>,
+    /// Priority-class lattices swept (`None` = class-blind arbitration,
+    /// the spelling `"off"`; a lattice like
+    /// `"factory>injection>compute>speculative"` enables class-aware
+    /// ledger arbitration for that point).
+    pub priority: Vec<Option<ClassLattice>>,
     /// Seeded runs per sweep point.
     pub seeds: u64,
     /// First run seed.
@@ -147,6 +161,7 @@ impl Default for SweepSpec {
             compressions: vec![0.0],
             decoders: vec![DecoderPoint::ideal()],
             engine_threads: vec![1],
+            priority: vec![None],
             seeds: 3,
             base_seed: 1,
             circuit_seed: 1,
@@ -348,6 +363,7 @@ impl SweepSpec {
     /// | `compressions` | number array | `[0.0]` |
     /// | `decoders` | string array (`ideal`, `fixed:TP`, `adaptive:TPxW`) | `["ideal"]` |
     /// | `engine_threads` | integer array (`0` = auto; schedule-invariant) | `[1]` |
+    /// | `priority_classes` | string array (`"off"`, or a lattice like `"factory>injection>compute>speculative"`) | `["off"]` |
     /// | `seeds` | integer | `3` |
     /// | `base_seed` | integer | `1` |
     /// | `circuit_seed` | integer | `1` |
@@ -437,6 +453,15 @@ impl SweepSpec {
                         .map(|v| v.as_u64(lineno).map(|t| t as usize))
                         .collect::<Result<_, _>>()?;
                 }
+                "priority_classes" => {
+                    spec.priority = values
+                        .iter()
+                        .map(|v| {
+                            ClassLattice::parse_setting(v.as_str(lineno)?)
+                                .map_err(|e| err(lineno, e))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
                 "seeds" => spec.seeds = one_scalar(&values, lineno)?.as_u64(lineno)?,
                 "base_seed" => spec.base_seed = one_scalar(&values, lineno)?.as_u64(lineno)?,
                 "circuit_seed" => {
@@ -486,6 +511,7 @@ impl SweepSpec {
             ("compressions", self.compressions.is_empty()),
             ("decoders", self.decoders.is_empty()),
             ("engine_threads", self.engine_threads.is_empty()),
+            ("priority_classes", self.priority.is_empty()),
         ] {
             if field.1 {
                 return Err(err(0, format!("{} must not be empty", field.0)));
@@ -510,11 +536,12 @@ impl SweepSpec {
             * self.compressions.len()
             * self.decoders.len()
             * self.engine_threads.len()
+            * self.priority.len()
     }
 
     /// Expands the grid into the deterministic job list (seed innermost;
     /// loop order workload → scheduler → distance → error rate → k →
-    /// compression → decoder → engine threads → seed).
+    /// compression → decoder → engine threads → priority classes → seed).
     pub fn expand(&self) -> Vec<JobSpec> {
         let mut jobs = Vec::with_capacity(self.num_points() * self.seeds as usize);
         let mut point = 0;
@@ -526,33 +553,37 @@ impl SweepSpec {
                             for &compression in &self.compressions {
                                 for &decoder in &self.decoders {
                                     for &threads in &self.engine_threads {
-                                        for i in 0..self.seeds {
-                                            let mut config = SimConfig::builder()
-                                                .scheduler(scheduler)
-                                                .distance(distance)
-                                                .physical_error_rate(error_rate)
-                                                .k_policy(k)
-                                                .compression(compression)
-                                                .engine_threads(threads)
-                                                .seed(self.base_seed + i)
-                                                .build();
-                                            config.decoder = decoder.0;
-                                            // Spec-level flag turns prep
-                                            // decoding ON; it never clears a
-                                            // point that already opted in.
-                                            config.decoder.decode_prep |= self.decode_prep;
-                                            if let Some(mc) = self.max_cycles {
-                                                config.max_cycles = mc;
+                                        for priority in &self.priority {
+                                            for i in 0..self.seeds {
+                                                let mut config = SimConfig::builder()
+                                                    .scheduler(scheduler)
+                                                    .distance(distance)
+                                                    .physical_error_rate(error_rate)
+                                                    .k_policy(k)
+                                                    .compression(compression)
+                                                    .engine_threads(threads)
+                                                    .priority_classes(priority.clone())
+                                                    .seed(self.base_seed + i)
+                                                    .build();
+                                                config.decoder = decoder.0;
+                                                // Spec-level flag turns prep
+                                                // decoding ON; it never
+                                                // clears a point that
+                                                // already opted in.
+                                                config.decoder.decode_prep |= self.decode_prep;
+                                                if let Some(mc) = self.max_cycles {
+                                                    config.max_cycles = mc;
+                                                }
+                                                jobs.push(JobSpec {
+                                                    index: jobs.len(),
+                                                    point,
+                                                    workload: workload.clone(),
+                                                    decoder,
+                                                    config,
+                                                });
                                             }
-                                            jobs.push(JobSpec {
-                                                index: jobs.len(),
-                                                point,
-                                                workload: workload.clone(),
-                                                decoder,
-                                                config,
-                                            });
+                                            point += 1;
                                         }
-                                        point += 1;
                                     }
                                 }
                             }
@@ -641,6 +672,38 @@ max_cycles   = 500000
         assert!(jobs[2..].iter().all(|j| j.point == 1));
         // An empty axis is a validation error, like every other axis.
         assert!(SweepSpec::parse("workloads = [\"x\"]\nengine_threads = []\n").is_err());
+    }
+
+    #[test]
+    fn priority_axis_expands_per_point() {
+        let spec = SweepSpec::parse(
+            "workloads = [\"factory_n12\"]\npriority_classes = [\"off\", \"factory>injection>compute>speculative\"]\nseeds = 2\n",
+        )
+        .unwrap();
+        assert_eq!(spec.priority.len(), 2);
+        assert_eq!(spec.num_points(), 2);
+        assert_eq!(fmt_priority(&spec.priority[0]), "off");
+        assert_eq!(
+            fmt_priority(&spec.priority[1]),
+            "factory>injection>compute>speculative"
+        );
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 4);
+        // Priority varies per point, outside the innermost seed loop.
+        assert!(jobs[..2]
+            .iter()
+            .all(|j| j.config.priority_classes.is_none()));
+        assert!(jobs[2..]
+            .iter()
+            .all(|j| j.config.priority_classes.is_some()));
+        assert!(jobs[..2].iter().all(|j| j.point == 0));
+        assert!(jobs[2..].iter().all(|j| j.point == 1));
+        // Empty axis and invalid lattices are spec errors.
+        assert!(SweepSpec::parse("workloads = [\"x\"]\npriority_classes = []\n").is_err());
+        assert!(SweepSpec::parse(
+            "workloads = [\"x\"]\npriority_classes = [\"factory>compute\"]\n"
+        )
+        .is_err());
     }
 
     #[test]

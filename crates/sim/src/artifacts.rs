@@ -10,7 +10,7 @@
 //! that caches them content-addressed).
 //!
 //! [`simulate`](crate::simulate) remains the one-shot entry point and builds
-//! a fresh bundle per call; [`simulate_prepared`](crate::simulate_prepared)
+//! a fresh bundle per call; [`simulate_prepared`]
 //! skips straight to the engines.
 
 use crate::engine::run_with_artifacts;
@@ -24,7 +24,7 @@ use std::sync::Arc;
 ///
 /// All four pieces are functions of `(circuit, config)` alone: building them
 /// through [`SimArtifacts::prepare`] and running with
-/// [`simulate_prepared`](crate::simulate_prepared) is bit-identical to
+/// [`simulate_prepared`] is bit-identical to
 /// calling [`simulate`](crate::simulate) directly.
 #[derive(Debug, Clone)]
 pub struct SimArtifacts {

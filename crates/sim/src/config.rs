@@ -1,6 +1,6 @@
 //! Simulation configuration (mirrors the artifact's config files).
 
-use rescq_core::{KPolicy, SchedulerKind, SurgeryCosts, TauModel};
+use rescq_core::{ClassLattice, KPolicy, SchedulerKind, SurgeryCosts, TauModel};
 use rescq_decoder::{DecoderConfig, DecoderKind};
 use rescq_lattice::LayoutKind;
 use rescq_rus::{PrepCalibration, RusParams};
@@ -71,6 +71,16 @@ pub struct SimConfig {
     /// count** — this setting trades wall-clock only. The static baseline
     /// engines are layer-synchronous and always run single-threaded.
     pub engine_threads: usize,
+    /// Priority-class lattice for ledger arbitration (`None` = class-blind,
+    /// the default — bit-identical to the pre-lattice engine). With a
+    /// lattice, the realtime engine classes its tasks (by default T-factory
+    /// rotations outrank ready injections, which outrank logical compute,
+    /// which outranks speculative claims), regions hosting factory qubits
+    /// gain an urgency override, and a higher class may reorder ahead of a
+    /// strictly lower one on the ancilla queues whenever the ledger's cycle
+    /// check proves the reorder safe. Equal classes keep the seniority
+    /// rule.
+    pub priority_classes: Option<ClassLattice>,
 }
 
 impl SimConfig {
@@ -125,6 +135,9 @@ impl fmt::Display for SimConfig {
         if self.engine_threads != 1 {
             write!(f, " engine_threads={}", self.engine_threads)?;
         }
+        if let Some(lattice) = &self.priority_classes {
+            write!(f, " priority={lattice}")?;
+        }
         Ok(())
     }
 }
@@ -155,6 +168,7 @@ impl Default for SimConfigBuilder {
                 decoder: DecoderConfig::default(),
                 max_cycles: 50_000_000,
                 engine_threads: 1,
+                priority_classes: None,
             },
         }
     }
@@ -259,6 +273,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables class-aware ledger arbitration with the given priority
+    /// lattice (`None` keeps the class-blind default).
+    pub fn priority_classes(mut self, lattice: Option<ClassLattice>) -> Self {
+        self.config.priority_classes = lattice;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SimConfig {
         self.config
@@ -317,6 +338,19 @@ mod tests {
         assert!(c.to_string().contains("engine_threads=4"));
         let auto = SimConfig::builder().engine_threads(0).build();
         assert!(auto.resolved_engine_threads() >= 1);
+    }
+
+    #[test]
+    fn priority_classes_default_off_and_display() {
+        let c = SimConfig::default();
+        assert!(c.priority_classes.is_none());
+        assert!(!c.to_string().contains("priority"));
+        let c = SimConfig::builder()
+            .priority_classes(Some(ClassLattice::default()))
+            .build();
+        assert!(c
+            .to_string()
+            .contains("priority=factory>injection>compute>speculative"));
     }
 
     #[test]

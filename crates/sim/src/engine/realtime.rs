@@ -56,10 +56,10 @@ use crate::metrics::{ExecutionReport, LatencyHistogram, RunCounters};
 use crate::{SimConfig, SimError};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, QubitId};
+use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, GateQubits, QubitId};
 use rescq_core::{
     plan_cnot_route, ActivityTracker, EntryStatus, MstPipeline, PathCache, Preemption, QueueEntry,
-    ReservationLedger, Role, SchedulerKind, ShardId, SurgeryCosts, TaskId,
+    ReservationLedger, Role, SchedulerKind, ShardId, SurgeryCosts, TaskClass, TaskId,
 };
 use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::{AncillaIndex, EdgeType};
@@ -104,7 +104,27 @@ struct Task {
     gate: GateId,
     sched_round: u64,
     done: bool,
+    /// Priority class of every queue entry this task claims (the default
+    /// [`TaskClass::COMPUTE`] when no lattice is configured, so class-blind
+    /// runs stay uniform and bit-identical).
+    class: TaskClass,
     body: TaskBody,
+}
+
+/// The resolved priority policy of one run: the canonical class ranks of
+/// the configured [`rescq_core::ClassLattice`] plus the per-qubit factory
+/// classification. Present only when [`SimConfig::priority_classes`] is
+/// set; its absence short-circuits every class-aware code path back to the
+/// historical engine.
+#[derive(Debug, Clone)]
+struct PriorityPolicy {
+    speculative: TaskClass,
+    compute: TaskClass,
+    injection: TaskClass,
+    factory: TaskClass,
+    /// Which data qubits are T-gate factory tiles
+    /// ([`crate::priority::factory_qubits`]).
+    factory_qubit: Vec<bool>,
 }
 
 /// A shard worker's proposal for one ancilla (the *propose* phase of the
@@ -214,6 +234,8 @@ struct RtEngine<'a> {
     exec: ShardExecutor,
     /// Resolved worker-thread count (reported).
     engine_threads: u32,
+    /// Class-aware arbitration policy (`None` = class-blind, the default).
+    priority: Option<PriorityPolicy>,
 
     counters: RunCounters,
     cnot_latency: LatencyHistogram,
@@ -251,11 +273,60 @@ pub(crate) fn run_realtime(
         + 2 * config.costs.cnot_injection_cycles as u64 * d as u64;
     // More executors than regions would idle; the clamp only affects the
     // reported thread count, never the schedule.
-    let partition = RegionPartition::for_fabric(num_ancillas);
+    let mut partition = RegionPartition::for_fabric(num_ancillas);
+    let priority = config
+        .priority_classes
+        .as_ref()
+        .map(|lattice| PriorityPolicy {
+            speculative: lattice.speculative(),
+            compute: lattice.compute(),
+            injection: lattice.injection(),
+            factory: lattice.factory(),
+            factory_qubit: crate::priority::factory_qubits(circuit),
+        });
+    if let Some(p) = &priority {
+        // Region urgency: a region whose ancilla frontage is dominated by
+        // T-gate factory tiles is promoted to the factory class, so *all*
+        // work homed there — not just the rotations themselves — outranks
+        // compute regions. Majority rule, not any-touch: a region shared
+        // with a larger compute block stays a compute region, otherwise a
+        // coarse region (small fabrics are a single region) would promote
+        // everything and collapse the lattice back to uniform seniority.
+        // A pure function of the circuit and fabric — regions, overrides
+        // and therefore every class-driven decision are identical for any
+        // thread count.
+        let mut frontage = vec![(0u32, 0u32); partition.num_regions()];
+        for q in 0..circuit.num_qubits() {
+            let adj = fabric.layout.data_adjacency(QubitId(q));
+            for &(_, tile) in &adj.side {
+                if let Some(a) = fabric.graph.index_of(tile) {
+                    let slot = &mut frontage[partition.region_of(a) as usize];
+                    if p.factory_qubit[q as usize] {
+                        slot.0 += 1;
+                    } else {
+                        slot.1 += 1;
+                    }
+                }
+            }
+        }
+        for (r, &(factory, compute)) in frontage.iter().enumerate() {
+            if factory > compute {
+                partition.raise_region_class(r as u32, p.factory);
+            }
+        }
+    }
     let threads = config
         .resolved_engine_threads()
         .clamp(1, partition.num_regions());
     let exec = ShardExecutor::new(threads);
+
+    let mut ledger = ReservationLedger::new(num_ancillas);
+    if let Some(lattice) = &config.priority_classes {
+        // Attribute per-class preemption counters to the canonical classes
+        // whatever ranks a custom lattice assigns them (counters only;
+        // arbitration compares raw ranks).
+        ledger.set_class_buckets(lattice.canonical_buckets());
+    }
 
     let mut engine = RtEngine {
         circuit,
@@ -274,7 +345,7 @@ pub(crate) fn run_realtime(
         last_progress: 0,
         tasks: Vec::new(),
         live_tasks: Vec::new(),
-        ledger: ReservationLedger::new(num_ancillas),
+        ledger,
         prep_epoch: vec![0; num_ancillas],
         prepping: vec![None; num_ancillas],
         activity,
@@ -286,6 +357,7 @@ pub(crate) fn run_realtime(
         partition,
         engine_threads: exec.threads() as u32,
         exec,
+        priority,
         counters: RunCounters::default(),
         cnot_latency: LatencyHistogram::new(),
         rz_latency: LatencyHistogram::new(),
@@ -364,6 +436,8 @@ impl RtEngine<'_> {
                 c.preemptions_rejected_cycle = ls.preemptions_rejected_cycle;
                 c.preemptions_cross_shard = ls.preemptions_cross_shard;
                 c.claims_cross_shard = ls.claims_cross_shard;
+                c.preemptions_class = ls.preemptions_class;
+                c.preemptions_by_class = ls.preemptions_by_class;
                 c.waitgraph_peak_edges = ls.waitgraph_peak_edges;
                 c
             },
@@ -616,16 +690,67 @@ impl RtEngine<'_> {
         }
     }
 
+    /// The priority class of a new task: factory for work homed in a
+    /// promoted region, injection for a rotation whose predecessors are
+    /// already done, speculative for a preemptively enqueued rotation,
+    /// compute for everything else — and the plain default when no lattice
+    /// is configured (uniform classes ⇒ the pre-lattice engine bit for
+    /// bit).
+    fn task_class(&self, gid: GateId) -> TaskClass {
+        let Some(p) = &self.priority else {
+            return TaskClass::default();
+        };
+        let gate = self.circuit.gate(gid);
+        // The task's home qubit: where its ancilla claims are anchored (the
+        // control side for a CNOT — a factory tile's delivery CNOT rides
+        // the factory's urgency so the produced state leaves the tile).
+        let home = match gate.qubits() {
+            GateQubits::One(q) => q,
+            GateQubits::Two(control, _) => control,
+        };
+        let base = if p.factory_qubit[home.index()] {
+            p.factory
+        } else {
+            match gate {
+                Gate::Rz { .. } => {
+                    if self.dag.preds(gid).all(|pr| self.gate_done[pr.index()]) {
+                        p.injection
+                    } else {
+                        p.speculative
+                    }
+                }
+                _ => p.compute,
+            }
+        };
+        // Per-region urgency override on top: work homed next to a
+        // promoted region's ancillas is raised to the region's class —
+        // a factory region outranks compute regions.
+        let adj = self.fabric.layout.data_adjacency(home);
+        let promoted = adj
+            .side
+            .iter()
+            .filter_map(|&(_, tile)| {
+                let a = self.fabric.graph.index_of(tile)?;
+                self.partition.region_class(self.partition.region_of(a))
+            })
+            .max();
+        match promoted {
+            Some(region_class) if region_class > base => region_class,
+            _ => base,
+        }
+    }
+
     fn schedule_gate(&mut self, gid: GateId) {
         self.gate_scheduled[gid.index()] = true;
         let id = TaskId(self.tasks.len() as u32);
+        let class = self.task_class(gid);
         let body = match self.circuit.gate(gid) {
             Gate::H { qubit } => TaskBody::Hadamard {
                 qubit,
                 started: false,
             },
             Gate::Rz { qubit, angle } => {
-                let (prep_sites, helper_sites) = self.enqueue_rz_sites(id, qubit, angle);
+                let (prep_sites, helper_sites) = self.enqueue_rz_sites(id, qubit, angle, class);
                 TaskBody::Rz {
                     qubit,
                     ladder: InjectionLadder::new(angle),
@@ -636,7 +761,7 @@ impl RtEngine<'_> {
                 }
             }
             Gate::Cnot { control, target } => {
-                let path = self.plan_and_enqueue_cnot(id, control, target);
+                let path = self.plan_and_enqueue_cnot(id, control, target, class);
                 TaskBody::Cnot {
                     control,
                     target,
@@ -652,6 +777,7 @@ impl RtEngine<'_> {
             gate: gid,
             sched_round: self.clock,
             done: false,
+            class,
             body,
         });
         self.live_tasks.push(id);
@@ -666,6 +792,7 @@ impl RtEngine<'_> {
         id: TaskId,
         qubit: QubitId,
         angle: Angle,
+        class: TaskClass,
     ) -> (Vec<(AncillaIndex, bool)>, Vec<AncillaIndex>) {
         let orient = self.fabric.orientation[qubit.index()];
         let adj = self.fabric.layout.data_adjacency(qubit);
@@ -678,8 +805,10 @@ impl RtEngine<'_> {
                 continue;
             };
             if orient.edge_at(side) == EdgeType::Z {
-                self.ledger
-                    .push(a, QueueEntry::new(id, Role::PrepZz, angle));
+                self.ledger.push(
+                    a,
+                    QueueEntry::new(id, Role::PrepZz, angle).with_class(class),
+                );
                 prep_sites.push((a, true));
             } else {
                 x_side.push(a);
@@ -700,20 +829,24 @@ impl RtEngine<'_> {
                         helper: self.fabric.graph.tile(h),
                     },
                     angle,
-                ),
+                )
+                .with_class(class),
             );
             prep_sites.push((a, false));
         }
         if prep_sites.is_empty() {
             // Constrained geometry: prepare on the X-edge neighbours.
             for &a in &x_side {
-                self.ledger.push(a, QueueEntry::new(id, Role::PrepX, angle));
+                self.ledger
+                    .push(a, QueueEntry::new(id, Role::PrepX, angle).with_class(class));
                 prep_sites.push((a, true));
             }
         } else {
             for &a in &x_side {
-                self.ledger
-                    .push(a, QueueEntry::new(id, Role::Helper, angle));
+                self.ledger.push(
+                    a,
+                    QueueEntry::new(id, Role::Helper, angle).with_class(class),
+                );
                 helper_sites.push(a);
             }
         }
@@ -788,9 +921,10 @@ impl RtEngine<'_> {
         id: TaskId,
         control: QubitId,
         target: QubitId,
+        class: TaskClass,
     ) -> Vec<AncillaIndex> {
         let path = self.plan_cnot_path(id, control, target);
-        self.enqueue_route_claims(id, &path);
+        self.enqueue_route_claims(id, &path, class);
         path
     }
 
@@ -799,14 +933,20 @@ impl RtEngine<'_> {
     /// path's control-side endpoint, and every claim on an ancilla hosted
     /// in another region is a cross-shard claim (counted by the ledger's
     /// arbitration; the claims themselves are ordinary seniority-ordered
-    /// reservations).
-    fn enqueue_route_claims(&mut self, id: TaskId, path: &[AncillaIndex]) {
+    /// reservations). Each claim carries the proposing task's priority
+    /// class, so cross-shard arbitration is class-aware without any change
+    /// to the barrier protocol — the class travels with the reservation.
+    fn enqueue_route_claims(&mut self, id: TaskId, path: &[AncillaIndex], class: TaskClass) {
         let Some(&first) = path.first() else { return };
         let home = ShardId(self.partition.region_of(first));
         for &a in path {
             let host = ShardId(self.partition.region_of(a));
-            self.ledger
-                .push_claim(a, QueueEntry::new(id, Role::Route, Angle::ZERO), home, host);
+            self.ledger.push_claim(
+                a,
+                QueueEntry::new(id, Role::Route, Angle::ZERO).with_class(class),
+                home,
+                host,
+            );
         }
     }
 
@@ -1009,9 +1149,32 @@ impl RtEngine<'_> {
             }
             TaskBody::Rz { .. } => {
                 if !preds_done {
+                    // No class preemption while speculative: reordering a
+                    // not-yet-runnable task ahead of work its own
+                    // predecessors transitively depend on closes a wait
+                    // cycle *through the dependency DAG* that the ledger's
+                    // queue-level acyclicity check cannot see (the held
+                    // ancilla then starves the dependency into a
+                    // stall-breaker livelock). Once the predecessors are
+                    // done, no displaced task can sit on the preemptor's
+                    // dependency chain, so the reorder is live as well as
+                    // acyclic.
                     return false;
                 }
-                self.try_start_injection(id)
+                // Class-aware prep-site preemption (lattice runs only): a
+                // runnable rotation queued behind strictly lower-class
+                // claims asks the ledger to reorder it to the top of its
+                // prep sites so its |mθ⟩ pipeline starts now — the
+                // factory-over-compute urgency of the class lattice. Equal
+                // classes fall back to seniority inside the ledger, and
+                // every reorder is still cycle-checked; class-blind runs
+                // never reach this path.
+                let mut progress = false;
+                if self.priority.is_some() {
+                    self.promote_runnable_class(id);
+                    progress = self.class_preempt_prep_sites(id);
+                }
+                self.try_start_injection(id) || progress
             }
             TaskBody::Cnot { .. } => {
                 if !preds_done {
@@ -1020,6 +1183,68 @@ impl RtEngine<'_> {
                 self.try_start_surgery(id)
             }
         }
+    }
+
+    /// Asks the ledger to reorder `id`'s entry to the top of each of its
+    /// prep sites (class-aware arbitration; see the call site in
+    /// [`Self::try_start_task`]). Applied reorders cancel the displaced
+    /// preparation exactly like a stalled-CNOT preemption.
+    /// Promotes a now-runnable rotation from the speculative class to the
+    /// injection class, rewriting its queue entries in place. A rotation
+    /// enqueued preemptively (predecessors incomplete) is stamped
+    /// speculative at claim time; once its predecessors finish, its
+    /// injection is the latency-critical feed-forward step, so the lattice's
+    /// injection-over-compute urgency must apply — and compute work must no
+    /// longer displace its claims by class. Entry positions (and the wait
+    /// graph) are untouched.
+    fn promote_runnable_class(&mut self, id: TaskId) {
+        let Some(p) = &self.priority else { return };
+        let injection = p.injection;
+        if self.tasks[id.index()].class >= injection {
+            return; // already injection-or-better (e.g. factory)
+        }
+        self.tasks[id.index()].class = injection;
+        let (sites, helpers) = match &self.tasks[id.index()].body {
+            TaskBody::Rz {
+                prep_sites,
+                helper_sites,
+                ..
+            } => (prep_sites.clone(), helper_sites.clone()),
+            _ => return, // only rotations are ever enqueued speculatively
+        };
+        for (a, _) in sites {
+            self.ledger.update_class(a, id, injection);
+        }
+        for a in helpers {
+            self.ledger.update_class(a, id, injection);
+        }
+    }
+
+    fn class_preempt_prep_sites(&mut self, id: TaskId) -> bool {
+        let TaskBody::Rz { ref prep_sites, .. } = self.tasks[id.index()].body else {
+            return false;
+        };
+        // Indexed iteration: nothing this loop calls mutates `prep_sites`
+        // (only a Reclaim commit does, in a different phase), and indexing
+        // avoids cloning the site list on a per-dispatch hot path.
+        // Eligibility (position, structural yield, class rule, cycle
+        // check) is entirely `try_preempt`'s job.
+        let mut progress = false;
+        for i in 0..prep_sites.len() {
+            let TaskBody::Rz { ref prep_sites, .. } = self.tasks[id.index()].body else {
+                unreachable!("task body cannot change kind");
+            };
+            let a = prep_sites[i].0;
+            if let Preemption::Applied { displaced_top } = self.ledger.try_preempt(id, a) {
+                debug_assert!(
+                    self.ledger.is_acyclic(),
+                    "class preemption broke acyclicity"
+                );
+                self.cancel_displaced_prep(a, displaced_top);
+                progress = true;
+            }
+        }
+        progress
     }
 
     fn try_start_injection(&mut self, id: TaskId) -> bool {
@@ -1177,7 +1402,11 @@ impl RtEngine<'_> {
         }
         let path = path.clone();
         let mut all_ready = self.cnot_path_ready(id, &path);
-        if !all_ready && self.constrained {
+        // Preemption for stalled CNOTs: always armed on constrained fabrics
+        // (where routes starve without it), and on any fabric when the
+        // priority lattice is enabled (a factory delivery CNOT may outrank
+        // the compute claims blocking its path).
+        if !all_ready && (self.constrained || self.priority.is_some()) {
             // Seniority-safe preemption (the mechanism the naive yield
             // lacked): ask the ledger to reorder this stalled CNOT ahead of
             // the younger speculative preparations blocking its path. The
@@ -1231,10 +1460,11 @@ impl RtEngine<'_> {
                 // task's queue seniority for nothing (priority inversion).
                 let new_path = self.plan_cnot_path(id, control, target);
                 if new_path != old {
+                    let class = self.tasks[id.index()].class;
                     for &a in &old {
                         self.ledger.remove_task(a, id);
                     }
-                    self.enqueue_route_claims(id, &new_path);
+                    self.enqueue_route_claims(id, &new_path, class);
                     if let TaskBody::Cnot { path, .. } = &mut self.tasks[id.index()].body {
                         *path = new_path;
                     }
@@ -1376,6 +1606,7 @@ impl RtEngine<'_> {
                 .filter(|&&(_, ang)| speculative || ang != current)
                 .map(|&(a, _)| a)
                 .collect();
+            let discarded = !stale.is_empty();
             for a in stale {
                 self.fabric.release_ancilla(a, self.clock);
                 self.ledger
@@ -1384,6 +1615,26 @@ impl RtEngine<'_> {
                     holders.retain(|&(x, _)| x != a);
                 }
                 self.counters.states_discarded += 1;
+            }
+            if discarded {
+                // Retarget the surviving (non-holding) prep-site entries
+                // back to the angle the ladder actually needs. A discarded
+                // state can be the task's only copy of the current angle
+                // while its sibling entries were already rewritten to the
+                // |m2θ⟩ correction (eager preparation, §4.1) — without the
+                // retarget, every restarted preparation reproduces the
+                // stale correction angle and the task livelocks through
+                // the stall breaker forever (pinned regression:
+                // factory_n12 @ 25% compression, seed 8).
+                let sites = match &self.tasks[i].body {
+                    TaskBody::Rz { prep_sites, .. } => prep_sites.clone(),
+                    _ => unreachable!("loop body is Rz-only"),
+                };
+                for (s, _) in sites {
+                    if !self.is_holding(TaskId(i as u32), s) {
+                        self.ledger.update_angle(s, TaskId(i as u32), current);
+                    }
+                }
             }
         }
         // Reset the stall clock so the breaker does not spin.

@@ -37,6 +37,7 @@
 //! count**, including `engine_threads = 1`, which reproduces the historical
 //! single-threaded engine exactly (golden-pinned in `tests/engines.rs`).
 
+use rescq_core::TaskClass;
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
@@ -50,11 +51,19 @@ pub(crate) const REGION_TARGET: usize = 32;
 /// A partition of the ancilla index space `0..n` into contiguous regions.
 ///
 /// Regions are balanced to within one ancilla and depend only on `n`, so
-/// the same fabric always produces the same partition.
+/// the same fabric always produces the same partition. A region may carry
+/// an optional **urgency override** — a [`TaskClass`] that work homed in
+/// the region is promoted to (e.g. regions hosting T-gate factory tiles
+/// outranking compute regions). Overrides are derived from the circuit and
+/// fabric alone, so they are as thread-count invariant as the partition
+/// itself.
 #[derive(Debug, Clone)]
 pub(crate) struct RegionPartition {
     /// Region boundaries: region `r` covers `bounds[r]..bounds[r + 1]`.
     bounds: Vec<u32>,
+    /// Per-region urgency override (`None` = no promotion). Only populated
+    /// when priority classes are enabled.
+    class_override: Vec<Option<TaskClass>>,
 }
 
 impl RegionPartition {
@@ -78,12 +87,29 @@ impl RegionPartition {
             bounds.push(at as u32);
         }
         debug_assert_eq!(at, num_ancillas);
-        RegionPartition { bounds }
+        RegionPartition {
+            class_override: vec![None; regions],
+            bounds,
+        }
     }
 
     /// Number of regions.
     pub(crate) fn num_regions(&self) -> usize {
         self.bounds.len() - 1
+    }
+
+    /// Promotes region `r` to at least `class` (an existing higher override
+    /// wins — overrides only ever raise urgency).
+    pub(crate) fn raise_region_class(&mut self, r: u32, class: TaskClass) {
+        let slot = &mut self.class_override[r as usize];
+        if slot.is_none_or(|current| current < class) {
+            *slot = Some(class);
+        }
+    }
+
+    /// The urgency override of region `r`, if any.
+    pub(crate) fn region_class(&self, r: u32) -> Option<TaskClass> {
+        self.class_override[r as usize]
     }
 
     /// The ancilla index range of region `r`.

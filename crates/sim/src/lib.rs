@@ -36,6 +36,7 @@ mod config;
 mod engine;
 mod fabric;
 mod metrics;
+mod priority;
 pub mod runner;
 
 pub use artifacts::{build_layout, simulate_prepared, SimArtifacts};
@@ -43,3 +44,4 @@ pub use config::{SimConfig, SimConfigBuilder};
 pub use engine::{simulate, SimError};
 pub use fabric::Fabric;
 pub use metrics::{ExecutionReport, LatencyHistogram, RunCounters};
+pub use priority::factory_qubits;

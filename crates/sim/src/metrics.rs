@@ -124,6 +124,15 @@ pub struct RunCounters {
     /// Ledger claims registered on an ancilla hosted outside the claiming
     /// task's home shard (CNOT routes leaving their home region).
     pub claims_cross_shard: u64,
+    /// Applied preemptions granted by the priority-class lattice — the
+    /// preemptor's class strictly outranked a displaced entry, a reorder
+    /// seniority alone would have refused. Always 0 in class-blind runs.
+    pub preemptions_class: u64,
+    /// Applied preemptions bucketed by the preemptor's class rank in the
+    /// lattice (`speculative, compute, injection, factory` for the default
+    /// lattice; deeper custom lattices clamp into the top bucket).
+    /// Class-blind runs land everything in the `compute` bucket.
+    pub preemptions_by_class: [u64; rescq_core::TaskClass::TRACKED],
     /// Largest number of distinct edges the task wait-for graph ever held.
     pub waitgraph_peak_edges: u64,
     /// MST computations completed (RESCQ).

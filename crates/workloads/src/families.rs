@@ -391,6 +391,81 @@ pub mod decoder_stress {
     }
 }
 
+/// T-gate factory scenarios (`factory_nN`): rotation-pipeline tiles feeding
+/// a logical compute block.
+///
+/// Not a Table 3 family — a synthetic workload for the priority-class
+/// lattice on the reservation ledger. The first [`factory::factory_count`]
+/// qubits are *factory tiles*: each runs a long chain of continuous-angle
+/// rotations (a repeat-until-success `|mθ⟩`/T-state production pipeline)
+/// and periodically delivers its output into the compute block through a
+/// CNOT. The remaining qubits are the *compute block*: an entangling CNOT
+/// brickwork with sparse rotations. The factory chains dominate the
+/// critical path, so scheduling policies that keep the factories fed —
+/// e.g. `priority_classes` promoting factory regions over compute regions —
+/// shorten the makespan, while class-blind seniority lets older compute
+/// claims stall the pipelines on contended fabrics.
+pub mod factory {
+    use super::*;
+
+    /// Rotation-burst length per factory tile per round (chosen so factory
+    /// chains dominate their tiles: ≥ 4 rotations per delivery CNOT, which
+    /// is what the engine's factory-tile classifier keys on).
+    pub const BURST: u32 = 4;
+    /// Production/delivery rounds in the circuit.
+    pub const ROUNDS: u32 = 4;
+
+    /// Number of factory tiles for a requested qubit budget (the rest is
+    /// the compute block).
+    pub fn factory_count(n: u32) -> u32 {
+        (n / 4).max(2)
+    }
+
+    /// Generates the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` (at least two factory tiles and two compute
+    /// qubits are required).
+    pub fn generate(n: u32, seed: u64) -> Circuit {
+        assert!(n >= 4, "factory_nN needs n >= 4, got {n}");
+        let f = factory_count(n);
+        let compute = n - f;
+        let mut c = Circuit::new(n);
+        let mut angles = AngleStream::new(seed ^ 0xFAC7);
+        for round in 0..ROUNDS {
+            // Factory tiles: continuous-rotation pipelines, interleaved
+            // across tiles so the production runs in parallel.
+            for _ in 0..BURST {
+                for k in 0..f {
+                    c.rz(k, angles.next_angle());
+                }
+            }
+            // Delivery: each tile hands its state to a compute consumer
+            // (round-robin, so the whole block eventually depends on every
+            // factory).
+            for k in 0..f {
+                let consumer = f + (round * f + k) % compute;
+                c.cnot(k, consumer);
+            }
+            // Compute block: entangling brickwork plus a rotation layer —
+            // plenty of ancilla demand and enough compute-side injection
+            // pipelines to contend with the factories for prep ancillas
+            // (each compute qubit stays far below the factory classifier's
+            // rotation dominance threshold thanks to its CNOT endpoints).
+            for parity in 0..2 {
+                for q in ((f + parity)..n.saturating_sub(1)).step_by(2) {
+                    c.cnot(q, q + 1);
+                }
+            }
+            for q in f..n {
+                c.rz(q, angles.next_angle());
+            }
+        }
+        c
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +582,46 @@ mod tests {
     fn generators_are_seed_deterministic() {
         assert_eq!(gcm::generate(13, 7).gates(), gcm::generate(13, 7).gates());
         assert_ne!(gcm::generate(13, 7).gates(), gcm::generate(13, 8).gates());
+    }
+
+    #[test]
+    fn factory_tiles_are_rotation_dominated() {
+        let n = 12;
+        let f = factory::factory_count(n);
+        assert_eq!(f, 3);
+        let c = factory::generate(n, 1);
+        let mut rz = vec![0u32; n as usize];
+        let mut cnot = vec![0u32; n as usize];
+        for g in c.gates() {
+            match g {
+                rescq_circuit::Gate::Rz { qubit, .. } => rz[qubit.index()] += 1,
+                rescq_circuit::Gate::Cnot { control, target } => {
+                    cnot[control.index()] += 1;
+                    cnot[target.index()] += 1;
+                }
+                _ => {}
+            }
+        }
+        for q in 0..f as usize {
+            // The engine's factory classifier requires ≥8 rotations and ≥4
+            // per CNOT endpoint; the generator satisfies it by construction.
+            assert!(rz[q] >= 8 && rz[q] >= 4 * cnot[q], "tile {q} not factory");
+        }
+        for q in f as usize..n as usize {
+            assert!(
+                rz[q] < 8 || rz[q] < 4 * cnot[q],
+                "compute qubit {q} misclassified as factory"
+            );
+        }
+        // Deterministic generation.
+        assert_eq!(
+            factory::generate(12, 5).gates(),
+            factory::generate(12, 5).gates()
+        );
+        assert_ne!(
+            factory::generate(12, 5).gates(),
+            factory::generate(12, 6).gates()
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ mod suite;
 
 pub use common::AngleStream;
 pub use families::{
-    decoder_stress, dnn, gcm, hamiltonian_simulation, ising, multiplier, qaoa_fermionic_swap,
-    qaoa_vanilla, qft, qugan, vqe, wstate,
+    decoder_stress, dnn, factory, gcm, hamiltonian_simulation, ising, multiplier,
+    qaoa_fermionic_swap, qaoa_vanilla, qft, qugan, vqe, wstate,
 };
 pub use suite::{find, generate, BenchmarkSpec, Family, Suite, ALL_BENCHMARKS, REPRESENTATIVE};

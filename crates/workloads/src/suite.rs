@@ -192,8 +192,11 @@ pub fn find(name: &str) -> Option<&'static BenchmarkSpec> {
 
 /// Generates a benchmark by name.
 ///
-/// Besides the Table 3 rows, the synthetic `decoder_stress_nN` scenario
-/// family (any qubit count `N ≥ 2`) is recognised.
+/// Besides the Table 3 rows, two synthetic scenario families are
+/// recognised: `decoder_stress_nN` (any qubit count `N ≥ 2`, exercises the
+/// classical-decoder back-pressure) and `factory_nN` (any `N ≥ 4`, T-gate
+/// factory tiles feeding a compute block — exercises the priority-class
+/// lattice).
 ///
 /// # Example
 ///
@@ -204,12 +207,22 @@ pub fn find(name: &str) -> Option<&'static BenchmarkSpec> {
 ///
 /// let stress = rescq_workloads::generate("decoder_stress_n16", 1).unwrap();
 /// assert_eq!(stress.num_qubits(), 16);
+///
+/// let factory = rescq_workloads::generate("factory_n12", 1).unwrap();
+/// assert_eq!(factory.num_qubits(), 12);
 /// ```
 pub fn generate(name: &str, seed: u64) -> Option<Circuit> {
     if let Some(n) = name.strip_prefix("decoder_stress_n") {
         let n: u32 = n.parse().ok()?;
         if n >= 2 {
             return Some(families::decoder_stress::generate(n, seed));
+        }
+        return None;
+    }
+    if let Some(n) = name.strip_prefix("factory_n") {
+        let n: u32 = n.parse().ok()?;
+        if n >= 4 {
+            return Some(families::factory::generate(n, seed));
         }
         return None;
     }
@@ -316,5 +329,15 @@ mod tests {
         assert!(generate("decoder_stress_nx", 1).is_none());
         // The scenario family is synthetic: it must not leak into Table 3.
         assert!(find("decoder_stress_n12").is_none());
+    }
+
+    #[test]
+    fn factory_names_generate() {
+        let c = generate("factory_n16", 3).unwrap();
+        assert_eq!(c.num_qubits(), 16);
+        assert!(c.stats().rz > 0 && c.stats().cnot > 0);
+        assert!(generate("factory_n3", 1).is_none());
+        assert!(generate("factory_nx", 1).is_none());
+        assert!(find("factory_n16").is_none(), "synthetic, not Table 3");
     }
 }

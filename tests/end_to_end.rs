@@ -61,6 +61,26 @@ fn sharded_engine_matches_the_golden_on_every_thread_count() {
 }
 
 #[test]
+fn stall_breaker_retargets_lost_current_angle_states() {
+    // Regression: on factory_n12 at 25% compression, seed 8, the stall
+    // breaker used to discard a task's only |mθ⟩ holder *after* its sibling
+    // queue entries had been rewritten to the |m2θ⟩ correction state —
+    // nothing retargeted them back, so every restarted preparation
+    // reproduced the stale correction angle and the run livelocked through
+    // the stall breaker until the watchdog fired. The breaker now retargets
+    // surviving entries to the ladder's current angle whenever it discards
+    // holders. (Class-blind run: the priority lattice is not involved.)
+    let circuit = rescq_repro::workloads::generate("factory_n12", 1).unwrap();
+    let config = SimConfig::builder()
+        .compression(0.25)
+        .seed(8)
+        .max_cycles(300_000)
+        .build();
+    let report = simulate(&circuit, &config).expect("run must terminate");
+    assert_eq!(report.gates_executed, circuit.len());
+}
+
+#[test]
 fn rotation_counters_track_eq1() {
     // Generic angles average ≈2 injections; the engine's counters must
     // reflect the RUS ladder (Eq. 1) within Monte-Carlo noise.

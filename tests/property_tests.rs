@@ -317,6 +317,34 @@ fn sharded_engine_is_thread_count_invariant() {
         cross_shard_activity > 0,
         "the corpus must cross shard boundaries at least once"
     );
+    // Class-aware runs obey the same contract: classification, region
+    // overrides and class preemptions are pure functions of circuit +
+    // fabric, so a lattice-enabled schedule is thread-count invariant too —
+    // and the factory workload provably exercises class preemptions.
+    {
+        use rescq_repro::core::ClassLattice;
+        let circuit = rescq_repro::workloads::generate("factory_n12", 1).unwrap();
+        let build = |t: usize| {
+            SimConfig::builder()
+                .scheduler(SchedulerKind::Rescq)
+                .compression(0.25)
+                .priority_classes(Some(ClassLattice::default()))
+                .engine_threads(t)
+                .seed(5)
+                .max_cycles(500_000)
+                .build()
+        };
+        let reference = simulate(&circuit, &build(1)).unwrap();
+        assert!(
+            reference.counters.preemptions_class > 0,
+            "the priority case must exercise class preemption"
+        );
+        for threads in [2usize, 4] {
+            let mut sharded = simulate(&circuit, &build(threads)).unwrap();
+            sharded.engine_threads = reference.engine_threads;
+            assert_eq!(sharded, reference, "factory_n12 priority x{threads}");
+        }
+    }
 }
 
 /// Regression: the naive move-top-entry-to-back yield that was tried before
@@ -350,6 +378,98 @@ fn ledger_rejects_naive_yield_deadlock_counterexample() {
     ));
     assert!(ledger.is_acyclic());
     assert_eq!(ledger.stats().preemptions, 1);
+}
+
+/// The class-lattice degeneracy contract: when every entry carries the SAME
+/// class — whichever class that is — the class-aware arbitration behaves
+/// exactly like the seed (class-blind) ledger. Random op sequences (pushes,
+/// pops, removals, preemption attempts with the default seniority test) are
+/// replayed against one ledger per uniform class and against the default
+/// ledger; every preemption outcome and every queue order must match, and
+/// no class-granted preemption may ever be counted.
+#[test]
+fn uniform_class_ledgers_reproduce_the_seed_arbitration() {
+    use rescq_repro::core::{QueueEntry, ReservationLedger, Role, TaskClass, TaskId};
+
+    const ANCILLAS: usize = 4;
+    let classes = [
+        None, // the seed ledger: entries keep their default class
+        Some(TaskClass::SPECULATIVE),
+        Some(TaskClass::COMPUTE),
+        Some(TaskClass::INJECTION),
+        Some(TaskClass::FACTORY),
+    ];
+    for_each_case(
+        "uniform_class_ledgers_reproduce_the_seed_arbitration",
+        |rng| {
+            // One RNG drives one op sequence, replayed against every ledger.
+            let ops: Vec<(u32, u32, u32)> = (0..rng.gen_range(20usize..80))
+                .map(|_| {
+                    (
+                        rng.gen_range(0u32..4),
+                        rng.gen_range(0u32..ANCILLAS as u32),
+                        rng.gen_range(0u32..12),
+                    )
+                })
+                .collect();
+            let mut ledgers: Vec<ReservationLedger> = classes
+                .iter()
+                .map(|_| ReservationLedger::new(ANCILLAS))
+                .collect();
+            for &(op, a, task) in &ops {
+                let mut outcomes = Vec::new();
+                for (ledger, class) in ledgers.iter_mut().zip(&classes) {
+                    match op {
+                        0 => {
+                            let role = if task % 3 == 0 {
+                                Role::Route
+                            } else {
+                                Role::PrepZz
+                            };
+                            let angle = rescq_repro::circuit::Angle::T;
+                            let mut entry = QueueEntry::new(TaskId(task), role, angle);
+                            if let Some(c) = class {
+                                entry = entry.with_class(*c);
+                            }
+                            ledger.push(a, entry);
+                        }
+                        1 => {
+                            ledger.pop(a);
+                        }
+                        2 => {
+                            ledger.remove_task(a, TaskId(task));
+                        }
+                        _ => {
+                            outcomes.push(ledger.try_preempt(TaskId(task), a));
+                        }
+                    }
+                }
+                assert!(
+                    outcomes.windows(2).all(|w| w[0] == w[1]),
+                    "uniform-class preemption outcomes diverged: {outcomes:?}"
+                );
+            }
+            // Every ledger ends in the same queue state with the same counters.
+            let reference = &ledgers[0];
+            for (ledger, class) in ledgers.iter().zip(&classes).skip(1) {
+                for a in 0..ANCILLAS as u32 {
+                    let got: Vec<_> = ledger.queue(a).iter().map(|e| e.task).collect();
+                    let want: Vec<_> = reference.queue(a).iter().map(|e| e.task).collect();
+                    assert_eq!(got, want, "queue {a} diverged under {class:?}");
+                }
+                assert_eq!(ledger.stats().preemptions, reference.stats().preemptions);
+                assert_eq!(
+                    ledger.stats().preemptions_rejected_cycle,
+                    reference.stats().preemptions_rejected_cycle
+                );
+                assert_eq!(
+                    ledger.stats().preemptions_class,
+                    0,
+                    "uniform classes must never grant a class preemption ({class:?})"
+                );
+            }
+        },
+    );
 }
 
 /// The ideal decoder is invisible: explicitly configuring it reproduces the
