@@ -50,6 +50,9 @@ fn print_usage() {
     println!("  sim run <config-file> [--csv DIR] [--engine-threads N]");
     println!("            [--priority-classes SPEC]   class lattice, e.g.");
     println!("                                   factory>injection>compute>speculative | off");
+    println!("            [--trace-out FILE]     write a Chrome trace-event JSON of one");
+    println!("                                   traced run (base seed; open in");
+    println!("                                   chrome://tracing or Perfetto)");
     println!("                                      run an experiment from a config file");
     println!("  sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE]");
     println!("            [--checkpoint FILE] [--shard i/n] [--quiet | --progress]");
@@ -63,6 +66,11 @@ fn print_usage() {
     println!("            [--engine-threads N]   realtime-engine shards (0 = auto;");
     println!("                                   schedule is bit-identical for any N)");
     println!("            [--priority-classes SPEC]  class-aware ledger arbitration");
+    println!("  sim bench --baseline FILE [--seeds N]   record a perf baseline (BENCH_*.json)");
+    println!("            of the standard suite (ising_n420 + factory_n12 @ 25%); with a");
+    println!("            positional <name>, record that benchmark instead");
+    println!("  sim bench --compare BASE.json NEW.json [--warn-pct P] [--fail-pct P]");
+    println!("                                      diff two baselines (exit 1 above fail)");
     println!("  sim list                            list Table 3 benchmarks");
     println!("  sim table3                          regenerate Table 3");
     println!("  sim fig <3|5|10|11|12|13|14|15|16|a2|decoder> [--full]");
@@ -136,17 +144,59 @@ fn apply_priority_flag(args: &[String], config: &mut rescq_sim::SimConfig) -> Re
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = args
-        .first()
-        .filter(|a| !a.starts_with("--"))
-        .ok_or("usage: sim run <config-file> [--csv DIR] [--engine-threads N]")?;
+    let path = args.first().filter(|a| !a.starts_with("--")).ok_or(
+        "usage: sim run <config-file> [--csv DIR] [--engine-threads N] [--trace-out FILE]",
+    )?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut spec = parse_config(&text).map_err(|e| e.to_string())?;
     if let Some(t) = flag_value(args, "--engine-threads") {
         spec.config.engine_threads = t.parse().map_err(|_| "bad --engine-threads")?;
     }
     apply_priority_flag(args, &mut spec.config)?;
-    run_spec(&spec, flag_value(args, "--csv").map(PathBuf::from))
+    run_spec(&spec, flag_value(args, "--csv").map(PathBuf::from))?;
+    if let Some(out) = flag_value(args, "--trace-out") {
+        write_trace(&spec, &PathBuf::from(out))?;
+    }
+    Ok(())
+}
+
+/// Re-runs the spec's base seed with a [`rescq_telemetry::RingRecorder`]
+/// attached and writes the captured stream as Chrome trace-event JSON.
+/// Tracing never perturbs the schedule, so this run reproduces the first
+/// seed of the main sweep exactly.
+fn write_trace(spec: &RunSpec, out: &std::path::Path) -> Result<(), String> {
+    use rescq_telemetry::RingRecorder;
+    let circuit = load_circuit(&spec.benchmark)?;
+    let mut config = spec.config.clone();
+    config.seed = spec.base_seed;
+    let recorder = RingRecorder::new();
+    let report = rescq_sim::simulate_traced(&circuit, &config, Some(&recorder))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out, recorder.to_chrome_trace())
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "trace: {} events ({} dropped) written to {}",
+        recorder.len(),
+        recorder.dropped(),
+        out.display()
+    );
+    let totals = recorder.phase_totals_ns();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!(
+        "  phase wall-clock: schedule {:.1}ms, start {:.1}ms, propose {:.1}ms, commit {:.1}ms",
+        ms(totals[0]),
+        ms(totals[1]),
+        ms(totals[2]),
+        ms(totals[3]),
+    );
+    println!(
+        "  stall attribution: ancilla {}cy, decoder {}cy, route {}cy, class {}cy",
+        report.counters.stall_ancilla_cycles,
+        report.counters.stall_decoder_cycles,
+        report.counters.stall_route_cycles,
+        report.counters.stall_class_cycles,
+    );
+    Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
@@ -317,10 +367,17 @@ fn cmd_merge_checkpoints(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let name = args
-        .first()
-        .filter(|a| !a.starts_with("--"))
-        .ok_or("usage: sim bench <name> [--seeds N] [--compression F] [--distance D]")?;
+    if args.iter().any(|a| a == "--compare") {
+        return cmd_bench_compare(args);
+    }
+    let name = args.first().filter(|a| !a.starts_with("--"));
+    if let Some(out) = flag_value(args, "--baseline") {
+        return cmd_bench_baseline(args, name, &PathBuf::from(out));
+    }
+    let name = name.ok_or(
+        "usage: sim bench <name> [--seeds N] [--compression F] [--distance D] \
+         | sim bench --baseline FILE | sim bench --compare BASE.json NEW.json",
+    )?;
     let mut spec = RunSpec {
         benchmark: name.clone(),
         ..RunSpec::default()
@@ -354,6 +411,125 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     for sched in SchedulerKind::ALL {
         spec.config.scheduler = sched;
         run_spec(&spec, csv.clone())?;
+    }
+    Ok(())
+}
+
+/// Records a schema-versioned perf baseline (`BENCH_*.json`): wall-clock
+/// per run, cycles per wall-second, and the traced per-phase breakdown,
+/// averaged over seeds. With no positional benchmark, the standard perf
+/// suite runs: `ising_n420` (uncompressed) + `factory_n12` at 25%
+/// compression, both under the RESCQ scheduler.
+fn cmd_bench_baseline(
+    args: &[String],
+    name: Option<&String>,
+    out: &std::path::Path,
+) -> Result<(), String> {
+    use rescq_telemetry::{PerfBaseline, PerfEntry, RingRecorder};
+    use std::time::Instant;
+    let seeds: u32 = match flag_value(args, "--seeds") {
+        Some(s) => s.parse().map_err(|_| "bad --seeds")?,
+        None => 2,
+    };
+    let suite: Vec<(String, f64)> = match name {
+        Some(n) => {
+            let comp = match flag_value(args, "--compression") {
+                Some(c) => c.parse().map_err(|_| "bad --compression")?,
+                None => 0.0,
+            };
+            vec![(n.clone(), comp)]
+        }
+        None => vec![("ising_n420".into(), 0.0), ("factory_n12".into(), 0.25)],
+    };
+    let mut baseline = PerfBaseline::new();
+    for (bench, compression) in suite {
+        let circuit = load_circuit(&bench)?;
+        let mut config = rescq_sim::SimConfig::builder()
+            .compression(compression)
+            .build();
+        let artifacts = rescq_sim::SimArtifacts::prepare(std::sync::Arc::new(circuit), &config)
+            .map_err(|e| e.to_string())?;
+        let mut wall_ns = 0u64;
+        let mut cycles = 0.0f64;
+        let mut phase_ns = [0u64; 4];
+        for s in 0..seeds {
+            config.seed = 1 + s as u64;
+            // A small ring suffices: the phase histograms and totals
+            // accumulate outside the ring, and the events themselves are
+            // discarded here.
+            let recorder = RingRecorder::with_capacity(1024);
+            let t0 = Instant::now();
+            let report = rescq_sim::simulate_prepared_traced(&artifacts, &config, Some(&recorder))
+                .map_err(|e| e.to_string())?;
+            wall_ns += t0.elapsed().as_nanos() as u64;
+            cycles += report.total_cycles();
+            for (acc, ns) in phase_ns.iter_mut().zip(report.phase_nanos) {
+                *acc += ns;
+            }
+        }
+        let n = seeds.max(1) as f64;
+        let wall_ms = wall_ns as f64 / 1e6 / n;
+        let total_cycles = cycles / n;
+        let entry = PerfEntry {
+            name: bench.clone(),
+            scheduler: "rescq".into(),
+            seeds,
+            total_cycles,
+            wall_ms,
+            cycles_per_sec: if wall_ms > 0.0 {
+                total_cycles / (wall_ms / 1000.0)
+            } else {
+                0.0
+            },
+            phase_ms: phase_ns.map(|ns| ns as f64 / 1e6 / n),
+        };
+        println!(
+            "bench {bench}: {:.1} ms/run, {:.0} cycles, {:.0} cycles/s",
+            entry.wall_ms, entry.total_cycles, entry.cycles_per_sec
+        );
+        baseline.entries.push(entry);
+    }
+    std::fs::write(out, baseline.to_json()).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("perf baseline written to {}", out.display());
+    Ok(())
+}
+
+/// Diffs two recorded perf baselines; exits non-zero when any entry is
+/// slower than the fail threshold. CI's `perf-baseline` job drives this.
+fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
+    use rescq_telemetry::{compare, delta_table, DeltaLevel, PerfBaseline};
+    const USAGE: &str =
+        "usage: sim bench --compare BASE.json NEW.json [--warn-pct P] [--fail-pct P]";
+    let i = args
+        .iter()
+        .position(|a| a == "--compare")
+        .expect("caller checked");
+    let (Some(base_path), Some(new_path)) = (args.get(i + 1), args.get(i + 2)) else {
+        return Err(USAGE.into());
+    };
+    let warn_pct: f64 = match flag_value(args, "--warn-pct") {
+        Some(p) => p.parse().map_err(|_| "bad --warn-pct")?,
+        None => 10.0,
+    };
+    let fail_pct: f64 = match flag_value(args, "--fail-pct") {
+        Some(p) => p.parse().map_err(|_| "bad --fail-pct")?,
+        None => 25.0,
+    };
+    let load = |p: &String| -> Result<PerfBaseline, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        PerfBaseline::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let base = load(base_path)?;
+    let new = load(new_path)?;
+    let deltas = compare(&base, &new, warn_pct, fail_pct);
+    if deltas.is_empty() {
+        return Err("no matching entries between the two baselines".into());
+    }
+    print!("{}", delta_table(&deltas));
+    if deltas.iter().any(|d| d.level == DeltaLevel::Fail) {
+        return Err(format!(
+            "perf regression above the {fail_pct:.0}% fail threshold"
+        ));
     }
     Ok(())
 }

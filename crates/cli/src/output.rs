@@ -11,21 +11,23 @@ use std::path::Path;
 /// Propagates I/O errors.
 pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    // The per-class preemption counters sit LAST among the schedule-derived
+    // The stall-attribution counters sit LAST among the schedule-derived
     // columns (strip-last-column convention: they are the newest additions,
     // so older tooling keeps its column positions), and `engine_threads` is
     // deliberately the very LAST column overall: it is the one field that
     // varies with the execution resource rather than the schedule, so
     // determinism checks (CI's engine-thread smoke) can strip it with a
-    // single `cut` and byte-compare everything else.
+    // single `cut` and byte-compare everything else. Stall columns are
+    // sim-time derived (sampled per cycle) — NO wall-clock ever enters this
+    // file, so traced and untraced runs produce byte-identical CSVs.
     writeln!(
         f,
-        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog,preemptions,preemptions_rejected_cycle,preemptions_cross_shard,claims_cross_shard,waitgraph_peak_edges,preemptions_class,preempt_speculative,preempt_compute,preempt_injection,preempt_factory,engine_threads"
+        "scheduler,seed,distance,total_cycles,idle_fraction,gates,injections,injection_failures,preps_started,preps_cancelled,edge_rotations,mst_computations,k,tau,decode_windows,decoder_stall_cycles,decoder_peak_backlog,preemptions,preemptions_rejected_cycle,preemptions_cross_shard,claims_cross_shard,waitgraph_peak_edges,preemptions_class,preempt_speculative,preempt_compute,preempt_injection,preempt_factory,stall_ancilla,stall_decoder,stall_route,stall_class,engine_threads"
     )?;
     for r in reports {
         writeln!(
             f,
-            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{:.3},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.scheduler,
             r.seed,
             r.distance,
@@ -53,6 +55,10 @@ pub fn write_reports_csv(path: &Path, reports: &[ExecutionReport]) -> std::io::R
             r.counters.preemptions_by_class[1],
             r.counters.preemptions_by_class[2],
             r.counters.preemptions_by_class[3],
+            r.counters.stall_ancilla_cycles,
+            r.counters.stall_decoder_cycles,
+            r.counters.stall_route_cycles,
+            r.counters.stall_class_cycles,
             r.engine_threads,
         )?;
     }
@@ -102,6 +108,26 @@ pub fn summarize(r: &ExecutionReport) -> String {
         if r.counters.preemptions_class > 0 {
             s.push_str(&format!(", {} class-won", r.counters.preemptions_class));
         }
+    }
+    if r.stall_cycles() > 0 {
+        s.push_str(&format!(
+            ", stalls {}cy (ancilla {}, decoder {}, route {}, class {})",
+            r.stall_cycles(),
+            r.counters.stall_ancilla_cycles,
+            r.counters.stall_decoder_cycles,
+            r.counters.stall_route_cycles,
+            r.counters.stall_class_cycles,
+        ));
+    }
+    if r.phase_nanos.iter().any(|&ns| ns > 0) {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        s.push_str(&format!(
+            ", phases sched {:.1}ms / start {:.1}ms / propose {:.1}ms / commit {:.1}ms",
+            ms(r.phase_nanos[0]),
+            ms(r.phase_nanos[1]),
+            ms(r.phase_nanos[2]),
+            ms(r.phase_nanos[3]),
+        ));
     }
     s
 }

@@ -44,7 +44,8 @@ pub use activity::ActivityTracker;
 pub use dynmst::{KPolicy, MstPipeline, TauModel};
 pub use queue::{AncillaQueue, EntryStatus, QueueEntry, Role};
 pub use reservation::{
-    ClassLattice, LedgerStats, Preemption, ReservationId, ReservationLedger, ShardId, TaskClass,
+    ClassLattice, LedgerEvent, LedgerStats, Preemption, ReservationId, ReservationLedger, ShardId,
+    TaskClass,
 };
 pub use routing::{plan_cnot_route, plan_static_route, PathCache, RoutePlan, StaticRouteOutcome};
 pub use types::{SchedulerKind, SurgeryCosts, TaskId};

@@ -334,7 +334,7 @@ impl FromStr for ClassLattice {
 }
 
 /// Counters describing a ledger's preemption and wait-graph history.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LedgerStats {
     /// Preemptions applied (an older task reordered ahead of younger
     /// speculative preparations).
@@ -361,8 +361,49 @@ pub struct LedgerStats {
     /// one, the raw rank clamps via [`TaskClass::bucket`]. Class-blind
     /// runs land everything in the default [`TaskClass::COMPUTE`] bucket.
     pub preemptions_by_class: [u64; TaskClass::TRACKED],
+    /// Applied preemptions by the preemptor's **raw rank** — one bucket per
+    /// lattice class, however deep the lattice, so custom classes beyond
+    /// the canonical four are individually visible instead of collapsing
+    /// into the clamped [`LedgerStats::preemptions_by_class`] top bucket.
+    /// Pre-sized by [`ReservationLedger::set_class_buckets`] and grown on
+    /// demand; index = rank.
+    pub preemptions_by_rank: Vec<u64>,
     /// Largest number of distinct edges the wait-for graph ever held.
     pub waitgraph_peak_edges: u64,
+}
+
+/// One ledger arbitration event, recorded while the event log is enabled
+/// ([`ReservationLedger::enable_event_log`]). The ledger has no clock;
+/// consumers (the engine's telemetry drain) stamp events with simulation
+/// time when they collect them via [`ReservationLedger::take_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerEvent {
+    /// A reservation was registered on an ancilla queue.
+    Claim {
+        /// The claiming task.
+        task: TaskId,
+        /// The claimed ancilla.
+        ancilla: u32,
+        /// The ancilla lies outside the claiming task's home shard.
+        cross_shard: bool,
+    },
+    /// A preemption was applied (queue reorder; graph proven acyclic).
+    Preempted {
+        /// The preempting task.
+        task: TaskId,
+        /// The reordered ancilla queue.
+        ancilla: u32,
+        /// The reorder was granted by the class lattice (see
+        /// [`Preemption::Applied`]'s `class_won`).
+        class_won: bool,
+    },
+    /// A preemption was rejected by the incremental acyclicity check.
+    Rejected {
+        /// The task whose reorder was refused.
+        task: TaskId,
+        /// The ancilla whose queue would have been reordered.
+        ancilla: u32,
+    },
 }
 
 /// Outcome of a [`ReservationLedger::try_preempt`] call.
@@ -374,6 +415,12 @@ pub enum Preemption {
     Applied {
         /// Task whose entry sat at the top before the reorder.
         displaced_top: TaskId,
+        /// The reorder was granted by the priority-class lattice: the
+        /// preemptor strictly outranked at least one displaced entry, so
+        /// seniority (or the caller's equal-class test) alone would have
+        /// refused it. Mirrors the [`LedgerStats::preemptions_class`]
+        /// increment, per call.
+        class_won: bool,
     },
     /// The reorder would have made the wait-for graph cyclic; nothing
     /// changed.
@@ -402,7 +449,7 @@ pub enum Preemption {
 /// // The older CNOT preempts: the reorder is provably cycle-free.
 /// assert_eq!(
 ///     ledger.try_preempt(TaskId(0), 0),
-///     Preemption::Applied { displaced_top: TaskId(1) }
+///     Preemption::Applied { displaced_top: TaskId(1), class_won: false }
 /// );
 /// assert_eq!(ledger.queue(0).top().unwrap().task, TaskId(0));
 /// assert!(ledger.is_acyclic());
@@ -420,6 +467,9 @@ pub struct ReservationLedger {
     /// (empty = raw-rank clamping via [`TaskClass::bucket`]). Affects
     /// counters only, never arbitration.
     class_buckets: Vec<u8>,
+    /// Arbitration event log, `None` (and cost-free) unless a consumer
+    /// called [`Self::enable_event_log`].
+    event_log: Option<Vec<LedgerEvent>>,
     stats: LedgerStats,
 }
 
@@ -432,7 +482,34 @@ impl ReservationLedger {
             edges: HashMap::new(),
             edge_count: 0,
             class_buckets: Vec::new(),
+            event_log: None,
             stats: LedgerStats::default(),
+        }
+    }
+
+    /// Enables the arbitration event log: claims, applied preemptions and
+    /// cycle-rejected reorders are appended to an internal buffer the
+    /// consumer drains with [`Self::take_events`]. Counters and arbitration
+    /// are unaffected — the log is observation only.
+    pub fn enable_event_log(&mut self) {
+        self.event_log.get_or_insert_with(Vec::new);
+    }
+
+    /// Drains the arbitration event log (empty when logging is disabled or
+    /// nothing happened since the last drain). The internal buffer's
+    /// allocation is handed to the caller; logging continues into a fresh
+    /// one.
+    pub fn take_events(&mut self) -> Vec<LedgerEvent> {
+        match &mut self.event_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn log_event(&mut self, ev: LedgerEvent) {
+        if let Some(log) = &mut self.event_log {
+            log.push(ev);
         }
     }
 
@@ -442,6 +519,12 @@ impl ReservationLedger {
     /// truthful for custom lattices). Counters only — arbitration always
     /// compares raw ranks.
     pub fn set_class_buckets(&mut self, buckets: Vec<u8>) {
+        // One dynamic per-rank counter per lattice class, so deep custom
+        // lattices report every rank individually (the canonical 4-bucket
+        // array still clamps for CSV-compatible columns).
+        if self.stats.preemptions_by_rank.len() < buckets.len() {
+            self.stats.preemptions_by_rank.resize(buckets.len(), 0);
+        }
         self.class_buckets = buckets;
     }
 
@@ -471,7 +554,7 @@ impl ReservationLedger {
 
     /// Ledger counters.
     pub fn stats(&self) -> LedgerStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Current number of distinct wait-for edges.
@@ -481,7 +564,16 @@ impl ReservationLedger {
 
     /// Appends `entry` to ancilla `a`'s queue, assigning it a fresh
     /// reservation id and inserting its wait-for edges. Returns the id.
-    pub fn push(&mut self, a: u32, mut entry: QueueEntry) -> ReservationId {
+    pub fn push(&mut self, a: u32, entry: QueueEntry) -> ReservationId {
+        self.push_inner(a, entry, false)
+    }
+
+    fn push_inner(&mut self, a: u32, mut entry: QueueEntry, cross_shard: bool) -> ReservationId {
+        self.log_event(LedgerEvent::Claim {
+            task: entry.task,
+            ancilla: a,
+            cross_shard,
+        });
         self.next_id += 1;
         let id = ReservationId(self.next_id);
         entry.reservation = id;
@@ -513,10 +605,11 @@ impl ReservationLedger {
         owner: ShardId,
         host: ShardId,
     ) -> ReservationId {
-        if owner != host {
+        let cross_shard = owner != host;
+        if cross_shard {
             self.stats.claims_cross_shard += 1;
         }
-        self.push(a, entry)
+        self.push_inner(a, entry, cross_shard)
     }
 
     /// Pops the top entry of ancilla `a`, releasing the edges it held.
@@ -684,6 +777,7 @@ impl ReservationLedger {
         }
         if self.reaches_any_without(task, &displaced) {
             self.stats.preemptions_rejected_cycle += 1;
+            self.log_event(LedgerEvent::Rejected { task, ancilla: a });
             return Preemption::RejectedCycle;
         }
         self.mutate(a, |q| q.move_to_front(pos));
@@ -696,10 +790,23 @@ impl ReservationLedger {
         }
         self.stats.preemptions += 1;
         self.stats.preemptions_by_class[self.bucket_of(class)] += 1;
+        let rank = class.rank() as usize;
+        if self.stats.preemptions_by_rank.len() <= rank {
+            self.stats.preemptions_by_rank.resize(rank + 1, 0);
+        }
+        self.stats.preemptions_by_rank[rank] += 1;
         if class_win {
             self.stats.preemptions_class += 1;
         }
-        Preemption::Applied { displaced_top }
+        self.log_event(LedgerEvent::Preempted {
+            task,
+            ancilla: a,
+            class_won: class_win,
+        });
+        Preemption::Applied {
+            displaced_top,
+            class_won: class_win,
+        }
     }
 
     /// Whether `from` reaches any key of `doomed` in the wait-for graph
@@ -925,7 +1032,8 @@ mod tests {
         assert_eq!(
             got,
             Preemption::Applied {
-                displaced_top: TaskId(3)
+                displaced_top: TaskId(3),
+                class_won: false
             }
         );
         let order: Vec<u32> = l.queue(0).iter().map(|e| e.task.0).collect();
@@ -1104,7 +1212,8 @@ mod tests {
         assert_eq!(
             l.try_preempt(TaskId(2), 0),
             Preemption::Applied {
-                displaced_top: TaskId(1)
+                displaced_top: TaskId(1),
+                class_won: true
             }
         );
         let order: Vec<u32> = l.queue(0).iter().map(|e| e.task.0).collect();
@@ -1228,6 +1337,98 @@ mod tests {
             Preemption::Applied { .. }
         ));
         assert_eq!(l.stats().preemptions_by_class, [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn deep_lattices_track_every_rank_dynamically() {
+        // Six classes: the canonical 4-bucket array clamps `cache` (rank 5)
+        // into the factory bucket, but the dynamic per-rank counters keep
+        // each lattice class individually visible.
+        let lattice: ClassLattice = "cache>factory>injection>compute>background>speculative"
+            .parse()
+            .unwrap();
+        assert_eq!(lattice.len(), 6);
+        let mut l = ReservationLedger::new(2);
+        l.set_class_buckets(lattice.canonical_buckets());
+        assert_eq!(l.stats().preemptions_by_rank, vec![0; 6], "pre-sized");
+        let cache = lattice.class_of("cache").unwrap();
+        assert_eq!(cache.rank(), 5);
+        l.push(0, prep(9).with_class(lattice.speculative()));
+        l.push(0, route(1).with_class(cache));
+        assert!(matches!(
+            l.try_preempt(TaskId(1), 0),
+            Preemption::Applied {
+                class_won: true,
+                ..
+            }
+        ));
+        // And a canonical-factory preemption on the other queue.
+        l.push(1, prep(9).with_class(lattice.speculative()));
+        l.push(1, route(2).with_class(lattice.factory()));
+        assert!(matches!(
+            l.try_preempt(TaskId(2), 1),
+            Preemption::Applied { .. }
+        ));
+        let stats = l.stats();
+        // Clamped canonical columns: both land in the factory bucket.
+        assert_eq!(stats.preemptions_by_class, [0, 0, 0, 2]);
+        // Dynamic ranks: `factory` (rank 4) and `cache` (rank 5) distinct.
+        assert_eq!(stats.preemptions_by_rank, vec![0, 0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn event_log_records_claims_and_arbitration() {
+        let mut l = ReservationLedger::new(2);
+        // Disabled: no events, no cost.
+        l.push(0, prep(3));
+        assert!(l.take_events().is_empty());
+        l.enable_event_log();
+        l.push_claim(1, route(1), ShardId(0), ShardId(1));
+        l.push(0, route(1));
+        assert_eq!(l.try_preempt(TaskId(2), 0), Preemption::NotEligible);
+        assert!(matches!(
+            l.try_preempt(TaskId(1), 0),
+            Preemption::Applied { .. }
+        ));
+        let events = l.take_events();
+        assert_eq!(
+            events,
+            vec![
+                LedgerEvent::Claim {
+                    task: TaskId(1),
+                    ancilla: 1,
+                    cross_shard: true
+                },
+                LedgerEvent::Claim {
+                    task: TaskId(1),
+                    ancilla: 0,
+                    cross_shard: false
+                },
+                LedgerEvent::Preempted {
+                    task: TaskId(1),
+                    ancilla: 0,
+                    class_won: false
+                },
+            ],
+            "NotEligible probes are not arbitration events"
+        );
+        assert!(l.take_events().is_empty(), "drained");
+        // Cycle rejections are logged too.
+        let mut l2 = ReservationLedger::new(2);
+        l2.enable_event_log();
+        for a in 0..2u32 {
+            l2.push(a, prep(2));
+            l2.push(a, route(1));
+        }
+        let _ = l2.take_events();
+        assert_eq!(l2.try_preempt(TaskId(1), 0), Preemption::RejectedCycle);
+        assert_eq!(
+            l2.take_events(),
+            vec![LedgerEvent::Rejected {
+                task: TaskId(1),
+                ancilla: 0
+            }]
+        );
     }
 
     #[test]

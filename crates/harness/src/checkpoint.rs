@@ -212,6 +212,10 @@ mod tests {
             preemptions_rejected: 0,
             waitgraph_peak_edges: 0,
             preemptions_class: 0,
+            stall_ancilla: 0,
+            stall_decoder: 0,
+            stall_route: 0,
+            stall_class: 0,
         };
         let fp = job_fingerprint(&job, 42, 1);
         {
@@ -255,6 +259,10 @@ mod tests {
             preemptions_rejected: 0,
             waitgraph_peak_edges: 0,
             preemptions_class: 0,
+            stall_ancilla: 0,
+            stall_decoder: 0,
+            stall_route: 0,
+            stall_class: 0,
         };
         let fp = job_fingerprint(&job, 7, 1);
         {

@@ -43,6 +43,14 @@ pub struct JobMetrics {
     /// Preemptions granted by the priority-class lattice (the preemptor's
     /// class strictly outranked a displaced entry; 0 in class-blind runs).
     pub preemptions_class: u64,
+    /// Task-cycles stalled on ancilla contention (no free route tiles).
+    pub stall_ancilla: u64,
+    /// Task-cycles stalled on decoder backlog (feed-forward gated).
+    pub stall_decoder: u64,
+    /// Task-cycles stalled on a blocked CNOT route.
+    pub stall_route: u64,
+    /// Task-cycles stalled after displacement by a higher priority class.
+    pub stall_class: u64,
 }
 
 impl JobMetrics {
@@ -63,6 +71,10 @@ impl JobMetrics {
             preemptions_rejected: report.counters.preemptions_rejected_cycle,
             waitgraph_peak_edges: report.counters.waitgraph_peak_edges,
             preemptions_class: report.counters.preemptions_class,
+            stall_ancilla: report.counters.stall_ancilla_cycles,
+            stall_decoder: report.counters.stall_decoder_cycles,
+            stall_route: report.counters.stall_route_cycles,
+            stall_class: report.counters.stall_class_cycles,
         }
     }
 }
@@ -81,19 +93,20 @@ pub struct JobRecord {
 /// The CSV column header of per-job rows. `engine_threads` and `priority`
 /// sit with the grid columns (they are spec axes, not results — the
 /// schedule is bit-identical along `engine_threads`, and `priority` names
-/// the arbitration policy a point ran under). `preemptions_class` is the
-/// last metric column, per the strip-last-column convention for newly
-/// added counters.
+/// the arbitration policy a point ran under). The stall-attribution
+/// counters are the last metric columns, per the strip-last-column
+/// convention for newly added counters; they are sim-time derived, so the
+/// rows stay byte-identical whether or not a run was traced.
 pub const CSV_HEADER: &str = "workload,scheduler,distance,error_rate,k,compression,decoder,\
 engine_threads,priority,seed,\
 total_cycles,idle_fraction,stall_cycles,decode_windows,peak_backlog,injections,\
 injection_failures,preps_started,preps_cancelled,preemptions,preemptions_rejected,\
-waitgraph_peak_edges,preemptions_class";
+waitgraph_peak_edges,preemptions_class,stall_ancilla,stall_decoder,stall_route,stall_class";
 
 /// Formats one job + metrics as a CSV row (no trailing newline).
 pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         job.workload,
         job.config.scheduler,
         job.config.distance,
@@ -117,6 +130,10 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
         m.preemptions_rejected,
         m.waitgraph_peak_edges,
         m.preemptions_class,
+        m.stall_ancilla,
+        m.stall_decoder,
+        m.stall_route,
+        m.stall_class,
     )
 }
 
@@ -125,11 +142,11 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
 /// fingerprint, not re-parsed).
 pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
     let cols: Vec<&str> = row.split(',').collect();
-    // 23 columns since the priority axis and the class-preemption counter;
-    // older 20/21-column checkpoint rows fail here and are skipped
-    // gracefully by the checkpoint loader (the jobs simply re-run).
-    if cols.len() != 23 {
-        return Err(format!("expected 23 columns, got {}", cols.len()));
+    // 27 columns since the stall-attribution counters; older 20/21/23-column
+    // checkpoint rows fail here and are skipped gracefully by the
+    // checkpoint loader (the jobs simply re-run).
+    if cols.len() != 27 {
+        return Err(format!("expected 27 columns, got {}", cols.len()));
     }
     let f = |i: usize| -> Result<f64, String> {
         cols[i]
@@ -156,6 +173,10 @@ pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
         preemptions_rejected: u(20)?,
         waitgraph_peak_edges: u(21)?,
         preemptions_class: u(22)?,
+        stall_ancilla: u(23)?,
+        stall_decoder: u(24)?,
+        stall_route: u(25)?,
+        stall_class: u(26)?,
     })
 }
 
@@ -192,6 +213,14 @@ pub struct PointSummary {
     pub preemptions_class: u64,
     /// Largest wait-for-graph edge peak across seeds.
     pub waitgraph_peak_edges: u64,
+    /// Total task-cycles stalled on ancilla contention across seeds.
+    pub stall_ancilla: u64,
+    /// Total task-cycles stalled on decoder backlog across seeds.
+    pub stall_decoder: u64,
+    /// Total task-cycles stalled on blocked routes across seeds.
+    pub stall_route: u64,
+    /// Total task-cycles stalled by class displacement across seeds.
+    pub stall_class: u64,
 }
 
 /// Smallest value `v` in sorted `xs` such that at least `p` of samples ≤ `v`.
@@ -301,6 +330,10 @@ impl SweepResults {
                 preemptions_rejected: ok.iter().map(|m| m.preemptions_rejected).sum(),
                 preemptions_class: ok.iter().map(|m| m.preemptions_class).sum(),
                 waitgraph_peak_edges: ok.iter().map(|m| m.waitgraph_peak_edges).max().unwrap_or(0),
+                stall_ancilla: ok.iter().map(|m| m.stall_ancilla).sum(),
+                stall_decoder: ok.iter().map(|m| m.stall_decoder).sum(),
+                stall_route: ok.iter().map(|m| m.stall_route).sum(),
+                stall_class: ok.iter().map(|m| m.stall_class).sum(),
             });
         }
         out
@@ -330,7 +363,7 @@ impl SweepResults {
         for (i, s) in summaries.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"priority\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"preemptions_class\": {}, \"waitgraph_peak_edges\": {}}}",
+                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"priority\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"preemptions_class\": {}, \"waitgraph_peak_edges\": {}, \"stall_ancilla\": {}, \"stall_decoder\": {}, \"stall_route\": {}, \"stall_class\": {}}}",
                 json_escape(&s.job.workload),
                 s.job.config.scheduler,
                 s.job.config.distance,
@@ -352,7 +385,11 @@ impl SweepResults {
                 s.preemptions,
                 s.preemptions_rejected,
                 s.preemptions_class,
-                s.waitgraph_peak_edges
+                s.waitgraph_peak_edges,
+                s.stall_ancilla,
+                s.stall_decoder,
+                s.stall_route,
+                s.stall_class
             );
             out.push_str(if i + 1 < summaries.len() { ",\n" } else { "\n" });
         }
@@ -409,6 +446,10 @@ mod tests {
             preemptions_rejected: 5,
             waitgraph_peak_edges: 17,
             preemptions_class: 3,
+            stall_ancilla: 11,
+            stall_decoder: 6,
+            stall_route: 4,
+            stall_class: 1,
         };
         let row = csv_row(&job, &m);
         assert_eq!(

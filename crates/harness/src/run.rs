@@ -14,12 +14,12 @@ use crate::checkpoint::{job_fingerprint, read_checkpoint_rows, Checkpoint};
 use crate::results::{csv_row, JobMetrics, JobRecord, SweepResults};
 use crate::spec::{JobSpec, SpecError, SweepSpec};
 use rescq_sim::{simulate_prepared, SimArtifacts};
+use rescq_telemetry::{Event, Heartbeat, Recorder};
 use std::collections::HashMap;
 use std::io::IsTerminal;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// When the worker pool reports periodic progress to stderr.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,59 +109,6 @@ impl RunOptions {
             .map(|n| n.get())
             .unwrap_or(4)
     }
-}
-
-/// Shared stderr progress heartbeat: `jobs done/total, elapsed, ETA`,
-/// throttled to roughly one line every two seconds (the final job always
-/// reports). Workers call [`ProgressReporter::job_done`] concurrently.
-#[derive(Debug)]
-struct ProgressReporter {
-    total: usize,
-    done: AtomicUsize,
-    started: Instant,
-    last_print: Mutex<Instant>,
-}
-
-impl ProgressReporter {
-    const INTERVAL: Duration = Duration::from_secs(2);
-
-    fn new(total: usize) -> Self {
-        let now = Instant::now();
-        ProgressReporter {
-            total,
-            done: AtomicUsize::new(0),
-            started: now,
-            // Backdate so the first completion after the interval reports.
-            last_print: Mutex::new(now),
-        }
-    }
-
-    fn job_done(&self) {
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let now = Instant::now();
-        {
-            let mut last = self.last_print.lock().expect("progress lock poisoned");
-            if done != self.total && now.duration_since(*last) < Self::INTERVAL {
-                return;
-            }
-            *last = now;
-        }
-        eprintln!(
-            "{}",
-            progress_line(done, self.total, self.started.elapsed().as_secs_f64())
-        );
-    }
-}
-
-/// Formats one progress heartbeat line.
-fn progress_line(done: usize, total: usize, elapsed_secs: f64) -> String {
-    let eta = if done > 0 && done < total {
-        let rate = elapsed_secs / done as f64;
-        format!(", ETA {:.0}s", rate * (total - done) as f64)
-    } else {
-        String::new()
-    };
-    format!("sweep: {done}/{total} jobs done, {elapsed_secs:.1}s elapsed{eta}")
 }
 
 /// Harness-level failure (spec or checkpoint I/O). Job-level simulation
@@ -264,22 +211,43 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<SweepResults, Ha
     };
     let checkpoint = checkpoint.as_ref();
     let threads = opts.resolved_threads().clamp(1, jobs.len().max(1));
-    let progress = match opts.progress {
+    // Progress flows through the telemetry `Recorder` trait: workers time
+    // each job and emit `Event::JobDone`; the `Heartbeat` recorder turns
+    // that stream into throttled stderr lines. Any other recorder (a ring
+    // buffer, a test stub) could observe the same events unchanged.
+    let heartbeat = match opts.progress {
         ProgressMode::Off => None,
-        ProgressMode::Always => Some(ProgressReporter::new(jobs.len())),
+        ProgressMode::Always => Some(Heartbeat::new(jobs.len())),
         ProgressMode::Auto => std::io::stderr()
             .is_terminal()
-            .then(|| ProgressReporter::new(jobs.len())),
+            .then(|| Heartbeat::new(jobs.len())),
     };
-    let progress = progress.as_ref();
+    let recorder: Option<&dyn Recorder> = heartbeat.as_ref().map(|h| h as &dyn Recorder);
+    let total = jobs.len() as u64;
+    // Runs job `i` and reports its completion (wall-clock is 0 for
+    // checkpoint-restored jobs — no simulation ran).
+    let run_one = |i: usize, job: &JobSpec| -> JobRecord {
+        let t0 = Instant::now();
+        let record = run_job(job, spec, &cache, checkpoint);
+        if let Some(r) = recorder {
+            r.record(Event::JobDone {
+                index: i as u64,
+                total,
+                wall_ns: if record.resumed {
+                    0
+                } else {
+                    t0.elapsed().as_nanos() as u64
+                },
+                resumed: record.resumed,
+            });
+        }
+        record
+    };
 
     let mut table: Vec<Option<JobRecord>> = jobs.iter().map(|_| None).collect();
     if threads <= 1 {
-        for (slot, job) in table.iter_mut().zip(&jobs) {
-            *slot = Some(run_job(job, spec, &cache, checkpoint));
-            if let Some(p) = progress {
-                p.job_done();
-            }
+        for (i, (slot, job)) in table.iter_mut().zip(&jobs).enumerate() {
+            *slot = Some(run_one(i, job));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -291,10 +259,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<SweepResults, Ha
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(job) = jobs.get(i) else { break };
-                            local.push((i, run_job(job, spec, &cache, checkpoint)));
-                            if let Some(p) = progress {
-                                p.job_done();
-                            }
+                            local.push((i, run_one(i, job)));
                         }
                         local
                     })
@@ -459,16 +424,6 @@ mod tests {
         assert!(Shard::parse("0/0").is_err());
         assert!(Shard::parse("banana").is_err());
         assert!(Shard::parse("1").is_err());
-    }
-
-    #[test]
-    fn progress_line_reports_counts_and_eta() {
-        let line = progress_line(4, 16, 8.0);
-        assert!(line.contains("4/16 jobs"), "{line}");
-        assert!(line.contains("8.0s elapsed"), "{line}");
-        assert!(line.contains("ETA 24s"), "{line}");
-        // Final line has no ETA.
-        assert!(!progress_line(16, 16, 32.0).contains("ETA"));
     }
 
     #[test]

@@ -152,8 +152,24 @@ pub fn simulate_prepared(
     artifacts: &SimArtifacts,
     config: &SimConfig,
 ) -> Result<ExecutionReport, SimError> {
+    simulate_prepared_traced(artifacts, config, None)
+}
+
+/// [`simulate_prepared`] with an optional structured-trace
+/// [`Recorder`](rescq_telemetry::Recorder) attached (see
+/// [`simulate_traced`](crate::simulate_traced) for the tracing contract:
+/// recorders observe, they never perturb the schedule).
+///
+/// # Errors
+///
+/// Same as [`simulate_prepared`].
+pub fn simulate_prepared_traced(
+    artifacts: &SimArtifacts,
+    config: &SimConfig,
+    recorder: Option<&dyn rescq_telemetry::Recorder>,
+) -> Result<ExecutionReport, SimError> {
     artifacts.validate(config)?;
-    run_with_artifacts(artifacts, config)
+    run_with_artifacts(artifacts, config, recorder)
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rescq_circuit::{Circuit, QubitId};
 use rescq_core::SchedulerKind;
+use rescq_telemetry::Recorder;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -109,10 +110,13 @@ impl<E> EventQueue<E> {
 }
 
 /// Runs the engines over a pre-built artifact bundle (the shared path; the
-/// bundle's pieces are only read, never mutated).
+/// bundle's pieces are only read, never mutated). `recorder` attaches a
+/// structured trace sink to the realtime engine; static baselines have no
+/// cycle loop worth tracing and ignore it.
 pub(crate) fn run_with_artifacts(
     artifacts: &SimArtifacts,
     config: &SimConfig,
+    recorder: Option<&dyn Recorder>,
 ) -> Result<ExecutionReport, SimError> {
     let fabric = Fabric::new(
         artifacts.layout.clone(),
@@ -125,7 +129,7 @@ pub(crate) fn run_with_artifacts(
     let circuit = &artifacts.circuit;
     let dag = artifacts.dag.clone();
     match config.scheduler {
-        SchedulerKind::Rescq => realtime::run_realtime(circuit, dag, config, fabric, rng),
+        SchedulerKind::Rescq => realtime::run_realtime(circuit, dag, config, fabric, rng, recorder),
         kind => static_sched::run_static(circuit, dag, config, kind, fabric, rng),
     }
 }
@@ -153,8 +157,28 @@ pub(crate) fn run_with_artifacts(
 /// assert!(report.total_cycles() > 0.0);
 /// ```
 pub fn simulate(circuit: &Circuit, config: &SimConfig) -> Result<ExecutionReport, SimError> {
+    simulate_traced(circuit, config, None)
+}
+
+/// [`simulate`] with an optional structured-trace [`Recorder`] attached.
+///
+/// The recorder only *observes*: the schedule — and every schedule-derived
+/// field of the report — is byte-identical with or without one, at any
+/// thread count (property-tested in `tests/telemetry.rs`). Tracing adds
+/// per-phase wall-clock to [`ExecutionReport::phase_nanos`] and streams
+/// cycle-scoped events (phases, ledger arbitration, decoder windows, route
+/// plans, stalls) into the recorder.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_traced(
+    circuit: &Circuit,
+    config: &SimConfig,
+    recorder: Option<&dyn Recorder>,
+) -> Result<ExecutionReport, SimError> {
     let artifacts = SimArtifacts::prepare(Arc::new(circuit.clone()), config)?;
-    run_with_artifacts(&artifacts, config)
+    run_with_artifacts(&artifacts, config, recorder)
 }
 
 #[cfg(test)]

@@ -58,13 +58,16 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, GateQubits, QubitId};
 use rescq_core::{
-    plan_cnot_route, ActivityTracker, EntryStatus, MstPipeline, PathCache, Preemption, QueueEntry,
-    ReservationLedger, Role, SchedulerKind, ShardId, SurgeryCosts, TaskClass, TaskId,
+    plan_cnot_route, ActivityTracker, EntryStatus, LedgerEvent, MstPipeline, PathCache, Preemption,
+    QueueEntry, ReservationLedger, Role, SchedulerKind, ShardId, SurgeryCosts, TaskClass, TaskId,
 };
 use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::{AncillaIndex, EdgeType};
 use rescq_rus::{InjectionLadder, LadderStep, PreparationModel};
+use rescq_telemetry::{Event as TraceEvent, Phase, Recorder, StallCause};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Cycles without any gate completion before the stall breaker fires.
 const STALL_BREAK_CYCLES: u64 = 300;
@@ -92,6 +95,12 @@ enum TaskBody {
         /// Ancillas holding prepared states, with the angle they hold.
         holders: Vec<(AncillaIndex, Angle)>,
         injecting: bool,
+        /// The injection's measurement is in but its feed-forward window is
+        /// still queued at the decoder (stall attribution: decoder backlog).
+        awaiting_decode: bool,
+        /// Preparation-verification windows in flight for this task
+        /// (`decode_prep` runs only; same attribution).
+        pending_prep_decodes: u32,
     },
     Hadamard {
         qubit: QubitId,
@@ -245,6 +254,23 @@ struct RtEngine<'a> {
     gates_executed: usize,
     /// Expected rounds an Rz queue entry occupies its ancilla (precomputed).
     rz_entry_cost: u64,
+
+    /// Structured-trace sink. `None` (the default) keeps instrumentation to
+    /// one inlined check per site; the schedule is bit-identical either way
+    /// — recorders only *observe*, every counter they see is also computed
+    /// untraced.
+    recorder: Option<&'a dyn Recorder>,
+    /// Wall-clock nanoseconds per dispatch phase (accumulated only when
+    /// traced; reported through [`ExecutionReport::phase_nanos`]).
+    phase_nanos: [u64; 4],
+    /// Tasks whose preparation was displaced by a class-won preemption and
+    /// has not restarted yet — the `ClassDisplacement` stall bucket.
+    /// Maintained unconditionally (it feeds deterministic counters); only
+    /// membership is queried, never iteration order.
+    displaced_by_class: HashSet<TaskId>,
+    /// Submission round of each in-flight decoder window, kept only while
+    /// traced (drives `WindowRetired::stalled_rounds`).
+    traced_windows: HashMap<WindowId, u64>,
 }
 
 // Shard workers scan a frozen `&RtEngine` concurrently during the propose
@@ -255,13 +281,15 @@ const _: () = {
     assert_sync::<RtEngine<'static>>();
 };
 
-/// Runs the realtime RESCQ schedule.
+/// Runs the realtime RESCQ schedule. `recorder` attaches a structured
+/// trace sink; `None` runs untraced (identical schedule, no timing).
 pub(crate) fn run_realtime(
     circuit: &Circuit,
     dag: Arc<DependencyDag>,
     config: &SimConfig,
     fabric: Fabric,
     rng: ChaCha8Rng,
+    recorder: Option<&dyn Recorder>,
 ) -> Result<ExecutionReport, SimError> {
     let d = config.rounds_per_cycle();
     let prep_model = PreparationModel::with_calibration(config.rus_params(), config.calibration);
@@ -327,6 +355,11 @@ pub(crate) fn run_realtime(
         // arbitration compares raw ranks).
         ledger.set_class_buckets(lattice.canonical_buckets());
     }
+    if recorder.is_some() {
+        // Arbitration events are buffered only for traced runs; the engine
+        // drains them (stamped with the current round) after each dispatch.
+        ledger.enable_event_log();
+    }
 
     let mut engine = RtEngine {
         circuit,
@@ -365,6 +398,10 @@ pub(crate) fn run_realtime(
         decode_latency: LatencyHistogram::new(),
         gates_executed: 0,
         rz_entry_cost,
+        recorder,
+        phase_nanos: [0; 4],
+        displaced_by_class: HashSet::new(),
+        traced_windows: HashMap::new(),
     };
     engine.run(config)
 }
@@ -438,9 +475,11 @@ impl RtEngine<'_> {
                 c.claims_cross_shard = ls.claims_cross_shard;
                 c.preemptions_class = ls.preemptions_class;
                 c.preemptions_by_class = ls.preemptions_by_class;
+                c.preemptions_by_rank = ls.preemptions_by_rank.clone();
                 c.waitgraph_peak_edges = ls.waitgraph_peak_edges;
                 c
             },
+            phase_nanos: self.phase_nanos,
         })
     }
 
@@ -546,22 +585,89 @@ impl RtEngine<'_> {
     // ------------------------------------------------------------------
 
     fn dispatch(&mut self) {
+        let traced = self.recorder.is_some();
         loop {
             let mut progress = false;
             // Phase 1 — schedule: new tasks claim queue positions.
+            let t0 = traced.then(Instant::now);
             progress |= self.drain_sched_worklist();
+            self.note_phase(Phase::Schedule, t0);
             // Phase 2 — start: real work (injections, surgeries) grabs
             // resources before new speculative preparations are started.
+            let t1 = traced.then(Instant::now);
             for i in 0..self.live_tasks.len() {
                 let id = self.live_tasks[i];
                 progress |= self.try_start_task(id);
             }
+            self.note_phase(Phase::Start, t1);
             // Phases 3 + 4 — propose and commit (the shard barrier).
             progress |= self.dispatch_ancillas();
             self.live_tasks.retain(|&id| !self.tasks[id.index()].done);
             if !progress {
                 break;
             }
+        }
+        self.drain_ledger_events();
+    }
+
+    /// Closes a timed phase: accumulates its wall-clock and emits a
+    /// [`TraceEvent::PhaseSpan`]. A no-op for untraced runs (`start` is
+    /// `None`) — wall-clock never feeds back into the schedule.
+    fn note_phase(&mut self, phase: Phase, start: Option<Instant>) {
+        let Some(t0) = start else { return };
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        self.phase_nanos[phase.index()] += dur_ns;
+        self.emit(TraceEvent::PhaseSpan {
+            phase,
+            round: self.clock,
+            dur_ns,
+        });
+    }
+
+    /// Records one trace event (one inlined check when no recorder is
+    /// attached — the disabled-instrumentation contract).
+    #[inline]
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(r) = self.recorder {
+            r.record(ev);
+        }
+    }
+
+    /// Forwards the ledger's buffered arbitration events (claims,
+    /// preemptions, rejected reorders) to the recorder, stamped with the
+    /// current round. Empty — and skipped — for untraced runs, which never
+    /// enable the ledger's event log.
+    fn drain_ledger_events(&mut self) {
+        let Some(rec) = self.recorder else { return };
+        let round = self.clock;
+        for ev in self.ledger.take_events() {
+            rec.record(match ev {
+                LedgerEvent::Claim {
+                    task,
+                    ancilla,
+                    cross_shard,
+                } => TraceEvent::Claim {
+                    round,
+                    task: task.0 as u64,
+                    ancilla,
+                    cross_shard,
+                },
+                LedgerEvent::Preempted {
+                    task,
+                    ancilla,
+                    class_won,
+                } => TraceEvent::Preemption {
+                    round,
+                    task: task.0 as u64,
+                    ancilla,
+                    class_won,
+                },
+                LedgerEvent::Rejected { task, ancilla } => TraceEvent::PreemptionRejected {
+                    round,
+                    task: task.0 as u64,
+                    ancilla,
+                },
+            });
         }
     }
 
@@ -586,15 +692,20 @@ impl RtEngine<'_> {
     /// counters therefore occur in an identical total order for any thread
     /// count.
     fn dispatch_ancillas(&mut self) -> bool {
+        let traced = self.recorder.is_some();
+        let t0 = traced.then(Instant::now);
         let candidates = {
             let this = &*self;
             this.exec
                 .scan(&this.partition, &|a| this.ancilla_action(a).is_some())
         };
+        self.note_phase(Phase::Propose, t0);
+        let t1 = traced.then(Instant::now);
         let mut progress = false;
         for a in candidates {
             progress |= self.commit_ancilla(a);
         }
+        self.note_phase(Phase::Commit, t1);
         progress
     }
 
@@ -758,6 +869,8 @@ impl RtEngine<'_> {
                     helper_sites,
                     holders: Vec::new(),
                     injecting: false,
+                    awaiting_decode: false,
+                    pending_prep_decodes: 0,
                 }
             }
             Gate::Cnot { control, target } => {
@@ -925,6 +1038,12 @@ impl RtEngine<'_> {
     ) -> Vec<AncillaIndex> {
         let path = self.plan_cnot_path(id, control, target);
         self.enqueue_route_claims(id, &path, class);
+        self.emit(TraceEvent::RoutePlanned {
+            round: self.clock,
+            task: id.0 as u64,
+            hops: path.len() as u32,
+            replanned: false,
+        });
         path
     }
 
@@ -1085,6 +1204,9 @@ impl RtEngine<'_> {
 
     fn start_prep(&mut self, a: AncillaIndex, task: TaskId, angle: Angle) {
         let rounds = self.prep_model.sample_prep_rounds(&mut self.rng);
+        // The task is preparing again: its class displacement (if any) is
+        // over for stall-attribution purposes.
+        self.displaced_by_class.remove(&task);
         self.prepping[a as usize] = Some(angle);
         self.ledger.set_top_status(a, EntryStatus::Preparing);
         self.counters.preps_started += 1;
@@ -1235,12 +1357,19 @@ impl RtEngine<'_> {
                 unreachable!("task body cannot change kind");
             };
             let a = prep_sites[i].0;
-            if let Preemption::Applied { displaced_top } = self.ledger.try_preempt(id, a) {
+            if let Preemption::Applied {
+                displaced_top,
+                class_won,
+            } = self.ledger.try_preempt(id, a)
+            {
                 debug_assert!(
                     self.ledger.is_acyclic(),
                     "class preemption broke acyclicity"
                 );
                 self.cancel_displaced_prep(a, displaced_top);
+                if class_won {
+                    self.displaced_by_class.insert(displaced_top);
+                }
                 progress = true;
             }
         }
@@ -1368,6 +1497,7 @@ impl RtEngine<'_> {
             *injecting = true;
         }
         self.ledger.set_top_status(holder, EntryStatus::Executing);
+        self.displaced_by_class.remove(&id);
         self.counters.injections += 1;
         self.events.push(
             until,
@@ -1437,9 +1567,16 @@ impl RtEngine<'_> {
                 let outcome = self.ledger.try_preempt_across(id, a, home, host, |e| {
                     e.task > id || speculative.contains(&e.task)
                 });
-                if let Preemption::Applied { displaced_top } = outcome {
+                if let Preemption::Applied {
+                    displaced_top,
+                    class_won,
+                } = outcome
+                {
                     debug_assert!(self.ledger.is_acyclic(), "preemption broke acyclicity");
                     self.cancel_displaced_prep(a, displaced_top);
+                    if class_won {
+                        self.displaced_by_class.insert(displaced_top);
+                    }
                     preempted = true;
                 }
             }
@@ -1465,6 +1602,12 @@ impl RtEngine<'_> {
                         self.ledger.remove_task(a, id);
                     }
                     self.enqueue_route_claims(id, &new_path, class);
+                    self.emit(TraceEvent::RoutePlanned {
+                        round: self.clock,
+                        task: id.0 as u64,
+                        hops: new_path.len() as u32,
+                        replanned: true,
+                    });
                     if let TaskBody::Cnot { path, .. } = &mut self.tasks[id.index()].body {
                         *path = new_path;
                     }
@@ -1642,6 +1785,109 @@ impl RtEngine<'_> {
     }
 
     // ------------------------------------------------------------------
+    // Stall attribution
+    // ------------------------------------------------------------------
+
+    /// Samples stall attribution once per cycle tick: every live, runnable
+    /// task that cannot make progress charges one cycle to the cause
+    /// blocking it (ancilla contention, decoder backlog, route blocked, or
+    /// class displacement). Derived purely from simulated state, so the
+    /// counters are bit-identical with or without a recorder and for any
+    /// thread count.
+    fn sample_stalls(&mut self) {
+        for i in 0..self.live_tasks.len() {
+            let id = self.live_tasks[i];
+            let task = &self.tasks[id.index()];
+            if task.done {
+                continue;
+            }
+            if !self.dag.preds(task.gate).all(|p| self.gate_done[p.index()]) {
+                continue; // waiting on dependencies, not on resources
+            }
+            let cause = match &task.body {
+                TaskBody::Cnot {
+                    path,
+                    rotating,
+                    surgery_started,
+                    ..
+                } => {
+                    if *rotating || *surgery_started {
+                        None // executing
+                    } else if path.is_empty() {
+                        // No route could even be planned: every candidate
+                        // channel was taken at planning time.
+                        Some(StallCause::AncillaContention)
+                    } else {
+                        Some(StallCause::RouteBlocked)
+                    }
+                }
+                TaskBody::Rz {
+                    ladder,
+                    injecting,
+                    awaiting_decode,
+                    pending_prep_decodes,
+                    ..
+                } => {
+                    if ladder.is_complete() {
+                        None // ladder finished, completion event in flight
+                    } else if *awaiting_decode {
+                        Some(StallCause::DecoderBacklog)
+                    } else if *injecting {
+                        None // executing
+                    } else if *pending_prep_decodes > 0 {
+                        Some(StallCause::DecoderBacklog)
+                    } else if self.displaced_by_class.contains(&id) {
+                        Some(StallCause::ClassDisplacement)
+                    } else {
+                        Some(StallCause::AncillaContention)
+                    }
+                }
+                // A Hadamard waits only on its own data qubit, never on
+                // shared resources — not a stall in this taxonomy.
+                TaskBody::Hadamard { .. } => None,
+            };
+            let Some(cause) = cause else { continue };
+            match cause {
+                StallCause::AncillaContention => self.counters.stall_ancilla_cycles += 1,
+                StallCause::DecoderBacklog => self.counters.stall_decoder_cycles += 1,
+                StallCause::RouteBlocked => self.counters.stall_route_cycles += 1,
+                StallCause::ClassDisplacement => self.counters.stall_class_cycles += 1,
+            }
+            self.emit(TraceEvent::Stall {
+                round: self.clock,
+                task: id.0 as u64,
+                cause,
+            });
+        }
+    }
+
+    /// Traces a decoder-window submission (traced runs only; the window's
+    /// submission round is kept so retirement can report its stall).
+    fn trace_window_enqueued(&mut self, window: WindowId, ready_at: u64) {
+        if self.recorder.is_some() {
+            self.traced_windows.insert(window, self.clock);
+            self.emit(TraceEvent::WindowEnqueued {
+                round: self.clock,
+                window: window.0,
+                ready_at,
+            });
+        }
+    }
+
+    /// Traces a decoder-window retirement with the rounds it spent in
+    /// flight (traced runs only).
+    fn trace_window_retired(&mut self, window: WindowId) {
+        if self.recorder.is_some() {
+            let submitted = self.traced_windows.remove(&window).unwrap_or(self.clock);
+            self.emit(TraceEvent::WindowRetired {
+                round: self.clock,
+                window: window.0,
+                stalled_rounds: self.clock - submitted,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
 
@@ -1650,6 +1896,7 @@ impl RtEngine<'_> {
             Ev::CycleTick => {
                 let act = self.fabric.take_cycle_activity(self.clock);
                 self.activity.record_cycle(&act);
+                self.sample_stalls();
                 let cycle = self.clock / self.d as u64;
                 let activity = &self.activity;
                 self.mst
@@ -1681,7 +1928,15 @@ impl RtEngine<'_> {
                 // usable only once its one-cycle window is decoded.
                 if self.decoder.decodes_prep() {
                     let (window, ready_at) = self.decoder.submit(ancilla, self.d, self.clock);
+                    self.trace_window_enqueued(window, ready_at);
                     if ready_at > self.clock {
+                        if let TaskBody::Rz {
+                            pending_prep_decodes,
+                            ..
+                        } = &mut self.tasks[task.index()].body
+                        {
+                            *pending_prep_decodes += 1;
+                        }
                         self.events.push(
                             ready_at,
                             Ev::PrepDecoded {
@@ -1695,6 +1950,7 @@ impl RtEngine<'_> {
                         return;
                     }
                     let cycles = self.decoder.retire(window, self.clock);
+                    self.trace_window_retired(window);
                     self.decode_latency.record(cycles);
                 }
                 self.on_prep_done(ancilla, task, angle, epoch);
@@ -1709,7 +1965,15 @@ impl RtEngine<'_> {
                 // Retire unconditionally (backlog conservation), then let the
                 // epoch check in `on_prep_done` drop cancelled preparations.
                 let cycles = self.decoder.retire(window, self.clock);
+                self.trace_window_retired(window);
                 self.decode_latency.record(cycles);
+                if let TaskBody::Rz {
+                    pending_prep_decodes,
+                    ..
+                } = &mut self.tasks[task.index()].body
+                {
+                    *pending_prep_decodes = pending_prep_decodes.saturating_sub(1);
+                }
                 self.on_prep_done(ancilla, task, angle, epoch);
             }
             Ev::InjectDone {
@@ -1723,6 +1987,7 @@ impl RtEngine<'_> {
                 window,
             } => {
                 let cycles = self.decoder.retire(window, self.clock);
+                self.trace_window_retired(window);
                 self.decode_latency.record(cycles);
                 self.apply_inject_outcome(task, success);
             }
@@ -1803,7 +2068,14 @@ impl RtEngine<'_> {
             self.fabric.release_ancilla(holder, self.clock);
         }
         let (window, ready_at) = self.decoder.submit(holder, rounds.max(1), self.clock);
+        self.trace_window_enqueued(window, ready_at);
         if ready_at > self.clock {
+            if let TaskBody::Rz {
+                awaiting_decode, ..
+            } = &mut self.tasks[task.index()].body
+            {
+                *awaiting_decode = true;
+            }
             self.events.push(
                 ready_at,
                 Ev::DecodeDone {
@@ -1815,6 +2087,7 @@ impl RtEngine<'_> {
             return;
         }
         let cycles = self.decoder.retire(window, self.clock);
+        self.trace_window_retired(window);
         self.decode_latency.record(cycles);
         self.apply_inject_outcome(task, success);
     }
@@ -1827,12 +2100,16 @@ impl RtEngine<'_> {
         let step;
         {
             let TaskBody::Rz {
-                ladder, injecting, ..
+                ladder,
+                injecting,
+                awaiting_decode,
+                ..
             } = &mut self.tasks[task.index()].body
             else {
                 return;
             };
             *injecting = false;
+            *awaiting_decode = false;
             step = ladder.record_outcome(success);
         }
         match step {
@@ -1907,6 +2184,7 @@ impl RtEngine<'_> {
     }
 
     fn complete_task(&mut self, task: TaskId, gate: GateId) {
+        self.displaced_by_class.remove(&task);
         self.tasks[task.index()].done = true;
         self.gate_done[gate.index()] = true;
         self.done_count += 1;

@@ -286,6 +286,8 @@ pub(crate) fn run_static(
         k_used: 0,
         tau_used: 0,
         counters,
+        // Static engines are untraced: no phase loop to time.
+        phase_nanos: [0; 4],
     })
 }
 

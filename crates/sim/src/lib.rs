@@ -39,9 +39,9 @@ mod metrics;
 mod priority;
 pub mod runner;
 
-pub use artifacts::{build_layout, simulate_prepared, SimArtifacts};
+pub use artifacts::{build_layout, simulate_prepared, simulate_prepared_traced, SimArtifacts};
 pub use config::{SimConfig, SimConfigBuilder};
-pub use engine::{simulate, SimError};
+pub use engine::{simulate, simulate_traced, SimError};
 pub use fabric::Fabric;
 pub use metrics::{ExecutionReport, LatencyHistogram, RunCounters};
 pub use priority::factory_qubits;

@@ -135,6 +135,26 @@ pub struct RunCounters {
     pub preemptions_by_class: [u64; rescq_core::TaskClass::TRACKED],
     /// Largest number of distinct edges the task wait-for graph ever held.
     pub waitgraph_peak_edges: u64,
+    /// Applied preemptions bucketed by the preemptor's *raw* lattice rank
+    /// (mirrors [`rescq_core::LedgerStats::preemptions_by_rank`]); one slot
+    /// per configured class, so deeper custom lattices keep per-class
+    /// resolution that the canonical 4 buckets clamp away. Empty for
+    /// class-blind runs.
+    pub preemptions_by_rank: Vec<u64>,
+    /// Cycles live tasks spent stalled on ancilla availability (runnable,
+    /// but no prepared state / free ancilla to proceed with). Sampled once
+    /// per lattice-surgery cycle per stalled task; derived purely from
+    /// simulated time, so it is part of the determinism contract.
+    pub stall_ancilla_cycles: u64,
+    /// Cycles live tasks spent stalled waiting on classical decode results
+    /// (feed-forward or preparation-verification windows in flight).
+    pub stall_decoder_cycles: u64,
+    /// Cycles live CNOTs spent stalled with a planned route they could not
+    /// occupy (route claims queued behind other work).
+    pub stall_route_cycles: u64,
+    /// Cycles live tasks spent stalled because a class-lattice preemption
+    /// displaced their preparation (always 0 in class-blind runs).
+    pub stall_class_cycles: u64,
     /// MST computations completed (RESCQ).
     pub mst_computations: u64,
     /// Incremental MST edge updates applied (RESCQ, §5.4.1).
@@ -187,6 +207,12 @@ pub struct ExecutionReport {
     pub tau_used: u32,
     /// Event counters.
     pub counters: RunCounters,
+    /// Wall-clock nanoseconds spent in each dispatch phase
+    /// (schedule/start/propose/commit, indexed like
+    /// `rescq_telemetry::Phase::index`). Measured only when the run is
+    /// traced; all zeros otherwise, so untraced reports stay comparable by
+    /// equality. Wall-clock never feeds back into the schedule.
+    pub phase_nanos: [u64; 4],
 }
 
 impl ExecutionReport {
@@ -199,6 +225,17 @@ impl ExecutionReport {
     /// (fractional; 0 under the ideal decoder).
     pub fn decoder_stall_cycles(&self) -> f64 {
         self.counters.decoder_stall_rounds as f64 / self.distance as f64
+    }
+
+    /// Total cycles attributed to stalls, summed over the four causes
+    /// (ancilla contention, decoder backlog, route blocked, class
+    /// displacement). Per-task-per-cycle samples, so concurrent stalls
+    /// count once each.
+    pub fn stall_cycles(&self) -> u64 {
+        self.counters.stall_ancilla_cycles
+            + self.counters.stall_decoder_cycles
+            + self.counters.stall_route_cycles
+            + self.counters.stall_class_cycles
     }
 
     /// Fraction of data-qubit time spent idle (Fig 11/12 bottom rows):
@@ -279,9 +316,16 @@ mod tests {
             achieved_compression: 0.0,
             k_used: 25,
             tau_used: 17,
-            counters: RunCounters::default(),
+            counters: RunCounters {
+                stall_ancilla_cycles: 3,
+                stall_decoder_cycles: 2,
+                stall_route_cycles: 1,
+                ..RunCounters::default()
+            },
+            phase_nanos: [0; 4],
         };
         assert!((r.total_cycles() - 100.0).abs() < 1e-12);
         assert!((r.idle_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(r.stall_cycles(), 6);
     }
 }

@@ -1,0 +1,327 @@
+//! Schema-versioned perf baselines (`BENCH_*.json`): the recorded
+//! cycle-loop wall-clock trajectory the ROADMAP's optimisation items
+//! measure against.
+//!
+//! A [`PerfBaseline`] holds one [`PerfEntry`] per benchmark: wall-clock
+//! per run, simulated cycles per wall-second (the headline throughput
+//! figure), and the per-phase wall-clock breakdown from the engine's
+//! phase instrumentation. [`compare`] diffs two baselines and flags
+//! regressions against caller-chosen warn/fail thresholds — CI's
+//! `perf-baseline` job wires this to a soft gate.
+//!
+//! Only *wall-clock* lives here; everything schedule-derived stays in
+//! the determinism-checked reports. Baselines are environment-bound:
+//! compare baselines recorded on the same class of machine.
+
+use crate::chrome::{parse_json, Json};
+use crate::Phase;
+use std::fmt::Write as _;
+
+/// Version stamp written into every baseline; bump on any field change
+/// so `--compare` refuses to diff incompatible documents.
+pub const PERF_SCHEMA_VERSION: u32 = 1;
+
+/// Perf measurements of one benchmark under one scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Benchmark name (e.g. `ising_n420`).
+    pub name: String,
+    /// Scheduler that ran (e.g. `rescq`).
+    pub scheduler: String,
+    /// Seeds averaged into the figures.
+    pub seeds: u32,
+    /// Mean simulated makespan in lattice-surgery cycles.
+    pub total_cycles: f64,
+    /// Mean wall-clock milliseconds per run.
+    pub wall_ms: f64,
+    /// Simulated cycles per wall-clock second (higher is better).
+    pub cycles_per_sec: f64,
+    /// Mean wall-clock milliseconds per engine phase
+    /// (schedule/start/propose/commit), indexed by [`Phase::index`].
+    pub phase_ms: [f64; 4],
+}
+
+impl PerfEntry {
+    /// The `name@scheduler` key entries are matched by in [`compare`].
+    pub fn key(&self) -> String {
+        format!("{}@{}", self.name, self.scheduler)
+    }
+}
+
+/// A recorded perf trajectory point: schema version + per-benchmark
+/// entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBaseline {
+    /// Schema version, [`PERF_SCHEMA_VERSION`] when written by this
+    /// build.
+    pub schema_version: u32,
+    /// Per-benchmark measurements, in recording order.
+    pub entries: Vec<PerfEntry>,
+}
+
+impl PerfBaseline {
+    /// A baseline with the current schema version and no entries.
+    pub fn new() -> Self {
+        PerfBaseline {
+            schema_version: PERF_SCHEMA_VERSION,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Renders the baseline as a deterministic, human-diffable JSON
+    /// document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"seeds\": {}, \"total_cycles\": {:.3}, \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}, \"phase_ms\": {{",
+                e.name, e.scheduler, e.seeds, e.total_cycles, e.wall_ms, e.cycles_per_sec
+            );
+            for (j, p) in Phase::ALL.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}\"{}\": {:.3}",
+                    if j > 0 { ", " } else { "" },
+                    p.name(),
+                    e.phase_ms[j]
+                );
+            }
+            out.push_str("}}");
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a baseline document written by [`PerfBaseline::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on syntax errors, a missing/mismatched schema
+    /// version, or missing fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = parse_json(text)?;
+        let schema_version = doc
+            .get("schema_version")
+            .and_then(Json::as_num)
+            .ok_or("missing `schema_version`")? as u32;
+        if schema_version != PERF_SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema v{schema_version} but this build reads v{PERF_SCHEMA_VERSION}"
+            ));
+        }
+        let raw = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing `entries` array")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for (i, e) in raw.iter().enumerate() {
+            let fail = |msg: &str| format!("entries[{i}]: {msg}");
+            let field_str = |key: &str| {
+                e.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| fail(&format!("missing string `{key}`")))
+            };
+            let field_num = |key: &str| {
+                e.get(key)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| fail(&format!("missing number `{key}`")))
+            };
+            let phases = e
+                .get("phase_ms")
+                .ok_or_else(|| fail("missing `phase_ms`"))?;
+            let mut phase_ms = [0.0; 4];
+            for (j, p) in Phase::ALL.iter().enumerate() {
+                phase_ms[j] = phases
+                    .get(p.name())
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| fail(&format!("missing phase `{}`", p.name())))?;
+            }
+            entries.push(PerfEntry {
+                name: field_str("name")?,
+                scheduler: field_str("scheduler")?,
+                seeds: field_num("seeds")? as u32,
+                total_cycles: field_num("total_cycles")?,
+                wall_ms: field_num("wall_ms")?,
+                cycles_per_sec: field_num("cycles_per_sec")?,
+                phase_ms,
+            });
+        }
+        Ok(PerfBaseline {
+            schema_version,
+            entries,
+        })
+    }
+}
+
+impl Default for PerfBaseline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Severity of one compared entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaLevel {
+    /// Within the warn threshold (includes improvements).
+    Ok,
+    /// Slower than the warn threshold but within the fail threshold.
+    Warn,
+    /// Slower than the fail threshold.
+    Fail,
+}
+
+/// The wall-clock delta of one benchmark between two baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDelta {
+    /// Benchmark name.
+    pub name: String,
+    /// Scheduler.
+    pub scheduler: String,
+    /// Baseline wall-clock ms per run.
+    pub base_wall_ms: f64,
+    /// New wall-clock ms per run.
+    pub new_wall_ms: f64,
+    /// Relative change in percent (positive = slower).
+    pub pct: f64,
+    /// Severity under the thresholds `compare` was called with.
+    pub level: DeltaLevel,
+}
+
+/// Diffs `new` against `base`, flagging entries slower by more than
+/// `warn_pct` / `fail_pct` percent. Entries are matched by
+/// `name@scheduler`; entries present in only one baseline are skipped
+/// (the caller decides whether that matters). Deltas come back in
+/// `new`'s entry order.
+pub fn compare(
+    base: &PerfBaseline,
+    new: &PerfBaseline,
+    warn_pct: f64,
+    fail_pct: f64,
+) -> Vec<PerfDelta> {
+    let mut out = Vec::new();
+    for e in &new.entries {
+        let Some(b) = base.entries.iter().find(|b| b.key() == e.key()) else {
+            continue;
+        };
+        let pct = if b.wall_ms > 0.0 {
+            (e.wall_ms - b.wall_ms) / b.wall_ms * 100.0
+        } else {
+            0.0
+        };
+        let level = if pct > fail_pct {
+            DeltaLevel::Fail
+        } else if pct > warn_pct {
+            DeltaLevel::Warn
+        } else {
+            DeltaLevel::Ok
+        };
+        out.push(PerfDelta {
+            name: e.name.clone(),
+            scheduler: e.scheduler.clone(),
+            base_wall_ms: b.wall_ms,
+            new_wall_ms: e.wall_ms,
+            pct,
+            level,
+        });
+    }
+    out
+}
+
+/// Renders compared deltas as a fixed-width text table (also valid
+/// GitHub-flavoured markdown when piped into a step summary).
+pub fn delta_table(deltas: &[PerfDelta]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| benchmark | scheduler | base ms | new ms | delta | status |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---|");
+    for d in deltas {
+        let status = match d.level {
+            DeltaLevel::Ok => "ok",
+            DeltaLevel::Warn => "WARN",
+            DeltaLevel::Fail => "FAIL",
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3} | {:.3} | {:+.1}% | {} |",
+            d.name, d.scheduler, d.base_wall_ms, d.new_wall_ms, d.pct, status
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, wall_ms: f64) -> PerfEntry {
+        PerfEntry {
+            name: name.into(),
+            scheduler: "rescq".into(),
+            seeds: 2,
+            total_cycles: 1234.5,
+            wall_ms,
+            cycles_per_sec: 1234.5 / wall_ms * 1000.0,
+            phase_ms: [wall_ms * 0.1, wall_ms * 0.2, wall_ms * 0.3, wall_ms * 0.4],
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let mut b = PerfBaseline::new();
+        b.entries.push(entry("ising_n420", 250.0));
+        b.entries.push(entry("factory_n12", 40.5));
+        let text = b.to_json();
+        let parsed = PerfBaseline::parse(&text).unwrap();
+        assert_eq!(parsed.schema_version, PERF_SCHEMA_VERSION);
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].name, "ising_n420");
+        assert!((parsed.entries[0].wall_ms - 250.0).abs() < 1e-9);
+        assert!((parsed.entries[1].phase_ms[3] - 40.5 * 0.4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let text = "{\"schema_version\": 999, \"entries\": []}";
+        let err = PerfBaseline::parse(text).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        assert!(PerfBaseline::parse("{}").is_err());
+        assert!(PerfBaseline::parse("not json").is_err());
+    }
+
+    #[test]
+    fn compare_classifies_thresholds() {
+        let mut base = PerfBaseline::new();
+        base.entries.push(entry("a", 100.0));
+        base.entries.push(entry("b", 100.0));
+        base.entries.push(entry("c", 100.0));
+        base.entries.push(entry("only_base", 1.0));
+        let mut new = PerfBaseline::new();
+        new.entries.push(entry("a", 95.0)); // faster: ok
+        new.entries.push(entry("b", 115.0)); // +15%: warn
+        new.entries.push(entry("c", 130.0)); // +30%: fail
+        new.entries.push(entry("only_new", 1.0)); // unmatched: skipped
+        let deltas = compare(&base, &new, 10.0, 25.0);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].level, DeltaLevel::Ok);
+        assert_eq!(deltas[1].level, DeltaLevel::Warn);
+        assert_eq!(deltas[2].level, DeltaLevel::Fail);
+        let table = delta_table(&deltas);
+        assert!(
+            table.contains("| b | rescq | 100.000 | 115.000 | +15.0% | WARN |"),
+            "{table}"
+        );
+        assert!(table.lines().count() == 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! The sweep progress heartbeat, expressed as a [`Recorder`].
+//!
+//! The harness worker pool used to keep ad-hoc heartbeat state; it now
+//! emits [`Event::JobDone`] into whatever recorder it was handed, and
+//! [`Heartbeat`] is the recorder that turns those events into the
+//! throttled stderr lines. Sweep progress, per-job wall-clock and
+//! cache-hit (resume) counts all flow through this one code path — and
+//! any other recorder (a [`RingRecorder`](crate::RingRecorder), a test
+//! stub) can observe the same stream.
+
+use crate::{Event, Recorder};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Formats one progress heartbeat line.
+pub fn progress_line(done: usize, total: usize, elapsed_secs: f64) -> String {
+    let eta = if done > 0 && done < total {
+        let rate = elapsed_secs / done as f64;
+        format!(", ETA {:.0}s", rate * (total - done) as f64)
+    } else {
+        String::new()
+    };
+    format!("sweep: {done}/{total} jobs done, {elapsed_secs:.1}s elapsed{eta}")
+}
+
+/// A [`Recorder`] that consumes [`Event::JobDone`] and prints throttled
+/// progress lines to stderr: `jobs done/total, elapsed, ETA`, at most
+/// one line per interval (the final job always reports). All other
+/// events are ignored, so a `Heartbeat` can sit directly on an engine
+/// trace stream too.
+#[derive(Debug)]
+pub struct Heartbeat {
+    total: usize,
+    done: AtomicUsize,
+    resumed: AtomicUsize,
+    total_wall_ns: AtomicU64,
+    started: Instant,
+    last_print: Mutex<Instant>,
+    interval: Duration,
+}
+
+impl Heartbeat {
+    /// The default reporting throttle.
+    pub const INTERVAL: Duration = Duration::from_secs(2);
+
+    /// A heartbeat over `total` jobs with the default throttle.
+    pub fn new(total: usize) -> Self {
+        Self::with_interval(total, Self::INTERVAL)
+    }
+
+    /// A heartbeat with an explicit throttle (tests use
+    /// `Duration::ZERO`).
+    pub fn with_interval(total: usize, interval: Duration) -> Self {
+        let now = Instant::now();
+        Heartbeat {
+            total,
+            done: AtomicUsize::new(0),
+            resumed: AtomicUsize::new(0),
+            total_wall_ns: AtomicU64::new(0),
+            started: now,
+            last_print: Mutex::new(now),
+            interval,
+        }
+    }
+
+    /// Jobs completed so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Jobs restored from a checkpoint (cache hits) so far.
+    pub fn resumed(&self) -> usize {
+        self.resumed.load(Ordering::Relaxed)
+    }
+
+    /// Total per-job wall-clock nanoseconds accumulated so far (sums
+    /// worker time, so it exceeds elapsed time on multi-thread pools).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.total_wall_ns.load(Ordering::Relaxed)
+    }
+
+    /// Consumes one completion; returns the heartbeat line when the
+    /// throttle says it is due.
+    fn on_job_done(&self, wall_ns: u64, resumed: bool) -> Option<String> {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if resumed {
+            self.resumed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        let now = Instant::now();
+        {
+            let mut last = self.last_print.lock().expect("heartbeat lock poisoned");
+            if done != self.total && now.duration_since(*last) < self.interval {
+                return None;
+            }
+            *last = now;
+        }
+        Some(progress_line(
+            done,
+            self.total,
+            self.started.elapsed().as_secs_f64(),
+        ))
+    }
+}
+
+impl Recorder for Heartbeat {
+    fn record(&self, ev: Event) {
+        if let Event::JobDone {
+            wall_ns, resumed, ..
+        } = ev
+        {
+            if let Some(line) = self.on_job_done(wall_ns, resumed) {
+                eprintln!("{line}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_line_reports_counts_and_eta() {
+        let line = progress_line(4, 16, 8.0);
+        assert!(line.contains("4/16 jobs"), "{line}");
+        assert!(line.contains("8.0s elapsed"), "{line}");
+        assert!(line.contains("ETA 24s"), "{line}");
+        // Final line has no ETA.
+        assert!(!progress_line(16, 16, 32.0).contains("ETA"));
+    }
+
+    #[test]
+    fn heartbeat_counts_jobs_and_resumes() {
+        let hb = Heartbeat::with_interval(3, Duration::ZERO);
+        hb.record(Event::JobDone {
+            index: 0,
+            total: 3,
+            wall_ns: 100,
+            resumed: false,
+        });
+        hb.record(Event::JobDone {
+            index: 1,
+            total: 3,
+            wall_ns: 0,
+            resumed: true,
+        });
+        // Non-JobDone events are ignored.
+        hb.record(Event::PhaseSpan {
+            phase: crate::Phase::Commit,
+            round: 1,
+            dur_ns: 5,
+        });
+        assert_eq!(hb.done(), 2);
+        assert_eq!(hb.resumed(), 1);
+        assert_eq!(hb.total_wall_ns(), 100);
+        let line = hb.on_job_done(50, false).expect("final job reports");
+        assert!(line.starts_with("sweep: 3/3 jobs done"), "{line}");
+    }
+
+    #[test]
+    fn throttle_suppresses_intermediate_lines() {
+        let hb = Heartbeat::with_interval(10, Duration::from_secs(3600));
+        // Far from the interval: only the final completion reports.
+        for _ in 0..9 {
+            assert!(hb.on_job_done(1, false).is_none());
+        }
+        assert!(hb.on_job_done(1, false).is_some());
+    }
+}

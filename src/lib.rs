@@ -14,6 +14,7 @@
 //! - [`decoder`] — realtime classical-decoder models and back-pressure
 //! - [`sim`] — cycle-accurate engine, metrics, multi-seed runner
 //! - [`harness`] — parallel sweep orchestration with shared artifact caching
+//! - [`telemetry`] — cycle-level tracing, stall attribution, perf baselines
 //!
 //! # Example
 //!
@@ -38,6 +39,7 @@ pub use rescq_harness as harness;
 pub use rescq_lattice as lattice;
 pub use rescq_rus as rus;
 pub use rescq_sim as sim;
+pub use rescq_telemetry as telemetry;
 pub use rescq_workloads as workloads;
 
 /// Commonly used items across the workspace, for glob import in examples.
