@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sim run <config-file> [--csv DIR]        one experiment from a config file
+//! sim analyze <trace.json|config>          bottleneck report from a trace or config
 //! sim sweep <spec.toml> [options]          a declarative parameter sweep (rescq-harness)
 //! sim merge-checkpoints <spec.toml> <out.csv> <in.ckpt...>  merge shard checkpoints
 //! sim bench <name> [options]               one Table 3 benchmark, all schedulers
@@ -22,6 +23,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("merge-checkpoints") => cmd_merge_checkpoints(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -53,7 +55,15 @@ fn print_usage() {
     println!("            [--trace-out FILE]     write a Chrome trace-event JSON of one");
     println!("                                   traced run (base seed; open in");
     println!("                                   chrome://tracing or Perfetto)");
+    println!("            [--metrics-out FILE]   write the base-seed metrics snapshot");
+    println!("                                   (.json = JSON, else text exposition)");
     println!("                                      run an experiment from a config file");
+    println!("  sim analyze <trace.json|config> [--json FILE] [--top K]");
+    println!("                                      bottleneck report: critical path with");
+    println!("                                   stall-cause attribution, hot ancillas,");
+    println!("                                   region utilization. Accepts a --trace-out");
+    println!("                                   JSON or a run config (re-runs base seed");
+    println!("                                   traced)");
     println!("  sim sweep <spec.toml> [--threads N] [--csv FILE] [--json FILE]");
     println!("            [--checkpoint FILE] [--shard i/n] [--quiet | --progress]");
     println!("            [--layout-cache DIR]  persist layouts across invocations");
@@ -92,7 +102,10 @@ fn load_circuit(name: &str) -> Result<rescq_circuit::Circuit, String> {
         .ok_or_else(|| format!("unknown benchmark `{name}`; `sim list` shows the suite"))
 }
 
-fn run_spec(spec: &RunSpec, csv_dir: Option<PathBuf>) -> Result<(), String> {
+fn run_spec(
+    spec: &RunSpec,
+    csv_dir: Option<PathBuf>,
+) -> Result<rescq_sim::runner::SweepSummary, String> {
     let circuit = load_circuit(&spec.benchmark)?;
     println!(
         "{}: {} qubits, {} gates ({})",
@@ -132,7 +145,7 @@ fn run_spec(spec: &RunSpec, csv_dir: Option<PathBuf>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         println!("  csv written under {}", dir.display());
     }
-    Ok(())
+    Ok(summary)
 }
 
 /// Applies the shared `--priority-classes` flag (`off` = class-blind).
@@ -153,9 +166,68 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         spec.config.engine_threads = t.parse().map_err(|_| "bad --engine-threads")?;
     }
     apply_priority_flag(args, &mut spec.config)?;
-    run_spec(&spec, flag_value(args, "--csv").map(PathBuf::from))?;
+    let summary = run_spec(&spec, flag_value(args, "--csv").map(PathBuf::from))?;
+    if let Some(out) = flag_value(args, "--metrics-out") {
+        // The base seed's report, as a versioned snapshot. Every metric in
+        // it is schedule-derived, so the file is identical whether or not
+        // the run was traced, at any engine thread count.
+        let report = summary
+            .reports
+            .first()
+            .ok_or("run produced no reports to snapshot")?;
+        let snapshot = rescq_sim::metrics_snapshot(report);
+        let body = if out.ends_with(".json") {
+            snapshot.to_json()
+        } else {
+            snapshot.to_text()
+        };
+        std::fs::write(&out, body).map_err(|e| format!("{out}: {e}"))?;
+        println!("  metrics snapshot written to {out}");
+    }
     if let Some(out) = flag_value(args, "--trace-out") {
         write_trace(&spec, &PathBuf::from(out))?;
+    }
+    Ok(())
+}
+
+/// Produces the bottleneck report of `sim analyze`: from a `--trace-out`
+/// Chrome trace file (first positional starting with `{`), or from a run
+/// config, in which case the base seed re-runs with a recorder attached
+/// (tracing is inert, so this reproduces the main run's schedule exactly).
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    use rescq_telemetry::{analyze_events, parse_trace, RingRecorder};
+    const USAGE: &str = "usage: sim analyze <trace.json|run-config> [--json FILE] [--top K]";
+    let path = args.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let top_k: usize = match flag_value(args, "--top") {
+        Some(k) => k.parse().map_err(|_| "bad --top")?,
+        None => 8,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report = if text.trim_start().starts_with('{') {
+        let parsed = parse_trace(&text)?;
+        analyze_events(&parsed.events, parsed.dropped, parsed.truncated)
+    } else {
+        let mut spec = parse_config(&text).map_err(|e| e.to_string())?;
+        if let Some(t) = flag_value(args, "--engine-threads") {
+            spec.config.engine_threads = t.parse().map_err(|_| "bad --engine-threads")?;
+        }
+        apply_priority_flag(args, &mut spec.config)?;
+        let circuit = load_circuit(&spec.benchmark)?;
+        let mut config = spec.config.clone();
+        config.seed = spec.base_seed;
+        let recorder = RingRecorder::new();
+        rescq_sim::simulate_traced(&circuit, &config, Some(&recorder))
+            .map_err(|e| e.to_string())?;
+        let events: Vec<_> = recorder.events().iter().map(|t| t.event).collect();
+        analyze_events(&events, recorder.dropped(), false)
+    };
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+    print!("{}", report.render_text(top_k));
+    if let Some(json) = flag_value(args, "--json") {
+        std::fs::write(&json, report.to_json(top_k)).map_err(|e| format!("{json}: {e}"))?;
+        println!("machine-readable report written to {json}");
     }
     Ok(())
 }

@@ -404,6 +404,18 @@ pub enum LedgerEvent {
         /// The ancilla whose queue would have been reordered.
         ancilla: u32,
     },
+    /// A wait-for edge was inserted: `waiter` enqueued behind `holder`
+    /// on `ancilla`. Only *claim-time* edges are logged (one per
+    /// distinct task ahead of the new entry) — enough to reconstruct
+    /// blocking chains downstream without replaying queue mechanics.
+    WaitEdge {
+        /// The task that now waits.
+        waiter: TaskId,
+        /// The task it queued behind.
+        holder: TaskId,
+        /// The ancilla queue carrying the edge.
+        ancilla: u32,
+    },
 }
 
 /// Outcome of a [`ReservationLedger::try_preempt`] call.
@@ -585,6 +597,11 @@ impl ReservationLedger {
             .filter(|&t| t != entry.task)
             .collect();
         for holder in waiters {
+            self.log_event(LedgerEvent::WaitEdge {
+                waiter: entry.task,
+                holder,
+                ancilla: a,
+            });
             self.add_edge(entry.task, holder);
         }
         self.queues[a as usize].push(entry);
@@ -1404,6 +1421,12 @@ mod tests {
                     ancilla: 0,
                     cross_shard: false
                 },
+                // Task 1 queued behind task 3's pre-existing prep.
+                LedgerEvent::WaitEdge {
+                    waiter: TaskId(1),
+                    holder: TaskId(3),
+                    ancilla: 0
+                },
                 LedgerEvent::Preempted {
                     task: TaskId(1),
                     ancilla: 0,
@@ -1429,6 +1452,43 @@ mod tests {
                 ancilla: 0
             }]
         );
+    }
+
+    #[test]
+    fn event_log_records_one_wait_edge_per_distinct_holder() {
+        let mut l = ReservationLedger::new(1);
+        l.enable_event_log();
+        l.push(0, prep(1));
+        l.push(0, prep(2));
+        l.push(0, route(3));
+        let edges: Vec<LedgerEvent> = l
+            .take_events()
+            .into_iter()
+            .filter(|e| matches!(e, LedgerEvent::WaitEdge { .. }))
+            .collect();
+        // Entry 2 waits on 1; entry 3 waits on both 1 and 2 — and the
+        // logged edges mirror the live graph's insertions exactly.
+        assert_eq!(
+            edges,
+            vec![
+                LedgerEvent::WaitEdge {
+                    waiter: TaskId(2),
+                    holder: TaskId(1),
+                    ancilla: 0
+                },
+                LedgerEvent::WaitEdge {
+                    waiter: TaskId(3),
+                    holder: TaskId(1),
+                    ancilla: 0
+                },
+                LedgerEvent::WaitEdge {
+                    waiter: TaskId(3),
+                    holder: TaskId(2),
+                    ancilla: 0
+                },
+            ]
+        );
+        assert_eq!(l.current_edges(), 3);
     }
 
     #[test]

@@ -216,6 +216,9 @@ mod tests {
             stall_decoder: 0,
             stall_route: 0,
             stall_class: 0,
+            cnot_p50: 0,
+            cnot_p99: 0,
+            decode_p99: 0,
         };
         let fp = job_fingerprint(&job, 42, 1);
         {
@@ -263,6 +266,9 @@ mod tests {
             stall_decoder: 0,
             stall_route: 0,
             stall_class: 0,
+            cnot_p50: 0,
+            cnot_p99: 0,
+            decode_p99: 0,
         };
         let fp = job_fingerprint(&job, 7, 1);
         {

@@ -51,6 +51,12 @@ pub struct JobMetrics {
     pub stall_route: u64,
     /// Task-cycles stalled after displacement by a higher priority class.
     pub stall_class: u64,
+    /// Median CNOT completion latency in cycles.
+    pub cnot_p50: u64,
+    /// 99th-percentile CNOT completion latency in cycles.
+    pub cnot_p99: u64,
+    /// 99th-percentile decode-window latency in cycles.
+    pub decode_p99: u64,
 }
 
 impl JobMetrics {
@@ -75,6 +81,9 @@ impl JobMetrics {
             stall_decoder: report.counters.stall_decoder_cycles,
             stall_route: report.counters.stall_route_cycles,
             stall_class: report.counters.stall_class_cycles,
+            cnot_p50: report.cnot_latency.percentile(0.5),
+            cnot_p99: report.cnot_latency.percentile(0.99),
+            decode_p99: report.decode_latency.percentile(0.99),
         }
     }
 }
@@ -101,12 +110,13 @@ pub const CSV_HEADER: &str = "workload,scheduler,distance,error_rate,k,compressi
 engine_threads,priority,seed,\
 total_cycles,idle_fraction,stall_cycles,decode_windows,peak_backlog,injections,\
 injection_failures,preps_started,preps_cancelled,preemptions,preemptions_rejected,\
-waitgraph_peak_edges,preemptions_class,stall_ancilla,stall_decoder,stall_route,stall_class";
+waitgraph_peak_edges,preemptions_class,stall_ancilla,stall_decoder,stall_route,stall_class,\
+cnot_p50,cnot_p99,decode_p99";
 
 /// Formats one job + metrics as a CSV row (no trailing newline).
 pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         job.workload,
         job.config.scheduler,
         job.config.distance,
@@ -134,6 +144,9 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
         m.stall_decoder,
         m.stall_route,
         m.stall_class,
+        m.cnot_p50,
+        m.cnot_p99,
+        m.decode_p99,
     )
 }
 
@@ -142,11 +155,11 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
 /// fingerprint, not re-parsed).
 pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
     let cols: Vec<&str> = row.split(',').collect();
-    // 27 columns since the stall-attribution counters; older 20/21/23-column
+    // 30 columns since the latency-quantile rollups; older 20/21/23/27-column
     // checkpoint rows fail here and are skipped gracefully by the
     // checkpoint loader (the jobs simply re-run).
-    if cols.len() != 27 {
-        return Err(format!("expected 27 columns, got {}", cols.len()));
+    if cols.len() != 30 {
+        return Err(format!("expected 30 columns, got {}", cols.len()));
     }
     let f = |i: usize| -> Result<f64, String> {
         cols[i]
@@ -177,6 +190,9 @@ pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
         stall_decoder: u(24)?,
         stall_route: u(25)?,
         stall_class: u(26)?,
+        cnot_p50: u(27)?,
+        cnot_p99: u(28)?,
+        decode_p99: u(29)?,
     })
 }
 
@@ -221,6 +237,12 @@ pub struct PointSummary {
     pub stall_route: u64,
     /// Total task-cycles stalled by class displacement across seeds.
     pub stall_class: u64,
+    /// Mean of the per-seed median CNOT latencies (cycles).
+    pub cnot_p50: f64,
+    /// Worst per-seed p99 CNOT latency across seeds (cycles).
+    pub cnot_p99: u64,
+    /// Worst per-seed p99 decode-window latency across seeds (cycles).
+    pub decode_p99: u64,
 }
 
 /// Smallest value `v` in sorted `xs` such that at least `p` of samples ≤ `v`.
@@ -334,6 +356,9 @@ impl SweepResults {
                 stall_decoder: ok.iter().map(|m| m.stall_decoder).sum(),
                 stall_route: ok.iter().map(|m| m.stall_route).sum(),
                 stall_class: ok.iter().map(|m| m.stall_class).sum(),
+                cnot_p50: ok.iter().map(|m| m.cnot_p50 as f64).sum::<f64>() / n,
+                cnot_p99: ok.iter().map(|m| m.cnot_p99).max().unwrap_or(0),
+                decode_p99: ok.iter().map(|m| m.decode_p99).max().unwrap_or(0),
             });
         }
         out
@@ -363,7 +388,7 @@ impl SweepResults {
         for (i, s) in summaries.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"priority\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"preemptions_class\": {}, \"waitgraph_peak_edges\": {}, \"stall_ancilla\": {}, \"stall_decoder\": {}, \"stall_route\": {}, \"stall_class\": {}}}",
+                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"priority\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"preemptions_class\": {}, \"waitgraph_peak_edges\": {}, \"stall_ancilla\": {}, \"stall_decoder\": {}, \"stall_route\": {}, \"stall_class\": {}, \"cnot_p50\": {}, \"cnot_p99\": {}, \"decode_p99\": {}}}",
                 json_escape(&s.job.workload),
                 s.job.config.scheduler,
                 s.job.config.distance,
@@ -389,7 +414,10 @@ impl SweepResults {
                 s.stall_ancilla,
                 s.stall_decoder,
                 s.stall_route,
-                s.stall_class
+                s.stall_class,
+                s.cnot_p50,
+                s.cnot_p99,
+                s.decode_p99
             );
             out.push_str(if i + 1 < summaries.len() { ",\n" } else { "\n" });
         }
@@ -450,6 +478,9 @@ mod tests {
             stall_decoder: 6,
             stall_route: 4,
             stall_class: 1,
+            cnot_p50: 21,
+            cnot_p99: 35,
+            decode_p99: 12,
         };
         let row = csv_row(&job, &m);
         assert_eq!(

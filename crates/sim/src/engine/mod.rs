@@ -111,8 +111,10 @@ impl<E> EventQueue<E> {
 
 /// Runs the engines over a pre-built artifact bundle (the shared path; the
 /// bundle's pieces are only read, never mutated). `recorder` attaches a
-/// structured trace sink to the realtime engine; static baselines have no
-/// cycle loop worth tracing and ignore it.
+/// structured trace sink: the realtime engine streams its full taxonomy;
+/// the static baselines (no phase loop) stream ledger claims/wait edges
+/// and ancilla occupancy so utilization analytics compare across
+/// schedulers.
 pub(crate) fn run_with_artifacts(
     artifacts: &SimArtifacts,
     config: &SimConfig,
@@ -130,7 +132,7 @@ pub(crate) fn run_with_artifacts(
     let dag = artifacts.dag.clone();
     match config.scheduler {
         SchedulerKind::Rescq => realtime::run_realtime(circuit, dag, config, fabric, rng, recorder),
-        kind => static_sched::run_static(circuit, dag, config, kind, fabric, rng),
+        kind => static_sched::run_static(circuit, dag, config, kind, fabric, rng, recorder),
     }
 }
 
@@ -166,8 +168,9 @@ pub fn simulate(circuit: &Circuit, config: &SimConfig) -> Result<ExecutionReport
 /// field of the report — is byte-identical with or without one, at any
 /// thread count (property-tested in `tests/telemetry.rs`). Tracing adds
 /// per-phase wall-clock to [`ExecutionReport::phase_nanos`] and streams
-/// cycle-scoped events (phases, ledger arbitration, decoder windows, route
-/// plans, stalls) into the recorder.
+/// cycle-scoped events (phases, ledger arbitration and wait edges,
+/// decoder windows, route plans, stalls, ancilla occupancy) into the
+/// recorder.
 ///
 /// # Errors
 ///

@@ -271,6 +271,10 @@ struct RtEngine<'a> {
     /// Submission round of each in-flight decoder window, kept only while
     /// traced (drives `WindowRetired::stalled_rounds`).
     traced_windows: HashMap<WindowId, u64>,
+    /// Last emitted `(depth, busy)` occupancy state per ancilla, kept only
+    /// while traced — the cycle tick emits [`TraceEvent::AncillaState`]
+    /// transitions (not per-cycle dumps) against this. Empty untraced.
+    traced_occupancy: Vec<(u32, bool)>,
 }
 
 // Shard workers scan a frozen `&RtEngine` concurrently during the propose
@@ -402,6 +406,11 @@ pub(crate) fn run_realtime(
         phase_nanos: [0; 4],
         displaced_by_class: HashSet::new(),
         traced_windows: HashMap::new(),
+        traced_occupancy: if recorder.is_some() {
+            vec![(0, false); num_ancillas]
+        } else {
+            Vec::new()
+        },
     };
     engine.run(config)
 }
@@ -665,6 +674,16 @@ impl RtEngine<'_> {
                 LedgerEvent::Rejected { task, ancilla } => TraceEvent::PreemptionRejected {
                     round,
                     task: task.0 as u64,
+                    ancilla,
+                },
+                LedgerEvent::WaitEdge {
+                    waiter,
+                    holder,
+                    ancilla,
+                } => TraceEvent::WaitEdge {
+                    round,
+                    waiter: waiter.0 as u64,
+                    holder: holder.0 as u64,
                     ancilla,
                 },
             });
@@ -1861,6 +1880,32 @@ impl RtEngine<'_> {
         }
     }
 
+    /// Emits [`TraceEvent::AncillaState`] transitions for every ancilla
+    /// whose occupancy changed since the last cycle tick (traced runs
+    /// only). State is read at the deterministic tick point — fabric
+    /// occupancy and ledger queue depth are pure schedule state — and
+    /// ancillas are scanned in ascending order, so the emitted stream is
+    /// identical at any `engine_threads`.
+    fn sample_occupancy(&mut self) {
+        let Some(rec) = self.recorder else { return };
+        let round = self.clock;
+        for a in 0..self.fabric.num_ancillas() as u32 {
+            let busy = !self.fabric.ancilla_free(a, round);
+            let depth = self.ledger.queue(a).len() as u32;
+            let last = &mut self.traced_occupancy[a as usize];
+            if *last != (depth, busy) {
+                *last = (depth, busy);
+                rec.record(TraceEvent::AncillaState {
+                    round,
+                    ancilla: a,
+                    region: self.partition.region_of(a),
+                    depth,
+                    busy,
+                });
+            }
+        }
+    }
+
     /// Traces a decoder-window submission (traced runs only; the window's
     /// submission round is kept so retirement can report its stall).
     fn trace_window_enqueued(&mut self, window: WindowId, ready_at: u64) {
@@ -1897,6 +1942,7 @@ impl RtEngine<'_> {
                 let act = self.fabric.take_cycle_activity(self.clock);
                 self.activity.record_cycle(&act);
                 self.sample_stalls();
+                self.sample_occupancy();
                 let cycle = self.clock / self.d as u64;
                 let activity = &self.activity;
                 self.mst

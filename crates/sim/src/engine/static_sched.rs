@@ -13,6 +13,7 @@
 //! layer's CNOTs by endpoint distance and routes them as an edge-disjoint
 //! batch, which extracts more parallelism.
 
+use crate::engine::shard::RegionPartition;
 use crate::engine::EventQueue;
 use crate::fabric::Fabric;
 use crate::metrics::{ExecutionReport, LatencyHistogram, RunCounters};
@@ -21,12 +22,13 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, QubitId};
 use rescq_core::{
-    plan_static_route, QueueEntry, ReservationLedger, Role, SchedulerKind, StaticRouteOutcome,
-    TaskId,
+    plan_static_route, LedgerEvent, QueueEntry, ReservationLedger, Role, SchedulerKind,
+    StaticRouteOutcome, TaskId,
 };
 use rescq_decoder::{DecoderRuntime, WindowId};
 use rescq_lattice::AncillaIndex;
 use rescq_rus::{InjectionLadder, PreparationModel};
+use rescq_telemetry::{Event as TraceEvent, Recorder};
 use std::sync::Arc;
 
 /// Per-gate state within the current layer.
@@ -96,7 +98,11 @@ enum Ev {
     SurgeryDone(usize),
 }
 
-/// Runs a static baseline schedule.
+/// Runs a static baseline schedule. `recorder` attaches a structured
+/// trace sink (ledger claims/wait edges and ancilla occupancy; the
+/// static engines have no phase loop, so no phase spans); `None` runs
+/// untraced with zero instrumentation cost. Task ids in static-engine
+/// events are per-layer slot indices, reused across layers.
 pub(crate) fn run_static(
     circuit: &Circuit,
     dag: Arc<DependencyDag>,
@@ -104,6 +110,7 @@ pub(crate) fn run_static(
     kind: SchedulerKind,
     mut fabric: Fabric,
     mut rng: ChaCha8Rng,
+    recorder: Option<&dyn Recorder>,
 ) -> Result<ExecutionReport, SimError> {
     let d = config.rounds_per_cycle();
     let prep_model = PreparationModel::with_calibration(config.rus_params(), config.calibration);
@@ -118,6 +125,16 @@ pub(crate) fn run_static(
     // are comparable across schedulers. Accounting only — no decision below
     // reads the ledger.
     let mut ledger = ReservationLedger::new(fabric.num_ancillas());
+    // Occupancy/ledger tracing mirrors the realtime engine: the same
+    // fabric-derived region partition, the same transition-only
+    // AncillaState stream, all sampled from pure schedule state.
+    let partition = RegionPartition::for_fabric(fabric.num_ancillas());
+    let mut traced_occupancy = if recorder.is_some() {
+        ledger.enable_event_log();
+        vec![(0u32, false); fabric.num_ancillas()]
+    } else {
+        Vec::new()
+    };
     let mut cnot_latency = LatencyHistogram::new();
     let mut rz_latency = LatencyHistogram::new();
     let mut decoder = DecoderRuntime::new(&config.decoder, d);
@@ -220,6 +237,14 @@ pub(crate) fn run_static(
                     &costs,
                 )?;
             }
+            drain_trace(
+                recorder,
+                &mut ledger,
+                &fabric,
+                &partition,
+                &mut traced_occupancy,
+                clock,
+            );
             if remaining == 0 {
                 break;
             }
@@ -253,6 +278,15 @@ pub(crate) fn run_static(
                 d,
             );
         }
+        // Catch the final completions of the layer (releases, pops).
+        drain_trace(
+            recorder,
+            &mut ledger,
+            &fabric,
+            &partition,
+            &mut traced_occupancy,
+            clock,
+        );
     }
 
     let dec = decoder.stats();
@@ -289,6 +323,75 @@ pub(crate) fn run_static(
         // Static engines are untraced: no phase loop to time.
         phase_nanos: [0; 4],
     })
+}
+
+/// Forwards buffered ledger events (stamped with the current round) and
+/// emits ancilla-occupancy transitions, mirroring the realtime engine's
+/// `drain_ledger_events` + `sample_occupancy`. A no-op — one check —
+/// when no recorder is attached.
+fn drain_trace(
+    recorder: Option<&dyn Recorder>,
+    ledger: &mut ReservationLedger,
+    fabric: &Fabric,
+    partition: &RegionPartition,
+    occupancy: &mut [(u32, bool)],
+    round: u64,
+) {
+    let Some(rec) = recorder else { return };
+    for ev in ledger.take_events() {
+        rec.record(match ev {
+            LedgerEvent::Claim {
+                task,
+                ancilla,
+                cross_shard,
+            } => TraceEvent::Claim {
+                round,
+                task: task.0 as u64,
+                ancilla,
+                cross_shard,
+            },
+            LedgerEvent::Preempted {
+                task,
+                ancilla,
+                class_won,
+            } => TraceEvent::Preemption {
+                round,
+                task: task.0 as u64,
+                ancilla,
+                class_won,
+            },
+            LedgerEvent::Rejected { task, ancilla } => TraceEvent::PreemptionRejected {
+                round,
+                task: task.0 as u64,
+                ancilla,
+            },
+            LedgerEvent::WaitEdge {
+                waiter,
+                holder,
+                ancilla,
+            } => TraceEvent::WaitEdge {
+                round,
+                waiter: waiter.0 as u64,
+                holder: holder.0 as u64,
+                ancilla,
+            },
+        });
+    }
+    for a in 0..fabric.num_ancillas() as u32 {
+        let busy = !fabric.ancilla_free(a, round);
+        let depth = ledger.queue(a).len() as u32;
+        let last = &mut occupancy[a as usize];
+        if *last != (depth, busy) {
+            *last = (depth, busy);
+            rec.record(TraceEvent::AncillaState {
+                round,
+                ancilla: a,
+                region: partition.region_of(a),
+                depth,
+                busy,
+            });
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

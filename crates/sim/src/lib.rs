@@ -43,5 +43,5 @@ pub use artifacts::{build_layout, simulate_prepared, simulate_prepared_traced, S
 pub use config::{SimConfig, SimConfigBuilder};
 pub use engine::{simulate, simulate_traced, SimError};
 pub use fabric::Fabric;
-pub use metrics::{ExecutionReport, LatencyHistogram, RunCounters};
+pub use metrics::{metrics_snapshot, ExecutionReport, LatencyHistogram, RunCounters};
 pub use priority::factory_qubits;

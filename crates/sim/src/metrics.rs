@@ -2,6 +2,7 @@
 //! idle fractions (Fig 11/12), and classical-overhead counters (§5.4).
 
 use rescq_core::SchedulerKind;
+use rescq_telemetry::{HistogramSummary, MetricsSnapshot};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -249,6 +250,61 @@ impl ExecutionReport {
     }
 }
 
+/// Summarizes a [`LatencyHistogram`] to the snapshot's quantile form
+/// (exact quantiles — cycle histograms keep every bucket).
+fn summarize(h: &LatencyHistogram) -> HistogramSummary {
+    HistogramSummary {
+        count: h.count(),
+        sum: h.iter().map(|(lat, n)| lat * n).sum(),
+        p50: h.percentile(0.5),
+        p99: h.percentile(0.99),
+    }
+}
+
+/// Builds the versioned [`MetricsSnapshot`] of one run: the
+/// machine-queryable rollup `sim run --metrics-out` writes and the
+/// harness folds into sweep outputs.
+///
+/// Every metric is schedule-derived (rounds, cycles, counters) — the
+/// wall-clock `phase_nanos` are deliberately excluded — so the
+/// snapshot is a pure function of config + seed, byte-identical with
+/// tracing on or off at any engine thread count.
+pub fn metrics_snapshot(report: &ExecutionReport) -> MetricsSnapshot {
+    let mut s = MetricsSnapshot::new();
+    let c = &report.counters;
+    s.counter("rescq_total_rounds", report.total_rounds)
+        .counter("rescq_gates_executed", report.gates_executed as u64)
+        .counter("rescq_preps_started", c.preps_started)
+        .counter("rescq_preps_succeeded", c.preps_succeeded)
+        .counter("rescq_preps_cancelled", c.preps_cancelled)
+        .counter("rescq_injections", c.injections)
+        .counter("rescq_injection_failures", c.injection_failures)
+        .counter("rescq_cnot_surgeries", c.cnot_surgeries)
+        .counter("rescq_cnot_replans", c.cnot_replans)
+        .counter("rescq_preemptions", c.preemptions)
+        .counter("rescq_preemptions_rejected", c.preemptions_rejected_cycle)
+        .counter("rescq_preemptions_class", c.preemptions_class)
+        .counter("rescq_claims_cross_shard", c.claims_cross_shard)
+        .counter("rescq_waitgraph_peak_edges", c.waitgraph_peak_edges)
+        .counter("rescq_stall_ancilla_cycles", c.stall_ancilla_cycles)
+        .counter("rescq_stall_decoder_cycles", c.stall_decoder_cycles)
+        .counter("rescq_stall_route_cycles", c.stall_route_cycles)
+        .counter("rescq_stall_class_cycles", c.stall_class_cycles)
+        .counter("rescq_decode_windows", c.decode_windows)
+        .counter("rescq_decoder_stall_rounds", c.decoder_stall_rounds)
+        .counter("rescq_decoder_peak_backlog", c.decoder_peak_backlog)
+        .gauge("rescq_total_cycles", report.total_cycles())
+        .gauge("rescq_idle_fraction", report.idle_fraction())
+        .gauge("rescq_achieved_compression", report.achieved_compression)
+        .histogram("rescq_cnot_latency_cycles", summarize(&report.cnot_latency))
+        .histogram("rescq_rz_latency_cycles", summarize(&report.rz_latency))
+        .histogram(
+            "rescq_decode_latency_cycles",
+            summarize(&report.decode_latency),
+        );
+    s
+}
+
 impl fmt::Display for ExecutionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -327,5 +383,55 @@ mod tests {
         assert!((r.total_cycles() - 100.0).abs() < 1e-12);
         assert!((r.idle_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(r.stall_cycles(), 6);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_counters_and_quantiles() {
+        let mut cnot = LatencyHistogram::new();
+        for v in [10, 20, 20, 40] {
+            cnot.record(v);
+        }
+        let r = ExecutionReport {
+            scheduler: SchedulerKind::Rescq,
+            seed: 1,
+            engine_threads: 1,
+            distance: 7,
+            total_rounds: 700,
+            gates_executed: 10,
+            cnot_latency: cnot,
+            rz_latency: LatencyHistogram::new(),
+            decode_latency: LatencyHistogram::new(),
+            data_busy_rounds: 1400,
+            num_qubits: 4,
+            achieved_compression: 0.25,
+            k_used: 25,
+            tau_used: 17,
+            counters: RunCounters {
+                stall_decoder_cycles: 2,
+                decode_windows: 9,
+                ..RunCounters::default()
+            },
+            // Wall-clock never reaches the snapshot: identical schedule,
+            // different phase timings must snapshot identically.
+            phase_nanos: [123, 456, 789, 1011],
+        };
+        let s = metrics_snapshot(&r);
+        assert_eq!(s.get_counter("rescq_total_rounds"), Some(700));
+        assert_eq!(s.get_counter("rescq_decode_windows"), Some(9));
+        assert_eq!(s.get_counter("rescq_stall_decoder_cycles"), Some(2));
+        let (_, cnot_summary) = s
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "rescq_cnot_latency_cycles")
+            .unwrap();
+        assert_eq!(cnot_summary.count, 4);
+        assert_eq!(cnot_summary.sum, 90);
+        assert_eq!(cnot_summary.p50, 20);
+        assert_eq!(cnot_summary.p99, 40);
+
+        let mut zeroed = r;
+        zeroed.phase_nanos = [0; 4];
+        assert_eq!(s.to_json(), metrics_snapshot(&zeroed).to_json());
+        assert!(s.to_text().contains("gauge rescq_idle_fraction"));
     }
 }

@@ -24,6 +24,7 @@ const TID_LEDGER: u32 = 1;
 const TID_DECODER: u32 = 2;
 const TID_TASKS: u32 = 3;
 const TID_HARNESS: u32 = 4;
+const TID_ANCILLA: u32 = 5;
 
 fn push_ts(out: &mut String, key: &str, ns: u64) {
     // Microseconds with fixed 3-decimal nanosecond precision: the
@@ -152,6 +153,39 @@ fn push_event(out: &mut String, te: &TimedEvent) {
                 ),
             );
         }
+        Event::WaitEdge {
+            round,
+            waiter,
+            holder,
+            ancilla,
+        } => {
+            instant(
+                out,
+                "wait_edge",
+                TID_LEDGER,
+                te.at_ns,
+                &format!(
+                    "\"round\":{round},\"waiter\":{waiter},\"holder\":{holder},\"ancilla\":{ancilla}"
+                ),
+            );
+        }
+        Event::AncillaState {
+            round,
+            ancilla,
+            region,
+            depth,
+            busy,
+        } => {
+            instant(
+                out,
+                "ancilla_state",
+                TID_ANCILLA,
+                te.at_ns,
+                &format!(
+                    "\"round\":{round},\"ancilla\":{ancilla},\"region\":{region},\"depth\":{depth},\"busy\":{busy}"
+                ),
+            );
+        }
         Event::JobDone {
             index,
             total,
@@ -207,6 +241,7 @@ pub fn render(events: &[TimedEvent], dropped: u64) -> String {
     meta(&mut out, TID_DECODER, "decoder windows", &mut first);
     meta(&mut out, TID_TASKS, "tasks", &mut first);
     meta(&mut out, TID_HARNESS, "harness", &mut first);
+    meta(&mut out, TID_ANCILLA, "ancilla occupancy", &mut first);
     for te in events {
         out.push_str(",\n");
         push_event(&mut out, te);
@@ -411,12 +446,34 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = rest.chars().next().expect("non-empty");
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                // Bulk-copy the run of plain ASCII up to the next quote,
+                // escape, or multi-byte char. Validating one bounded char
+                // at a time (never the whole remaining document) keeps
+                // parsing linear in the document size.
+                Some(b) if b < 0x80 => {
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|b| b < 0x80 && b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii"));
+                }
+                Some(b) => {
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid utf-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + width)
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos += width;
                 }
             }
         }

@@ -35,15 +35,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
 pub mod chrome;
 pub mod perf;
 pub mod progress;
+pub mod snapshot;
 
+pub use analyze::{analyze_events, parse_trace, AnalyzeReport, AncillaUtil, ParsedTrace, PathLink};
 pub use chrome::{normalize_timestamps, validate_trace, TraceStats};
 pub use perf::{
     compare, delta_table, DeltaLevel, PerfBaseline, PerfDelta, PerfEntry, PERF_SCHEMA_VERSION,
 };
 pub use progress::{progress_line, Heartbeat};
+pub use snapshot::{HistogramSummary, MetricsSnapshot, METRICS_SCHEMA_VERSION};
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -224,6 +228,34 @@ pub enum Event {
         /// The attributed cause.
         cause: StallCause,
     },
+    /// A wait-for edge was inserted into the ledger's task graph:
+    /// `waiter` enqueued behind `holder` on an ancilla queue. The
+    /// analytics layer reconstructs blocking chains from these.
+    WaitEdge {
+        /// Simulation round.
+        round: u64,
+        /// The task that now waits (gate index).
+        waiter: u64,
+        /// The task it waits behind (gate index).
+        holder: u64,
+        /// The ancilla queue carrying the edge.
+        ancilla: u32,
+    },
+    /// An ancilla's occupancy state changed (sampled on the cycle
+    /// tick; emitted only on change, so the stream is a compact
+    /// state-transition series, not a per-cycle dump).
+    AncillaState {
+        /// Simulation round of the sample.
+        round: u64,
+        /// Ancilla (dense index).
+        ancilla: u32,
+        /// The ancilla's region in the shard partition.
+        region: u32,
+        /// Reservation-queue depth at the sample.
+        depth: u32,
+        /// The ancilla is occupied or held (not free this round).
+        busy: bool,
+    },
     /// A harness sweep job finished (progress heartbeat payload).
     JobDone {
         /// Global job index.
@@ -306,6 +338,49 @@ impl NsHistogram {
         } else {
             self.total_ns as f64 / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the power-of-two bucket holding the
+    /// target rank. Exact for samples that are 0; otherwise accurate
+    /// to within the bucket (a factor of 2). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest-rank target in 1..=count, then interpolate within
+        // the bucket that rank falls in.
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= target {
+                if i == 0 {
+                    return 0; // bucket 0 holds exactly the value 0
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = 1u64 << i;
+                let frac = (target - cum as f64) / n as f64;
+                return lo + ((hi - lo) as f64 * frac) as u64;
+            }
+            cum = next;
+        }
+        // Unreachable when counts are consistent; fall back to the
+        // top bucket's lower bound.
+        1u64 << 46
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; exact
+    /// for counts and totals, bucket-resolution for quantiles).
+    pub fn merge(&mut self, other: &NsHistogram) {
+        for (slot, &n) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
     }
 
     /// Iterates the non-empty buckets as `(upper_bound_ns, count)`.
@@ -467,6 +542,59 @@ mod tests {
         assert!(buckets.iter().map(|&(_, n)| n).sum::<u64>() == 6);
         // 2 and 3 land in the same power-of-two bucket [2, 4).
         assert!(buckets.iter().any(|&(ub, n)| ub == 4 && n == 2));
+    }
+
+    #[test]
+    fn quantiles_bracket_exact_small_samples() {
+        // All-zero samples: every quantile is exactly 0.
+        let mut zeros = NsHistogram::new();
+        for _ in 0..5 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.quantile(0.5), 0);
+        assert_eq!(zeros.quantile(0.99), 0);
+
+        // Exact sample set; the estimate must land in the same
+        // power-of-two bucket as the exact nearest-rank quantile.
+        let samples: [u64; 8] = [10, 20, 30, 40, 100, 200, 1000, 4000];
+        let mut h = NsHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        for (q, exact) in [(0.5, 40u64), (0.99, 4000u64), (0.0, 10u64)] {
+            let est = h.quantile(q);
+            let (lo, hi) = (exact.next_power_of_two() / 2, exact.next_power_of_two());
+            assert!(
+                est >= lo && est <= hi,
+                "q={q}: est {est} outside bucket [{lo}, {hi}] of exact {exact}"
+            );
+        }
+        // Monotone in q.
+        assert!(h.quantile(0.99) >= h.quantile(0.5));
+        assert!(h.quantile(0.5) >= h.quantile(0.1));
+        assert_eq!(NsHistogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_everything() {
+        let (mut a, mut b, mut all) = (NsHistogram::new(), NsHistogram::new(), NsHistogram::new());
+        for ns in [0u64, 3, 70, 900] {
+            a.record(ns);
+            all.record(ns);
+        }
+        for ns in [5u64, 60_000, 1_000_000] {
+            b.record(ns);
+            all.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.total_ns(), all.total_ns());
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+        assert_eq!(a.quantile(0.99), all.quantile(0.99));
+        assert_eq!(
+            a.nonzero_buckets().collect::<Vec<_>>(),
+            all.nonzero_buckets().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -14,9 +14,16 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Formats one progress heartbeat line.
-pub fn progress_line(done: usize, total: usize, elapsed_secs: f64) -> String {
-    let eta = if done > 0 && done < total {
-        let rate = elapsed_secs / done as f64;
+///
+/// `resumed` of the `done` jobs were checkpoint restores that took
+/// ~zero wall-clock; the ETA rate is estimated over the *fresh* jobs
+/// only, otherwise a resume-dominated sweep reports a wildly
+/// optimistic ETA for the actually-running remainder. With no fresh
+/// completions yet there is no rate, hence no ETA.
+pub fn progress_line(done: usize, resumed: usize, total: usize, elapsed_secs: f64) -> String {
+    let fresh = done.saturating_sub(resumed);
+    let eta = if fresh > 0 && done < total {
+        let rate = elapsed_secs / fresh as f64;
         format!(", ETA {:.0}s", rate * (total - done) as f64)
     } else {
         String::new()
@@ -98,6 +105,7 @@ impl Heartbeat {
         }
         Some(progress_line(
             done,
+            self.resumed(),
             self.total,
             self.started.elapsed().as_secs_f64(),
         ))
@@ -123,12 +131,23 @@ mod tests {
 
     #[test]
     fn progress_line_reports_counts_and_eta() {
-        let line = progress_line(4, 16, 8.0);
+        let line = progress_line(4, 0, 16, 8.0);
         assert!(line.contains("4/16 jobs"), "{line}");
         assert!(line.contains("8.0s elapsed"), "{line}");
         assert!(line.contains("ETA 24s"), "{line}");
         // Final line has no ETA.
-        assert!(!progress_line(16, 16, 32.0).contains("ETA"));
+        assert!(!progress_line(16, 0, 16, 32.0).contains("ETA"));
+    }
+
+    #[test]
+    fn eta_excludes_resumed_jobs_from_the_rate() {
+        // 4 done but 3 were instant checkpoint restores: the 8s of
+        // wall-clock bought ONE fresh job, so 12 remaining jobs cost
+        // ~96s — not the 24s the naive done-based rate claims.
+        let line = progress_line(4, 3, 16, 8.0);
+        assert!(line.contains("ETA 96s"), "{line}");
+        // All completions resumed so far: no rate, no ETA.
+        assert!(!progress_line(4, 4, 16, 8.0).contains("ETA"));
     }
 
     #[test]

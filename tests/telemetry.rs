@@ -11,8 +11,10 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rescq_repro::circuit::{Angle, Circuit, Gate};
 use rescq_repro::core::SchedulerKind;
-use rescq_repro::sim::{simulate_traced, ExecutionReport, SimConfig};
-use rescq_repro::telemetry::{normalize_timestamps, validate_trace, RingRecorder};
+use rescq_repro::sim::{metrics_snapshot, simulate_traced, ExecutionReport, SimConfig};
+use rescq_repro::telemetry::{
+    analyze_events, normalize_timestamps, parse_trace, validate_trace, AnalyzeReport, RingRecorder,
+};
 use std::path::Path;
 
 const CASES: u64 = 8;
@@ -94,8 +96,72 @@ fn tracing_is_inert() {
                 "reports CSV must be byte-identical with tracing on vs. off \
                  (threads={threads})"
             );
+            // The metrics snapshot is schedule-derived end to end (no
+            // wall-clock fields), so it must be byte-identical too.
+            assert_eq!(
+                metrics_snapshot(&untraced).to_json(),
+                metrics_snapshot(&traced).to_json(),
+                "metrics snapshot must be byte-identical with tracing on vs. \
+                 off (threads={threads})"
+            );
         }
     });
+}
+
+/// Traces a run and analyzes the recorded stream.
+fn analyze_run(circuit: &Circuit, config: &SimConfig) -> AnalyzeReport {
+    let recorder = RingRecorder::new();
+    simulate_traced(circuit, config, Some(&recorder)).unwrap();
+    let events: Vec<_> = recorder.events().iter().map(|t| t.event).collect();
+    analyze_events(&events, recorder.dropped(), false)
+}
+
+/// Analytics invariants, for random circuits: every per-ancilla occupancy
+/// fraction is a valid fraction, and the whole analyze report — built
+/// from sim-time rounds only — is identical at 1, 2 and 4 engine threads
+/// (the trace stream is a function of the schedule, which is sharding-
+/// invariant).
+#[test]
+fn utilization_fractions_are_valid_and_thread_invariant() {
+    for_each_case(
+        "utilization_fractions_are_valid_and_thread_invariant",
+        |rng| {
+            let circuit = arb_circuit(rng);
+            let seed = rng.gen_range(1u64..1000);
+            let mut reports = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let config = SimConfig::builder()
+                    .scheduler(SchedulerKind::Rescq)
+                    .seed(seed)
+                    .engine_threads(threads)
+                    .build();
+                let report = analyze_run(&circuit, &config);
+                for u in &report.utilization {
+                    assert!(
+                        (0.0..=1.0).contains(&u.busy_fraction),
+                        "busy fraction {} of a{} out of range (threads={threads})",
+                        u.busy_fraction,
+                        u.ancilla
+                    );
+                    assert!(
+                        (0.0..=1.0).contains(&u.contended_fraction),
+                        "contended fraction {} of a{} out of range (threads={threads})",
+                        u.contended_fraction,
+                        u.ancilla
+                    );
+                }
+                reports.push(report.to_json(usize::MAX));
+            }
+            assert_eq!(
+                reports[0], reports[1],
+                "analyze report must not depend on engine_threads (1 vs 2)"
+            );
+            assert_eq!(
+                reports[0], reports[2],
+                "analyze report must not depend on engine_threads (1 vs 4)"
+            );
+        },
+    );
 }
 
 /// The same run traced twice yields the same normalized trace: event
@@ -152,5 +218,52 @@ fn tiny_trace_matches_golden_and_validates() {
         normalized, golden,
         "normalized trace diverged from tests/golden/trace_tiny.json; \
          if the event taxonomy changed intentionally, re-bless with RESCQ_BLESS=1"
+    );
+}
+
+/// Golden-pins the text bottleneck report of the tiny golden trace: the
+/// whole analyze pipeline (trace parse → event decode → critical path →
+/// occupancy integration → rendering) against one known-good document.
+/// Regenerate with `RESCQ_BLESS=1 cargo test --test telemetry`.
+#[test]
+fn tiny_analyze_report_matches_golden() {
+    // When blessing, regenerate the trace inline (same run as
+    // `tiny_trace_matches_golden_and_validates`) instead of reading the
+    // golden file — the two bless writes would otherwise race within one
+    // parallel test run.
+    let trace = if std::env::var_os("RESCQ_BLESS").is_some() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, Angle::T);
+        let config = SimConfig::builder()
+            .scheduler(SchedulerKind::Rescq)
+            .seed(7)
+            .build();
+        let recorder = RingRecorder::new();
+        simulate_traced(&c, &config, Some(&recorder)).unwrap();
+        normalize_timestamps(&recorder.to_chrome_trace())
+    } else {
+        let trace_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_tiny.json");
+        std::fs::read_to_string(&trace_path)
+            .expect("golden trace missing — run with RESCQ_BLESS=1 to create it")
+    };
+    let parsed = parse_trace(&trace).expect("golden trace must parse");
+    assert!(!parsed.truncated, "golden trace must be complete");
+    let report = analyze_events(&parsed.events, parsed.dropped, parsed.truncated);
+    assert!(
+        !report.critical_path.is_empty(),
+        "tiny run must yield a critical path"
+    );
+    let rendered = report.render_text(8);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/analyze_tiny.txt");
+    if std::env::var_os("RESCQ_BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden report missing — run with RESCQ_BLESS=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "analyze report diverged from tests/golden/analyze_tiny.txt; \
+         if the report format changed intentionally, re-bless with RESCQ_BLESS=1"
     );
 }
