@@ -106,10 +106,21 @@ impl ActivityTracker {
     /// Snapshot of all edge weights for the given edge list (dense ancilla
     /// indices) — what an MST recomputation "reads" when it starts (Fig 8).
     pub fn edge_weights(&self, edges: &[(u32, u32)]) -> Vec<u32> {
-        edges
-            .iter()
-            .map(|&(a, b)| self.edge_weight(a as usize, b as usize))
-            .collect()
+        let mut out = Vec::with_capacity(edges.len());
+        self.edge_weights_into(edges, &mut out);
+        out
+    }
+
+    /// [`Self::edge_weights`] into a caller-provided buffer (appended) —
+    /// the allocation-free path the realtime engine pairs with
+    /// [`MstPipeline::on_cycle`](crate::MstPipeline::on_cycle)'s recycled
+    /// snapshot buffers.
+    pub fn edge_weights_into(&self, edges: &[(u32, u32)], out: &mut Vec<u32>) {
+        out.extend(
+            edges
+                .iter()
+                .map(|&(a, b)| self.edge_weight(a as usize, b as usize)),
+        );
     }
 }
 

@@ -89,6 +89,8 @@ impl TauModel {
 #[derive(Debug, Clone)]
 struct InFlight {
     completes_at_cycle: u64,
+    /// Recycled through [`MstPipeline::spare_weights`] on completion, so
+    /// steady-state snapshots reuse capacity instead of allocating.
     weights: Vec<u32>,
 }
 
@@ -105,9 +107,10 @@ struct InFlight {
 /// assert_eq!(mst.k(), 25);
 /// assert_eq!(mst.current().tree_size(), 3);
 ///
-/// // Drive cycles with a weight snapshot provider; the tree lags by τ.
+/// // Drive cycles with a weight snapshot provider that fills the
+/// // pipeline's recycled buffer; the tree lags by τ.
 /// for cycle in 0..200 {
-///     mst.on_cycle(cycle, |_edges| vec![0; 4]);
+///     mst.on_cycle(cycle, |_edges, out| out.resize(4, 0));
 /// }
 /// assert!(mst.generation() > 0);
 /// ```
@@ -118,6 +121,9 @@ pub struct MstPipeline {
     tau: u32,
     current: IncrementalMst,
     in_flight: VecDeque<InFlight>,
+    /// Capacity-retaining weight buffers recycled from completed
+    /// computations (bounded by the in-flight high-water mark).
+    spare_weights: Vec<Vec<u32>>,
     generation: u64,
     completed_computations: u64,
     incremental_updates: u64,
@@ -146,6 +152,7 @@ impl MstPipeline {
             tau,
             current: IncrementalMst::new(num_nodes, &weighted),
             in_flight: VecDeque::new(),
+            spare_weights: Vec::new(),
             generation: 0,
             completed_computations: 0,
             incremental_updates: 0,
@@ -188,13 +195,18 @@ impl MstPipeline {
         self.in_flight.len()
     }
 
-    /// Advances the pipeline at a cycle boundary. `snapshot` provides the
-    /// current edge weights when a new computation starts (it reads the
-    /// activity tracker); completions are applied in order.
-    pub fn on_cycle(&mut self, cycle: u64, snapshot: impl FnOnce(&[(u32, u32)]) -> Vec<u32>) {
+    /// Advances the pipeline at a cycle boundary. `snapshot` fills the
+    /// provided (cleared, capacity-retaining) buffer with the current edge
+    /// weights when a new computation starts (it reads the activity
+    /// tracker); completions are applied in order. At steady state the
+    /// weight buffers cycle between in-flight computations and the spare
+    /// pool without touching the allocator.
+    pub fn on_cycle(&mut self, cycle: u64, snapshot: impl FnOnce(&[(u32, u32)], &mut Vec<u32>)) {
         // Start a new computation every k cycles (including cycle 0).
         if cycle.is_multiple_of(self.k as u64) {
-            let weights = snapshot(&self.edges);
+            let mut weights = self.spare_weights.pop().unwrap_or_default();
+            weights.clear();
+            snapshot(&self.edges, &mut weights);
             debug_assert_eq!(weights.len(), self.edges.len());
             self.in_flight.push_back(InFlight {
                 completes_at_cycle: cycle + self.tau as u64,
@@ -214,6 +226,7 @@ impl MstPipeline {
                     self.incremental_updates += 1;
                 }
             }
+            self.spare_weights.push(f.weights);
             self.generation += 1;
             self.completed_computations += 1;
         }
@@ -239,13 +252,13 @@ mod tests {
         assert_eq!(mst.tau(), 10);
         // Weights that would change the tree are visible only after τ.
         let weights = vec![50, 0, 0, 0];
-        mst.on_cycle(0, |_| weights.clone());
+        mst.on_cycle(0, |_, out| out.extend_from_slice(&weights));
         assert_eq!(mst.generation(), 0, "not yet complete");
         assert!(mst.current().contains_edge(0), "still the stale tree");
         for c in 1..10 {
-            mst.on_cycle(c, |_| weights.clone());
+            mst.on_cycle(c, |_, out| out.extend_from_slice(&weights));
         }
-        mst.on_cycle(10, |_| weights.clone());
+        mst.on_cycle(10, |_, out| out.extend_from_slice(&weights));
         assert_eq!(mst.generation(), 1);
         assert!(!mst.current().contains_edge(0), "expensive edge evicted");
     }
@@ -260,10 +273,10 @@ mod tests {
         let mut mst = MstPipeline::new(4, &square_edges(), KPolicy::Fixed(25), tau_model);
         assert_eq!(mst.tau(), 50);
         for c in 0..=49 {
-            mst.on_cycle(c, |_| vec![0; 4]);
+            mst.on_cycle(c, |_, out| out.resize(4, 0));
         }
         assert_eq!(mst.in_flight(), 2);
-        mst.on_cycle(50, |_| vec![0; 4]);
+        mst.on_cycle(50, |_, out| out.resize(4, 0));
         assert_eq!(mst.generation(), 1);
         assert_eq!(mst.in_flight(), 2); // one completed, one started at 50
     }
@@ -301,12 +314,12 @@ mod tests {
             per_sqrt_n: 0.0,
         };
         let mut mst = MstPipeline::new(4, &square_edges(), KPolicy::Fixed(1), tau_model);
-        mst.on_cycle(0, |_| vec![1, 2, 3, 4]);
-        mst.on_cycle(1, |_| vec![1, 2, 3, 4]);
+        mst.on_cycle(0, |_, out| out.extend([1, 2, 3, 4]));
+        mst.on_cycle(1, |_, out| out.extend([1, 2, 3, 4]));
         assert!(mst.completed_computations() >= 1);
         assert_eq!(mst.incremental_updates(), 4);
         // Same weights again: no updates.
-        mst.on_cycle(2, |_| vec![1, 2, 3, 4]);
+        mst.on_cycle(2, |_, out| out.extend([1, 2, 3, 4]));
         assert_eq!(mst.incremental_updates(), 4);
     }
 }

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod activity;
+pub mod arena;
 mod dynmst;
 mod queue;
 mod reservation;
@@ -41,11 +42,15 @@ pub mod routing;
 mod types;
 
 pub use activity::ActivityTracker;
+pub use arena::{for_each_set_bit, Bitset, VecPool};
 pub use dynmst::{KPolicy, MstPipeline, TauModel};
 pub use queue::{AncillaQueue, EntryStatus, QueueEntry, Role};
 pub use reservation::{
     ClassLattice, LedgerEvent, LedgerStats, Preemption, ReservationId, ReservationLedger, ShardId,
     TaskClass,
 };
-pub use routing::{plan_cnot_route, plan_static_route, PathCache, RoutePlan, StaticRouteOutcome};
+pub use routing::{
+    plan_cnot_route, plan_cnot_route_into, plan_static_route, PathCache, RoutePlan, RoutePlanMeta,
+    RouteScratch, StaticRouteOutcome,
+};
 pub use types::{SchedulerKind, SurgeryCosts, TaskId};

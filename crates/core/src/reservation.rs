@@ -64,7 +64,7 @@
 use crate::queue::{AncillaQueue, EntryStatus, QueueEntry, Role};
 use crate::types::TaskId;
 use rescq_circuit::Angle;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::str::FromStr;
 
 /// Identifier of one queue reservation (unique within a ledger's lifetime).
@@ -470,11 +470,38 @@ pub enum Preemption {
 pub struct ReservationLedger {
     queues: Vec<AncillaQueue>,
     next_id: u64,
-    /// Wait-for adjacency: waiter → (holder → multiplicity). An edge exists
-    /// while any queue holds an entry of `waiter` behind one of `holder`.
-    edges: HashMap<TaskId, HashMap<TaskId, u32>>,
+    /// Wait-for adjacency indexed by the waiter's raw task id: a flat
+    /// `(holder, multiplicity)` list per waiter. An edge exists while any
+    /// queue holds an entry of `waiter` behind one of `holder`. Lists are
+    /// short (bounded by queue fan-out), so linear upsert beats a nested
+    /// `HashMap` on the hot path and — together with `spare_edge_lists` —
+    /// never churns the allocator at steady state.
+    edges: Vec<Vec<(TaskId, u32)>>,
+    /// Capacity-retaining edge lists recycled from completed tasks
+    /// ([`Self::recycle_task`]); popped before a slot's first allocation.
+    spare_edge_lists: Vec<Vec<(TaskId, u32)>>,
     /// Current number of distinct (waiter, holder) pairs.
     edge_count: u64,
+    /// Bit `a` set iff ancilla `a`'s queue is non-empty — the §4.2 packed
+    /// busy words. Engines scan these with word-parallel iteration instead
+    /// of probing every (mostly empty) queue.
+    nonempty: Vec<u64>,
+    /// Bit `a` set iff ancilla `a` was touched since the consumer's last
+    /// [`Self::clear_dirty`] — by any ledger mutation, or explicitly via
+    /// [`Self::mark_dirty`] for state the ledger cannot see (fabric holds,
+    /// preparation completions). Engines use this as the incremental
+    /// dispatch frontier: an unmarked ancilla provably proposes the same
+    /// (empty) action it proposed last pass, so only marked words need
+    /// rescanning.
+    dirty: Vec<u64>,
+    /// Scratch buffers reused across calls so the steady-state ledger makes
+    /// zero heap allocations (see `arena` module docs).
+    scratch_tasks: Vec<TaskId>,
+    scratch_pairs_old: Vec<(TaskId, TaskId)>,
+    scratch_pairs_new: Vec<(TaskId, TaskId)>,
+    scratch_displaced: Vec<(TaskId, u32)>,
+    scratch_stack: Vec<TaskId>,
+    scratch_seen: crate::arena::Bitset,
     /// Rank → counter-bucket map for [`LedgerStats::preemptions_by_class`]
     /// (empty = raw-rank clamping via [`TaskClass::bucket`]). Affects
     /// counters only, never arbitration.
@@ -490,12 +517,91 @@ impl ReservationLedger {
     pub fn new(num_ancillas: usize) -> Self {
         ReservationLedger {
             queues: vec![AncillaQueue::new(); num_ancillas],
-            next_id: 0,
-            edges: HashMap::new(),
-            edge_count: 0,
-            class_buckets: Vec::new(),
-            event_log: None,
-            stats: LedgerStats::default(),
+            nonempty: vec![0u64; num_ancillas.div_ceil(64)],
+            // Everything starts dirty: the first dispatch pass must examine
+            // every ancilla once before the incremental frontier takes over.
+            dirty: vec![u64::MAX; num_ancillas.div_ceil(64)],
+            ..Default::default()
+        }
+    }
+
+    /// Pre-sizes the per-task structures for task ids `0..n` so steady-state
+    /// pushes and preemption checks never grow them. Engines call this once
+    /// with the circuit's gate count.
+    pub fn reserve_tasks(&mut self, n: usize) {
+        if self.edges.len() < n {
+            self.edges.resize_with(n, Vec::new);
+        }
+        self.scratch_seen.reserve(n);
+        // Pre-size the mutation scratch to generous queue-depth bounds so
+        // the buffers never grow mid-run: their high-water marks otherwise
+        // arrive late (deep queues form only under congestion) and each
+        // growth step would break the zero-allocation steady state.
+        let depth = 64.min(n);
+        self.scratch_tasks.reserve(depth);
+        self.scratch_pairs_old.reserve(depth);
+        self.scratch_pairs_new.reserve(depth);
+        self.scratch_displaced.reserve(depth);
+        self.scratch_stack.reserve(depth);
+    }
+
+    /// Returns `task`'s (drained) edge list to the recycling pool. Engines
+    /// call this when a task completes, after its last queue entry is
+    /// removed; the freed capacity is handed to the next task that needs
+    /// one, so the edge map's footprint plateaus at the live-task high-water
+    /// mark.
+    pub fn recycle_task(&mut self, task: TaskId) {
+        if let Some(list) = self.edges.get_mut(task.0 as usize) {
+            if list.capacity() > 0 && list.is_empty() {
+                self.spare_edge_lists.push(std::mem::take(list));
+            }
+        }
+    }
+
+    /// The packed queue-occupancy words: bit `a` of word `a / 64` is set iff
+    /// ancilla `a`'s queue is non-empty. Stays exactly in sync with every
+    /// push/pop/removal, letting dispatch scans skip empty queues 64 at a
+    /// time.
+    pub fn nonempty_words(&self) -> &[u64] {
+        &self.nonempty
+    }
+
+    /// Marks ancilla `a` dirty: its dispatch-relevant state may have
+    /// changed, so the next incremental scan must re-evaluate it. Every
+    /// ledger mutation marks automatically; engines call this for changes
+    /// the ledger cannot observe (fabric occupancy expiring, a preparation
+    /// finishing, a held state being consumed).
+    pub fn mark_dirty(&mut self, a: u32) {
+        let w = (a / 64) as usize;
+        if w >= self.dirty.len() {
+            self.dirty.resize(w + 1, 0);
+        }
+        self.dirty[w] |= 1u64 << (a % 64);
+    }
+
+    /// The packed dirty words (bit `a` of word `a / 64`); same layout as
+    /// [`Self::nonempty_words`].
+    pub fn dirty_words(&self) -> &[u64] {
+        &self.dirty
+    }
+
+    /// Clears the dirty set. Callers snapshot (or intersect) the words
+    /// first, then clear, so mutations made while acting on the snapshot
+    /// re-mark for the next pass.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
+    }
+
+    fn set_nonempty_bit(&mut self, a: u32) {
+        let w = (a / 64) as usize;
+        if w >= self.nonempty.len() {
+            self.nonempty.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (a % 64);
+        if self.queues[a as usize].is_empty() {
+            self.nonempty[w] &= !bit;
+        } else {
+            self.nonempty[w] |= bit;
         }
     }
 
@@ -581,6 +687,7 @@ impl ReservationLedger {
     }
 
     fn push_inner(&mut self, a: u32, mut entry: QueueEntry, cross_shard: bool) -> ReservationId {
+        self.mark_dirty(a);
         self.log_event(LedgerEvent::Claim {
             task: entry.task,
             ancilla: a,
@@ -591,12 +698,15 @@ impl ReservationLedger {
         entry.reservation = id;
         // Incremental edge insertion: the new back entry waits for every
         // distinct task already queued ahead of it.
-        let waiters: Vec<TaskId> = self.queues[a as usize]
-            .iter()
-            .map(|e| e.task)
-            .filter(|&t| t != entry.task)
-            .collect();
-        for holder in waiters {
+        let mut waiters = std::mem::take(&mut self.scratch_tasks);
+        waiters.clear();
+        waiters.extend(
+            self.queues[a as usize]
+                .iter()
+                .map(|e| e.task)
+                .filter(|&t| t != entry.task),
+        );
+        for &holder in &waiters {
             self.log_event(LedgerEvent::WaitEdge {
                 waiter: entry.task,
                 holder,
@@ -604,7 +714,9 @@ impl ReservationLedger {
             });
             self.add_edge(entry.task, holder);
         }
+        self.scratch_tasks = waiters;
         self.queues[a as usize].push(entry);
+        self.set_nonempty_bit(a);
         id
     }
 
@@ -647,6 +759,7 @@ impl ReservationLedger {
     /// (§4.1's `Rθ → R2θ` update; queue position — and therefore the wait
     /// graph — is untouched).
     pub fn update_angle(&mut self, a: u32, task: TaskId, angle: Angle) -> bool {
+        self.mark_dirty(a);
         self.queues[a as usize].update_angle(task, angle)
     }
 
@@ -655,17 +768,20 @@ impl ReservationLedger {
     /// runnable). Queue position and the wait graph are untouched; only
     /// future arbitration sees the new class.
     pub fn update_class(&mut self, a: u32, task: TaskId, class: TaskClass) -> bool {
+        self.mark_dirty(a);
         self.queues[a as usize].update_class(task, class)
     }
 
     /// Sets the status of ancilla `a`'s top entry, if any.
     pub fn set_top_status(&mut self, a: u32, status: EntryStatus) {
+        self.mark_dirty(a);
         self.queues[a as usize].set_status_at(0, status);
     }
 
     /// Sets the status of ancilla `a`'s top entry only when it belongs to
     /// `task`.
     pub fn set_top_status_if(&mut self, a: u32, task: TaskId, status: EntryStatus) {
+        self.mark_dirty(a);
         if self.queues[a as usize]
             .top()
             .is_some_and(|e| e.task == task)
@@ -788,11 +904,22 @@ impl ReservationLedger {
         // mutating nothing on rejection. This is the check whose absence
         // made the naive yield deadlock on inconsistent cross-ancilla
         // orders.
-        let mut displaced: HashMap<TaskId, u32> = HashMap::new();
-        for e in q.iter().take(pos) {
-            *displaced.entry(e.task).or_insert(0) += 1;
+        let mut displaced = std::mem::take(&mut self.scratch_displaced);
+        displaced.clear();
+        for e in self.queues[a as usize].iter().take(pos) {
+            match displaced.iter_mut().find(|d| d.0 == e.task) {
+                Some(d) => d.1 += 1,
+                None => displaced.push((e.task, 1)),
+            }
         }
-        if self.reaches_any_without(task, &displaced) {
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        let mut seen = std::mem::take(&mut self.scratch_seen);
+        let cyclic =
+            Self::reaches_any_without(&self.edges, task, &displaced, &mut stack, &mut seen);
+        self.scratch_stack = stack;
+        self.scratch_seen = seen;
+        self.scratch_displaced = displaced;
+        if cyclic {
             self.stats.preemptions_rejected_cycle += 1;
             self.log_event(LedgerEvent::Rejected { task, ancilla: a });
             return Preemption::RejectedCycle;
@@ -830,28 +957,36 @@ impl ReservationLedger {
     /// *minus* the about-to-be-removed `from → key` multiplicities (the
     /// value is how many of that pair's edges the reorder deletes). Edges
     /// between other nodes — including this queue's surviving pairs — stay
-    /// traversable.
-    fn reaches_any_without(&self, from: TaskId, doomed: &HashMap<TaskId, u32>) -> bool {
-        let mut stack = vec![from];
-        let mut seen: HashSet<TaskId> = HashSet::new();
-        seen.insert(from);
+    /// traversable. `stack`/`seen` are caller-recycled scratch.
+    fn reaches_any_without(
+        edges: &[Vec<(TaskId, u32)>],
+        from: TaskId,
+        doomed: &[(TaskId, u32)],
+        stack: &mut Vec<TaskId>,
+        seen: &mut crate::arena::Bitset,
+    ) -> bool {
+        stack.clear();
+        seen.clear();
+        stack.push(from);
+        seen.insert(from.0 as usize);
         while let Some(u) = stack.pop() {
-            let Some(succs) = self.edges.get(&u) else {
+            let Some(succs) = edges.get(u.0 as usize) else {
                 continue;
             };
-            for (&v, &count) in succs {
+            for &(v, count) in succs {
                 let removed = if u == from {
-                    doomed.get(&v).copied().unwrap_or(0)
+                    doomed.iter().find(|d| d.0 == v).map_or(0, |d| d.1)
                 } else {
                     0
                 };
                 if count <= removed {
                     continue; // every such edge disappears with the reorder
                 }
-                if doomed.contains_key(&v) {
+                if doomed.iter().any(|d| d.0 == v) {
                     return true;
                 }
-                if seen.insert(v) {
+                if !seen.contains(v.0 as usize) {
+                    seen.insert(v.0 as usize);
                     stack.push(v);
                 }
             }
@@ -870,8 +1005,10 @@ impl ReservationLedger {
             Black,
         }
         let mut colour: HashMap<TaskId, Colour> = HashMap::new();
-        let mut starts: Vec<TaskId> = self.edges.keys().copied().collect();
-        starts.sort_unstable();
+        let starts: Vec<TaskId> = (0..self.edges.len())
+            .filter(|&i| !self.edges[i].is_empty())
+            .map(|i| TaskId(i as u32))
+            .collect();
         for start in starts {
             if *colour.get(&start).unwrap_or(&Colour::White) != Colour::White {
                 continue;
@@ -903,8 +1040,8 @@ impl ReservationLedger {
     fn successors(&self, task: TaskId) -> Vec<TaskId> {
         let mut s: Vec<TaskId> = self
             .edges
-            .get(&task)
-            .map(|m| m.keys().copied().collect())
+            .get(task.0 as usize)
+            .map(|l| l.iter().map(|e| e.0).collect())
             .unwrap_or_default();
         s.sort_unstable();
         s
@@ -913,9 +1050,13 @@ impl ReservationLedger {
     /// Applies `f` to queue `a` and reconciles the wait-for graph with the
     /// queue's new contents (remove old contribution, insert new one).
     fn mutate<R>(&mut self, a: u32, f: impl FnOnce(&mut AncillaQueue) -> R) -> R {
-        let old = Self::queue_pairs(&self.queues[a as usize]);
+        self.mark_dirty(a);
+        let mut tasks = std::mem::take(&mut self.scratch_tasks);
+        let mut old = std::mem::take(&mut self.scratch_pairs_old);
+        let mut new = std::mem::take(&mut self.scratch_pairs_new);
+        Self::queue_pairs_into(&self.queues[a as usize], &mut tasks, &mut old);
         let r = f(&mut self.queues[a as usize]);
-        let new = Self::queue_pairs(&self.queues[a as usize]);
+        Self::queue_pairs_into(&self.queues[a as usize], &mut tasks, &mut new);
         if old != new {
             for &(w, h) in &old {
                 self.remove_edge(w, h);
@@ -924,50 +1065,79 @@ impl ReservationLedger {
                 self.add_edge(w, h);
             }
         }
+        self.scratch_tasks = tasks;
+        self.scratch_pairs_old = old;
+        self.scratch_pairs_new = new;
+        self.set_nonempty_bit(a);
         r
     }
 
     /// The (waiter, holder) pairs a queue contributes: entry `j` waits for
-    /// every distinct-task entry `i < j`.
-    fn queue_pairs(q: &AncillaQueue) -> Vec<(TaskId, TaskId)> {
-        let tasks: Vec<TaskId> = q.iter().map(|e| e.task).collect();
-        let mut pairs = Vec::new();
+    /// every distinct-task entry `i < j`. Fills caller-recycled scratch.
+    fn queue_pairs_into(
+        q: &AncillaQueue,
+        tasks: &mut Vec<TaskId>,
+        out: &mut Vec<(TaskId, TaskId)>,
+    ) {
+        tasks.clear();
+        tasks.extend(q.iter().map(|e| e.task));
+        out.clear();
         for j in 1..tasks.len() {
             for i in 0..j {
                 if tasks[i] != tasks[j] {
-                    pairs.push((tasks[j], tasks[i]));
+                    out.push((tasks[j], tasks[i]));
                 }
             }
         }
-        pairs
     }
 
     fn add_edge(&mut self, waiter: TaskId, holder: TaskId) {
-        let m = self.edges.entry(waiter).or_default();
-        let count = m.entry(holder).or_insert(0);
-        *count += 1;
-        if *count == 1 {
-            self.edge_count += 1;
-            self.stats.waitgraph_peak_edges = self.stats.waitgraph_peak_edges.max(self.edge_count);
+        let idx = waiter.0 as usize;
+        if idx >= self.edges.len() {
+            self.edges.resize_with(idx + 1, Vec::new);
+        }
+        let list = &mut self.edges[idx];
+        if list.capacity() == 0 {
+            match self.spare_edge_lists.pop() {
+                Some(spare) => *list = spare,
+                // Floor the first allocation at a typical fan-out bound so
+                // lists rarely regrow; recycled lists keep whatever larger
+                // capacity they reached.
+                None => list.reserve(16),
+            }
+        }
+        if list.len() == list.capacity() {
+            // Jump straight to the floor instead of doubling through 2/4/8:
+            // one amortizing step, then the capacity recycles forever.
+            list.reserve(16.max(list.len()));
+        }
+        match list.iter_mut().find(|e| e.0 == holder) {
+            Some(e) => e.1 += 1,
+            None => {
+                list.push((holder, 1));
+                self.edge_count += 1;
+                self.stats.waitgraph_peak_edges =
+                    self.stats.waitgraph_peak_edges.max(self.edge_count);
+            }
         }
     }
 
     fn remove_edge(&mut self, waiter: TaskId, holder: TaskId) {
-        let Some(m) = self.edges.get_mut(&waiter) else {
+        let Some(list) = self.edges.get_mut(waiter.0 as usize) else {
             debug_assert!(false, "removing unknown edge {waiter}->{holder}");
             return;
         };
-        let Some(count) = m.get_mut(&holder) else {
+        let Some(pos) = list.iter().position(|e| e.0 == holder) else {
             debug_assert!(false, "removing unknown edge {waiter}->{holder}");
             return;
         };
-        *count -= 1;
-        if *count == 0 {
-            m.remove(&holder);
+        list[pos].1 -= 1;
+        if list[pos].1 == 0 {
+            // Order within a list is irrelevant (reachability + sorted
+            // `successors` are the only consumers), so `swap_remove` keeps
+            // removal O(1) and never releases capacity.
+            list.swap_remove(pos);
             self.edge_count -= 1;
-            if m.is_empty() {
-                self.edges.remove(&waiter);
-            }
         }
     }
 }

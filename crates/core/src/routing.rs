@@ -22,7 +22,10 @@
 
 use crate::SurgeryCosts;
 use rescq_circuit::QubitId;
-use rescq_lattice::{AncillaGraph, AncillaIndex, EdgeType, IncrementalMst, Layout, Orientation};
+use rescq_lattice::{
+    AncillaGraph, AncillaIndex, DataAdjacency, EdgeType, IncrementalMst, Layout, Orientation,
+    TreePathScratch,
+};
 use std::collections::HashMap;
 
 /// A chosen CNOT route.
@@ -43,19 +46,60 @@ impl RoutePlan {
     /// Total estimated completion round: start + rotations + the 2-cycle
     /// surgery (Algorithm 1's `E[𝓅 completes]`).
     pub fn est_completion_rounds(&self, costs: &SurgeryCosts, rounds_per_cycle: u32) -> u64 {
+        self.meta().est_completion_rounds(costs, rounds_per_cycle)
+    }
+
+    fn meta(&self) -> RoutePlanMeta {
+        RoutePlanMeta {
+            rotate_control: self.rotate_control,
+            rotate_target: self.rotate_target,
+            est_start_rounds: self.est_start_rounds,
+        }
+    }
+}
+
+/// The non-path fields of a chosen CNOT route — what
+/// [`plan_cnot_route_into`] returns alongside the path it writes into the
+/// caller's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutePlanMeta {
+    /// Whether the control patch must be edge-rotated first (3 cycles).
+    pub rotate_control: bool,
+    /// Whether the target patch must be edge-rotated first (3 cycles).
+    pub rotate_target: bool,
+    /// Estimated start round of the surgery (Algorithm 1's `startTime`).
+    pub est_start_rounds: u64,
+}
+
+impl RoutePlanMeta {
+    /// Total estimated completion round: start + rotations + the 2-cycle
+    /// surgery (Algorithm 1's `E[𝓅 completes]`).
+    pub fn est_completion_rounds(&self, costs: &SurgeryCosts, rounds_per_cycle: u32) -> u64 {
         let rot = (u64::from(self.rotate_control) + u64::from(self.rotate_target))
             * costs.edge_rotation_cycles as u64;
         self.est_start_rounds + (rot + costs.cnot_cycles as u64) * rounds_per_cycle as u64
     }
 }
 
-/// Per-generation cache of MST tree paths (§5.4.2), plus a permanent cache
-/// of geometric shortest paths (pure functions of the static graph).
+/// A cached MST tree path. Slots are kept forever and refilled *in place*
+/// when the MST generation moves past their stamp, so steady-state lookups
+/// never touch the allocator (the map's key set plateaus at the set of
+/// endpoint pairs the circuit ever routes between).
+#[derive(Debug)]
+struct TreeSlot {
+    generation: u64,
+    has_path: bool,
+    path: Vec<AncillaIndex>,
+}
+
+/// Cache of MST tree paths, stamped per entry with the MST generation that
+/// produced them (§5.4.2), plus a permanent cache of geometric shortest
+/// paths (pure functions of the static graph).
 #[derive(Debug, Default)]
 pub struct PathCache {
-    generation: u64,
-    paths: HashMap<(AncillaIndex, AncillaIndex), Option<Vec<AncillaIndex>>>,
+    paths: HashMap<(AncillaIndex, AncillaIndex), TreeSlot>,
     geo_paths: HashMap<(AncillaIndex, AncillaIndex), Option<Vec<AncillaIndex>>>,
+    bfs: TreePathScratch,
     hits: u64,
     misses: u64,
 }
@@ -76,55 +120,81 @@ impl PathCache {
         self.misses
     }
 
-    fn get(
+    /// Copies the tree path from `a` to `b` (inclusive, oriented to start at
+    /// `a`) into `out` and returns whether one exists. Stale slots are
+    /// refilled in place rather than dropped.
+    fn get_into(
         &mut self,
         mst: &IncrementalMst,
         generation: u64,
         a: AncillaIndex,
         b: AncillaIndex,
-    ) -> Option<Vec<AncillaIndex>> {
-        if generation != self.generation {
-            self.paths.clear();
-            self.generation = generation;
-        }
+        out: &mut Vec<AncillaIndex>,
+    ) -> bool {
         let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(cached) = self.paths.get(&key) {
+        let slot = self.paths.entry(key).or_insert_with(|| TreeSlot {
+            // Deliberately stale stamp: forces the refill branch below.
+            generation: generation.wrapping_add(1),
+            has_path: false,
+            // A tree path visits each node at most once, so this capacity
+            // is never outgrown: refills after MST reshapes (which change
+            // the path and can lengthen it) stay allocation-free.
+            path: Vec::with_capacity(mst.num_nodes()),
+        });
+        if slot.generation == generation {
             self.hits += 1;
-            let mut p = cached.clone()?;
-            if p.first() != Some(&a) {
-                p.reverse();
-            }
-            return Some(p);
+        } else {
+            self.misses += 1;
+            slot.has_path = mst.tree_path_into(key.0, key.1, &mut self.bfs, &mut slot.path);
+            slot.generation = generation;
         }
-        self.misses += 1;
-        let path = mst.tree_path(key.0, key.1);
-        self.paths.insert(key, path.clone());
-        let mut p = path?;
-        if p.first() != Some(&a) {
-            p.reverse();
+        if !slot.has_path {
+            return false;
         }
-        Some(p)
+        out.clear();
+        if slot.path.first() == Some(&a) {
+            out.extend_from_slice(&slot.path);
+        } else {
+            out.extend(slot.path.iter().rev().copied());
+        }
+        true
     }
 
-    /// Geometric shortest path between two ancillas, memoised forever (the
-    /// graph never changes, so neither does the answer).
-    fn get_geo(
+    /// Copies the geometric shortest path between two ancillas (oriented to
+    /// start at `a`) into `out`; memoised forever (the graph never changes,
+    /// so neither does the answer).
+    fn get_geo_into(
         &mut self,
         graph: &AncillaGraph,
         a: AncillaIndex,
         b: AncillaIndex,
-    ) -> Option<Vec<AncillaIndex>> {
+        out: &mut Vec<AncillaIndex>,
+    ) -> bool {
         let key = if a <= b { (a, b) } else { (b, a) };
         let cached = self
             .geo_paths
             .entry(key)
             .or_insert_with(|| graph.shortest_path(&[key.0], &[key.1], |_| false));
-        let mut p = cached.clone()?;
-        if p.first() != Some(&a) {
-            p.reverse();
+        let Some(p) = cached else {
+            return false;
+        };
+        out.clear();
+        if p.first() == Some(&a) {
+            out.extend_from_slice(p);
+        } else {
+            out.extend(p.iter().rev().copied());
         }
-        Some(p)
+        true
     }
+}
+
+/// Reusable candidate-path buffers for [`plan_cnot_route_into`]. One of
+/// these lives in the engine's scratch arena; its capacity plateaus at the
+/// longest candidate path.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    tree: Vec<AncillaIndex>,
+    direct: Vec<AncillaIndex>,
 }
 
 /// Plans a CNOT route with Algorithm 1 (RESCQ).
@@ -132,6 +202,9 @@ impl PathCache {
 /// `expected_free` returns the estimated round at which an ancilla's queue
 /// drains (`E[f_a]`, §4.2). Returns `None` only when control or target has no
 /// adjacent ancilla at all.
+///
+/// Thin allocating wrapper over [`plan_cnot_route_into`] (which the engine's
+/// hot path calls with recycled buffers).
 #[allow(clippy::too_many_arguments)]
 pub fn plan_cnot_route(
     layout: &Layout,
@@ -144,15 +217,63 @@ pub fn plan_cnot_route(
     orientations: &[Orientation],
     costs: &SurgeryCosts,
     rounds_per_cycle: u32,
-    mut expected_free: impl FnMut(AncillaIndex) -> u64,
+    expected_free: impl FnMut(AncillaIndex) -> u64,
 ) -> Option<RoutePlan> {
+    let mut scratch = RouteScratch::default();
+    let mut path = Vec::new();
+    let meta = plan_cnot_route_into(
+        graph,
+        mst,
+        mst_generation,
+        cache,
+        control,
+        target,
+        &layout.data_adjacency(control),
+        &layout.data_adjacency(target),
+        orientations,
+        costs,
+        rounds_per_cycle,
+        expected_free,
+        &mut scratch,
+        &mut path,
+    )?;
+    Some(RoutePlan {
+        path,
+        rotate_control: meta.rotate_control,
+        rotate_target: meta.rotate_target,
+        est_start_rounds: meta.est_start_rounds,
+    })
+}
+
+/// [`plan_cnot_route`] writing the winning path into `best_path` (cleared
+/// first; left cleared when no route exists) and returning its metadata.
+/// The endpoint adjacencies (`c_adj`, `t_adj`) are passed in — the engine
+/// precomputes them per qubit — and candidate paths stage through `scratch`,
+/// so a steady-state call performs no heap allocation once cache slots and
+/// buffer capacities have plateaued.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_cnot_route_into(
+    graph: &AncillaGraph,
+    mst: &IncrementalMst,
+    mst_generation: u64,
+    cache: &mut PathCache,
+    control: QubitId,
+    target: QubitId,
+    c_adj: &DataAdjacency,
+    t_adj: &DataAdjacency,
+    orientations: &[Orientation],
+    costs: &SurgeryCosts,
+    rounds_per_cycle: u32,
+    mut expected_free: impl FnMut(AncillaIndex) -> u64,
+    scratch: &mut RouteScratch,
+    best_path: &mut Vec<AncillaIndex>,
+) -> Option<RoutePlanMeta> {
     let rot_rounds = costs.edge_rotation_cycles as u64 * rounds_per_cycle as u64;
-    let c_adj = layout.data_adjacency(control);
-    let t_adj = layout.data_adjacency(target);
     let c_orient = orientations[control.index()];
     let t_orient = orientations[target.index()];
 
-    let mut best: Option<RoutePlan> = None;
+    best_path.clear();
+    let mut best: Option<RoutePlanMeta> = None;
     for &(c_side, c_tile) in &c_adj.side {
         let Some(a_c) = graph.index_of(c_tile) else {
             continue;
@@ -176,15 +297,18 @@ pub fn plan_cnot_route(
             // path. On sparse compressed grids tree paths degenerate into
             // long detours whose ancillas rarely all free up together;
             // Algorithm 1 picks whichever candidate finishes first.
-            let tree = cache.get(mst, mst_generation, a_c, a_t);
-            let direct = cache.get_geo(graph, a_c, a_t);
-            for path in [tree, direct].into_iter().flatten() {
+            let has_tree = cache.get_into(mst, mst_generation, a_c, a_t, &mut scratch.tree);
+            let has_direct = cache.get_geo_into(graph, a_c, a_t, &mut scratch.direct);
+            let candidates = [
+                has_tree.then_some(&scratch.tree),
+                has_direct.then_some(&scratch.direct),
+            ];
+            for path in candidates.into_iter().flatten() {
                 let mut start = start;
-                for &a in &path {
+                for &a in path {
                     start = start.max(expected_free(a));
                 }
-                let plan = RoutePlan {
-                    path,
+                let meta = RoutePlanMeta {
                     rotate_control,
                     rotate_target,
                     est_start_rounds: start,
@@ -196,17 +320,18 @@ pub fn plan_cnot_route(
                         // shorter paths (fewer ancillas claimed ⇒ less
                         // future congestion).
                         let key = (
-                            plan.est_completion_rounds(costs, rounds_per_cycle),
-                            plan.path.len(),
+                            meta.est_completion_rounds(costs, rounds_per_cycle),
+                            path.len(),
                         );
                         key < (
                             b.est_completion_rounds(costs, rounds_per_cycle),
-                            b.path.len(),
+                            best_path.len(),
                         )
                     }
                 };
                 if better {
-                    best = Some(plan);
+                    best = Some(meta);
+                    best_path.clone_from(path);
                 }
             }
         }

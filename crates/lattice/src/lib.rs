@@ -33,5 +33,5 @@ mod tile;
 pub use graph::{ancilla_network_connected, AncillaGraph, AncillaIndex, UnionFind};
 pub use grid::Grid;
 pub use layout::{DataAdjacency, Layout, LayoutError, LayoutKind};
-pub use mst::{EdgeId, IncrementalMst, NodeId};
+pub use mst::{EdgeId, IncrementalMst, NodeId, TreePathScratch};
 pub use tile::{Corner, EdgeType, Orientation, Side, TileId, TileKind};

@@ -33,6 +33,15 @@ struct Edge {
     weight: u32,
 }
 
+/// Reusable BFS working set for [`IncrementalMst::tree_path_into`]. Holding
+/// one of these across queries keeps repeated path lookups allocation-free
+/// once its capacity has plateaued at the node count.
+#[derive(Debug, Default, Clone)]
+pub struct TreePathScratch {
+    prev: Vec<u32>,
+    queue: VecDeque<NodeId>,
+}
+
 /// A dynamically maintained minimum spanning forest over a fixed edge set.
 ///
 /// Construction runs Kruskal; [`IncrementalMst::update_weight`] applies the
@@ -61,6 +70,16 @@ pub struct IncrementalMst {
     in_tree: Vec<bool>,
     /// Tree adjacency: `(neighbor, edge id)`.
     tree_adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Reusable working set for [`Self::update_weight`]'s cycle query (case
+    /// 1) — per-cycle weight updates must not hit the allocator once warm.
+    upd_scratch: TreePathScratch,
+    /// Path-node buffer paired with `upd_scratch`.
+    upd_path: Vec<NodeId>,
+    /// Reusable reachability marks for [`Self::update_weight`]'s reconnect
+    /// search (case 2).
+    upd_seen: Vec<bool>,
+    /// BFS queue paired with `upd_seen`.
+    upd_queue: VecDeque<NodeId>,
 }
 
 impl IncrementalMst {
@@ -83,6 +102,10 @@ impl IncrementalMst {
             in_tree: vec![false; edges.len()],
             tree_adj: vec![Vec::new(); num_nodes],
             edges,
+            upd_scratch: TreePathScratch::default(),
+            upd_path: Vec::new(),
+            upd_seen: vec![false; num_nodes],
+            upd_queue: VecDeque::new(),
         };
         mst.rebuild();
         mst
@@ -172,21 +195,37 @@ impl IncrementalMst {
         self.edges[id as usize].weight = new_weight;
         if new_weight < old && !self.in_tree[id as usize] {
             // Case 1: cheaper non-tree edge. Insert and evict the heaviest
-            // edge on the tree path between its endpoints (the cycle).
+            // edge on the tree path between its endpoints (the cycle). The
+            // path query runs through the held scratch — weight updates
+            // arrive every cycle, so this must not hit the allocator warm.
             let e = self.edges[id as usize];
-            let Some(path) = self.tree_path_edges(e.a, e.b) else {
+            let mut scratch = std::mem::take(&mut self.upd_scratch);
+            let mut nodes = std::mem::take(&mut self.upd_path);
+            let connected = self.tree_path_into(e.a, e.b, &mut scratch, &mut nodes);
+            self.upd_scratch = scratch;
+            if !connected {
                 // Endpoints were in different components: the edge now joins
                 // them.
+                self.upd_path = nodes;
                 self.link(id);
                 return;
-            };
-            let &worst = path
-                .iter()
-                .max_by_key(|&&eid| (self.edges[eid as usize].weight, eid))
-                .expect("cycle has at least one edge");
-            let worst_key = (self.edges[worst as usize].weight, worst);
+            }
+            let mut worst: Option<(u32, EdgeId)> = None;
+            for pair in nodes.windows(2) {
+                let (u, v) = (pair[0], pair[1]);
+                let &(_, eid) = self.tree_adj[u as usize]
+                    .iter()
+                    .find(|&&(n, _)| n == v)
+                    .expect("consecutive path nodes are tree-adjacent");
+                let key = (self.edges[eid as usize].weight, eid);
+                if worst.is_none_or(|w| key > w) {
+                    worst = Some(key);
+                }
+            }
+            self.upd_path = nodes;
+            let worst_key = worst.expect("cycle has at least one edge");
             if (new_weight, id) < worst_key {
-                self.unlink(worst);
+                self.unlink(worst_key.1);
                 self.link(id);
             }
         } else if new_weight > old && self.in_tree[id as usize] {
@@ -194,14 +233,14 @@ impl IncrementalMst {
             // the lightest crossing edge (possibly itself).
             self.unlink(id);
             let e = self.edges[id as usize];
-            let component = self.component_of(e.a);
+            self.mark_component(e.a);
             let mut best: Option<(u32, EdgeId)> = Some((new_weight, id));
             for (eid, edge) in self.edges.iter().enumerate() {
                 let eid = eid as EdgeId;
                 if self.in_tree[eid as usize] {
                     continue;
                 }
-                if component[edge.a as usize] != component[edge.b as usize] {
+                if self.upd_seen[edge.a as usize] != self.upd_seen[edge.b as usize] {
                     let key = (edge.weight, eid);
                     if best.is_none_or(|b| key < b) {
                         best = Some(key);
@@ -214,52 +253,79 @@ impl IncrementalMst {
         }
     }
 
-    /// Marks nodes reachable from `start` using tree edges.
-    fn component_of(&self, start: NodeId) -> Vec<bool> {
-        let mut seen = vec![false; self.num_nodes];
-        let mut queue = VecDeque::from([start]);
-        seen[start as usize] = true;
-        while let Some(u) = queue.pop_front() {
+    /// Marks nodes reachable from `start` using tree edges in
+    /// `self.upd_seen` (reset first; reused across calls).
+    fn mark_component(&mut self, start: NodeId) {
+        self.upd_seen.clear();
+        self.upd_seen.resize(self.num_nodes, false);
+        self.upd_queue.clear();
+        self.upd_seen[start as usize] = true;
+        self.upd_queue.push_back(start);
+        while let Some(u) = self.upd_queue.pop_front() {
             for &(v, _) in &self.tree_adj[u as usize] {
-                if !seen[v as usize] {
-                    seen[v as usize] = true;
-                    queue.push_back(v);
+                if !self.upd_seen[v as usize] {
+                    self.upd_seen[v as usize] = true;
+                    self.upd_queue.push_back(v);
                 }
             }
         }
-        seen
     }
 
     /// The unique tree path between `a` and `b` as node ids (inclusive), or
     /// `None` if they are in different components.
     pub fn tree_path(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        let mut scratch = TreePathScratch::default();
+        let mut out = Vec::new();
+        self.tree_path_into(a, b, &mut scratch, &mut out)
+            .then_some(out)
+    }
+
+    /// [`Self::tree_path`] into a caller-provided buffer: writes the path
+    /// into `out` (cleared first) and returns whether one exists. The BFS
+    /// working set lives in `scratch`, so repeated queries — e.g. path-cache
+    /// refills after an MST generation bump — allocate nothing once the
+    /// scratch capacity has plateaued.
+    pub fn tree_path_into(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        scratch: &mut TreePathScratch,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        out.clear();
         if a == b {
-            return Some(vec![a]);
+            out.push(a);
+            return true;
         }
-        let mut prev: Vec<u32> = vec![u32::MAX; self.num_nodes];
-        let mut seen = vec![false; self.num_nodes];
-        seen[a as usize] = true;
-        let mut queue = VecDeque::from([a]);
-        while let Some(u) = queue.pop_front() {
+        // `prev` doubles as the seen-marker: `UNSEEN` = unvisited, `ROOT`
+        // marks the BFS source (node ids never reach either sentinel).
+        const UNSEEN: u32 = u32::MAX;
+        const ROOT: u32 = u32::MAX - 1;
+        scratch.prev.clear();
+        scratch.prev.resize(self.num_nodes, UNSEEN);
+        scratch.queue.clear();
+        scratch.prev[a as usize] = ROOT;
+        scratch.queue.push_back(a);
+        while let Some(u) = scratch.queue.pop_front() {
             if u == b {
-                let mut path = vec![b];
+                out.push(b);
                 let mut cur = b;
-                while prev[cur as usize] != u32::MAX {
-                    cur = prev[cur as usize];
-                    path.push(cur);
+                while scratch.prev[cur as usize] != ROOT {
+                    cur = scratch.prev[cur as usize];
+                    out.push(cur);
                 }
-                path.reverse();
-                return Some(path);
+                out.reverse();
+                return true;
             }
             for &(v, _) in &self.tree_adj[u as usize] {
-                if !seen[v as usize] {
-                    seen[v as usize] = true;
-                    prev[v as usize] = u;
-                    queue.push_back(v);
+                if scratch.prev[v as usize] == UNSEEN {
+                    scratch.prev[v as usize] = u;
+                    scratch.queue.push_back(v);
                 }
             }
         }
-        None
+        out.clear();
+        false
     }
 
     /// The edge ids along the tree path between `a` and `b`.

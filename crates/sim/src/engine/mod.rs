@@ -65,10 +65,19 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// A deterministic min-heap event queue keyed by `(round, insertion order)`.
+///
+/// Payload slots are recycled through a free list, so a long run's queue
+/// memory plateaus at the pending-event high-water mark instead of growing
+/// one slot per event ever pushed — part of the zero-allocation
+/// steady-state contract of the cycle loop. The heap key carries the slot
+/// alongside `(round, seq)`; `seq` is globally unique, so the slot index
+/// never participates in ordering.
 #[derive(Debug)]
 pub(crate) struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
     payloads: Vec<Option<E>>,
+    free: Vec<u32>,
+    seq: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -76,22 +85,32 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             payloads: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
         }
     }
 
     /// Schedules `ev` at `round`. Ties break by insertion order, keeping the
     /// simulation deterministic.
     pub(crate) fn push(&mut self, round: u64, ev: E) {
-        let seq = self.payloads.len() as u64;
-        self.payloads.push(Some(ev));
-        self.heap.push(Reverse((round, seq)));
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.payloads.push(None);
+                (self.payloads.len() - 1) as u32
+            }
+        };
+        self.payloads[slot as usize] = Some(ev);
+        self.seq += 1;
+        self.heap.push(Reverse((round, self.seq, slot)));
     }
 
     /// Pops the earliest event.
     pub(crate) fn pop(&mut self) -> Option<(u64, E)> {
         loop {
-            let Reverse((round, seq)) = self.heap.pop()?;
-            if let Some(ev) = self.payloads[seq as usize].take() {
+            let Reverse((round, _, slot)) = self.heap.pop()?;
+            if let Some(ev) = self.payloads[slot as usize].take() {
+                self.free.push(slot);
                 return Some((round, ev));
             }
         }
@@ -100,7 +119,7 @@ impl<E> EventQueue<E> {
     /// The round of the earliest pending event.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn peek_round(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse((r, _))| *r)
+        self.heap.peek().map(|Reverse((r, _, _))| *r)
     }
 
     #[cfg_attr(not(test), allow(dead_code))]
@@ -120,6 +139,17 @@ pub(crate) fn run_with_artifacts(
     config: &SimConfig,
     recorder: Option<&dyn Recorder>,
 ) -> Result<ExecutionReport, SimError> {
+    run_with_artifacts_probed(artifacts, config, recorder, None)
+}
+
+/// [`run_with_artifacts`] with an optional per-cycle probe (realtime engine
+/// only; see [`simulate_with_cycle_probe`]).
+pub(crate) fn run_with_artifacts_probed(
+    artifacts: &SimArtifacts,
+    config: &SimConfig,
+    recorder: Option<&dyn Recorder>,
+    cycle_probe: Option<&(dyn Fn(u64) + Sync)>,
+) -> Result<ExecutionReport, SimError> {
     let fabric = Fabric::new(
         artifacts.layout.clone(),
         artifacts.graph.clone(),
@@ -131,9 +161,33 @@ pub(crate) fn run_with_artifacts(
     let circuit = &artifacts.circuit;
     let dag = artifacts.dag.clone();
     match config.scheduler {
-        SchedulerKind::Rescq => realtime::run_realtime(circuit, dag, config, fabric, rng, recorder),
+        SchedulerKind::Rescq => {
+            realtime::run_realtime(circuit, dag, config, fabric, rng, recorder, cycle_probe)
+        }
         kind => static_sched::run_static(circuit, dag, config, kind, fabric, rng, recorder),
     }
+}
+
+/// [`simulate`] with a hook invoked once per completed fabric cycle (the
+/// cycle index is passed). The probe observes only — the schedule is
+/// byte-identical with or without one. Realtime scheduler only; static
+/// baselines ignore it.
+///
+/// This exists for the allocation-regression harness (`tests/alloc_count.rs`
+/// reads a counting global allocator from inside the probe to pin "zero
+/// heap allocations per steady-state cycle"); it is not a stable API.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+#[doc(hidden)]
+pub fn simulate_with_cycle_probe(
+    circuit: &Circuit,
+    config: &SimConfig,
+    probe: &(dyn Fn(u64) + Sync),
+) -> Result<ExecutionReport, SimError> {
+    let artifacts = SimArtifacts::prepare(Arc::new(circuit.clone()), config)?;
+    run_with_artifacts_probed(&artifacts, config, None, Some(probe))
 }
 
 /// Runs one seeded simulation of `circuit` under `config` and returns its

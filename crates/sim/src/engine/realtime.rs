@@ -58,19 +58,59 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use rescq_circuit::{Angle, Circuit, DependencyDag, Gate, GateId, GateQubits, QubitId};
 use rescq_core::{
-    plan_cnot_route, ActivityTracker, EntryStatus, LedgerEvent, MstPipeline, PathCache, Preemption,
-    QueueEntry, ReservationLedger, Role, SchedulerKind, ShardId, SurgeryCosts, TaskClass, TaskId,
+    plan_cnot_route_into, ActivityTracker, Bitset, EntryStatus, LedgerEvent, MstPipeline,
+    PathCache, Preemption, QueueEntry, ReservationLedger, Role, RouteScratch, SchedulerKind,
+    ShardId, SurgeryCosts, TaskClass, TaskId, VecPool,
 };
 use rescq_decoder::{DecoderRuntime, WindowId};
-use rescq_lattice::{AncillaIndex, EdgeType};
+use rescq_lattice::{AncillaIndex, DataAdjacency, EdgeType};
 use rescq_rus::{InjectionLadder, LadderStep, PreparationModel};
 use rescq_telemetry::{Event as TraceEvent, Phase, Recorder, StallCause};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Cycles without any gate completion before the stall breaker fires.
 const STALL_BREAK_CYCLES: u64 = 300;
+
+/// Recycled scratch buffers of the cycle loop (the hot-path memory model):
+/// every per-pass working set lives here, `mem::take`n out for the duration
+/// of the pass and put back cleared, so capacity plateaus at each buffer's
+/// high-water mark and the steady-state loop never touches the allocator.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    /// Propose-phase candidate ancillas (committed in ascending order).
+    candidates: Vec<u32>,
+    /// Dense `E[f_a]` vector staged for route planning.
+    expected_free: Vec<u64>,
+    /// `(depth, insertion index, qubit)` triples for the schedule-phase
+    /// priority sort (an unstable sort over this key reproduces the stable
+    /// deepest-first order without a merge-sort buffer).
+    worklist_order: Vec<(std::cmp::Reverse<u32>, u32, QubitId)>,
+    /// Candidate-path staging for Algorithm 1.
+    route: RouteScratch,
+    /// Speculative-task snapshot taken per preemption-eligible ancilla.
+    spec_tasks: Vec<TaskId>,
+    /// Stale-holder staging for correction retargets and the stall breaker.
+    stale: Vec<AncillaIndex>,
+    /// X-side neighbours while enqueueing a rotation's sites.
+    x_side: Vec<AncillaIndex>,
+    /// The propose-phase scan frontier: `dirty ∩ nonempty` words snapshot
+    /// taken at pass start (the ledger's dirty set is cleared immediately
+    /// after, so commit-time mutations re-mark for the next pass).
+    scan_words: Vec<u64>,
+}
+
+/// Capacity-recycling pools for the `Vec`s embedded in task bodies (CNOT
+/// paths, rotation site lists). A completing task returns its buffers here;
+/// the next scheduled gate reuses them.
+#[derive(Debug, Default)]
+struct VecPools {
+    paths: VecPool<AncillaIndex>,
+    sites: VecPool<(AncillaIndex, bool)>,
+    helpers: VecPool<AncillaIndex>,
+    holders: VecPool<(AncillaIndex, Angle)>,
+}
 
 #[derive(Debug)]
 enum TaskBody {
@@ -227,6 +267,10 @@ struct RtEngine<'a> {
     path_cache: PathCache,
     events: EventQueue<Ev>,
     sched_worklist: Vec<QubitId>,
+    /// Recycled per-pass working sets (see [`EngineScratch`]).
+    scratch: EngineScratch,
+    /// Recycled task-body buffers (see [`VecPools`]).
+    pools: VecPools,
 
     /// Resource-constrained fabric (fewer than ~2 ancillas per data qubit,
     /// i.e. heavily compressed): speculative preparation is throttled so the
@@ -263,11 +307,28 @@ struct RtEngine<'a> {
     /// Wall-clock nanoseconds per dispatch phase (accumulated only when
     /// traced; reported through [`ExecutionReport::phase_nanos`]).
     phase_nanos: [u64; 4],
+    /// Optional per-cycle observation hook (the allocation-regression
+    /// harness); observes only, never feeds back into the schedule.
+    cycle_probe: Option<&'a (dyn Fn(u64) + Sync)>,
+    /// Per-qubit tile adjacency, precomputed once from the static layout:
+    /// the hot loop (injection starts, Rz site enqueueing, class lookups)
+    /// borrows these instead of rebuilding — and heap-allocating — them
+    /// per call.
+    adjacency: &'a [DataAdjacency],
+    /// Pending fabric-occupancy expiries as `(free_at, ancilla)`: every
+    /// `occupy_ancilla` with a future release round is recorded here, and
+    /// the ancilla is re-marked in the dispatch frontier the moment the
+    /// clock reaches that round. Without this, an ancilla freed purely by
+    /// time passage (its surgery/rotation/injection window ending) would
+    /// never re-enter the incremental propose scan.
+    occupancy_expiries: std::collections::BinaryHeap<std::cmp::Reverse<(u64, AncillaIndex)>>,
     /// Tasks whose preparation was displaced by a class-won preemption and
     /// has not restarted yet — the `ClassDisplacement` stall bucket.
     /// Maintained unconditionally (it feeds deterministic counters); only
-    /// membership is queried, never iteration order.
-    displaced_by_class: HashSet<TaskId>,
+    /// membership is queried, never iteration order. A packed bitset sized
+    /// to the task count, so the per-cycle stall sampler probes one word
+    /// instead of hashing.
+    displaced_by_class: Bitset,
     /// Submission round of each in-flight decoder window, kept only while
     /// traced (drives `WindowRetired::stalled_rounds`).
     traced_windows: HashMap<WindowId, u64>,
@@ -294,6 +355,7 @@ pub(crate) fn run_realtime(
     fabric: Fabric,
     rng: ChaCha8Rng,
     recorder: Option<&dyn Recorder>,
+    cycle_probe: Option<&(dyn Fn(u64) + Sync)>,
 ) -> Result<ExecutionReport, SimError> {
     let d = config.rounds_per_cycle();
     let prep_model = PreparationModel::with_calibration(config.rus_params(), config.calibration);
@@ -303,6 +365,12 @@ pub(crate) fn run_realtime(
     let activity = ActivityTracker::new(num_ancillas, config.activity_window.clamp(1, 128));
     let rz_entry_cost = prep_model.expected_rounds().ceil() as u64
         + 2 * config.costs.cnot_injection_cycles as u64 * d as u64;
+    // Static per-qubit tile adjacency, computed once: geometry never
+    // changes mid-run, and rebuilding these per injection was the last
+    // steady-state allocation (caught by the counting-allocator test).
+    let adjacency: Vec<DataAdjacency> = (0..circuit.num_qubits())
+        .map(|q| fabric.layout.data_adjacency(QubitId(q)))
+        .collect();
     // More executors than regions would idle; the clamp only affects the
     // reported thread count, never the schedule.
     let mut partition = RegionPartition::for_fabric(num_ancillas);
@@ -329,7 +397,7 @@ pub(crate) fn run_realtime(
         // thread count.
         let mut frontage = vec![(0u32, 0u32); partition.num_regions()];
         for q in 0..circuit.num_qubits() {
-            let adj = fabric.layout.data_adjacency(QubitId(q));
+            let adj = &adjacency[q as usize];
             for &(_, tile) in &adj.side {
                 if let Some(a) = fabric.graph.index_of(tile) {
                     let slot = &mut frontage[partition.region_of(a) as usize];
@@ -350,9 +418,13 @@ pub(crate) fn run_realtime(
     let threads = config
         .resolved_engine_threads()
         .clamp(1, partition.num_regions());
-    let exec = ShardExecutor::new(threads);
+    let exec = ShardExecutor::new(threads, num_ancillas);
 
     let mut ledger = ReservationLedger::new(num_ancillas);
+    // One task per non-free gate at most: sizing the ledger's edge lists
+    // (and the task vectors below) up front keeps task creation off the
+    // allocator once the run is warm.
+    ledger.reserve_tasks(circuit.len());
     if let Some(lattice) = &config.priority_classes {
         // Attribute per-class preemption counters to the canonical classes
         // whatever ranks a custom lattice assigns them (counters only;
@@ -380,8 +452,8 @@ pub(crate) fn run_realtime(
         done_count: 0,
         last_completion: 0,
         last_progress: 0,
-        tasks: Vec::new(),
-        live_tasks: Vec::new(),
+        tasks: Vec::with_capacity(circuit.len()),
+        live_tasks: Vec::with_capacity(circuit.len()),
         ledger,
         prep_epoch: vec![0; num_ancillas],
         prepping: vec![None; num_ancillas],
@@ -390,6 +462,8 @@ pub(crate) fn run_realtime(
         path_cache: PathCache::new(),
         events: EventQueue::new(),
         sched_worklist: Vec::new(),
+        scratch: EngineScratch::default(),
+        pools: VecPools::default(),
         constrained: 2 * num_ancillas <= 4 * circuit.num_qubits() as usize,
         partition,
         engine_threads: exec.threads() as u32,
@@ -404,7 +478,14 @@ pub(crate) fn run_realtime(
         rz_entry_cost,
         recorder,
         phase_nanos: [0; 4],
-        displaced_by_class: HashSet::new(),
+        cycle_probe,
+        adjacency: &adjacency,
+        occupancy_expiries: std::collections::BinaryHeap::new(),
+        displaced_by_class: {
+            let mut b = Bitset::default();
+            b.reserve(circuit.len());
+            b
+        },
         traced_windows: HashMap::new(),
         traced_occupancy: if recorder.is_some() {
             vec![(0, false); num_ancillas]
@@ -439,6 +520,17 @@ impl RtEngine<'_> {
                 });
             };
             self.clock = t;
+            // Fabric occupancies that end at or before the new clock free
+            // their ancillas *now*, before any event at this round is
+            // handled — put them back in the dispatch frontier exactly
+            // where the historical full rescan would have seen them.
+            while let Some(&std::cmp::Reverse((when, a))) = self.occupancy_expiries.peek() {
+                if when > self.clock {
+                    break;
+                }
+                self.occupancy_expiries.pop();
+                self.ledger.mark_dirty(a);
+            }
             if self.clock > max_rounds {
                 if std::env::var("RESCQ_DEBUG_STUCK").is_ok() {
                     self.dump_stuck_state();
@@ -626,19 +718,21 @@ impl RtEngine<'_> {
         let Some(t0) = start else { return };
         let dur_ns = t0.elapsed().as_nanos() as u64;
         self.phase_nanos[phase.index()] += dur_ns;
-        self.emit(TraceEvent::PhaseSpan {
+        self.emit_with(|| TraceEvent::PhaseSpan {
             phase,
             round: self.clock,
             dur_ns,
         });
     }
 
-    /// Records one trace event (one inlined check when no recorder is
-    /// attached — the disabled-instrumentation contract).
+    /// Records one trace event, built lazily: the closure runs only when
+    /// a recorder is attached, so untraced runs pay one inlined branch and
+    /// never evaluate the payload (the disabled-instrumentation contract,
+    /// pinned by the allocation-count test).
     #[inline]
-    fn emit(&self, ev: TraceEvent) {
+    fn emit_with(&self, ev: impl FnOnce() -> TraceEvent) {
         if let Some(r) = self.recorder {
-            r.record(ev);
+            r.record(ev());
         }
     }
 
@@ -713,17 +807,45 @@ impl RtEngine<'_> {
     fn dispatch_ancillas(&mut self) -> bool {
         let traced = self.recorder.is_some();
         let t0 = traced.then(Instant::now);
-        let candidates = {
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        // The scan frontier is `dirty ∩ nonempty`: an empty queue can never
+        // propose an action, and an *unmarked* ancilla provably re-proposes
+        // the `None` it proposed last pass (every enabling mutation — ledger
+        // writes, fabric holds expiring, preparations finishing — marks the
+        // ancilla dirty). Clearing before the scan means commit-time
+        // mutations land in the next pass's frontier, exactly like the
+        // historical full rescan.
+        let mut words = std::mem::take(&mut self.scratch.scan_words);
+        words.clear();
+        words.extend(
+            self.ledger
+                .dirty_words()
+                .iter()
+                .zip(self.ledger.nonempty_words())
+                .map(|(d, n)| d & n),
+        );
+        self.ledger.clear_dirty();
+        {
             let this = &*self;
-            this.exec
-                .scan(&this.partition, &|a| this.ancilla_action(a).is_some())
-        };
+            // Word-parallel scan over the frontier words: 64 idle or
+            // untouched ancillas are skipped per word-compare.
+            this.exec.scan_words_into(
+                &this.partition,
+                &words,
+                &|a| this.ancilla_action(a).is_some(),
+                &mut candidates,
+            );
+        }
+        words.clear();
+        self.scratch.scan_words = words;
         self.note_phase(Phase::Propose, t0);
         let t1 = traced.then(Instant::now);
         let mut progress = false;
-        for a in candidates {
-            progress |= self.commit_ancilla(a);
+        for &candidate in &candidates {
+            progress |= self.commit_ancilla(candidate);
         }
+        candidates.clear();
+        self.scratch.candidates = candidates;
         self.note_phase(Phase::Commit, t1);
         progress
     }
@@ -734,19 +856,34 @@ impl RtEngine<'_> {
         if self.sched_worklist.is_empty() {
             return false;
         }
-        let mut list = std::mem::take(&mut self.sched_worklist);
-        list.sort_by_key(|&q| {
+        let mut order = std::mem::take(&mut self.scratch.worklist_order);
+        order.clear();
+        order.extend(self.sched_worklist.iter().enumerate().map(|(i, &q)| {
             let chain = self.dag.qubit_chain(q);
             let depth = chain
                 .get(self.cursor[q.index()])
                 .map_or(0, |&g| self.dag.remaining_depth(g));
-            std::cmp::Reverse(depth)
-        });
-        list.dedup();
+            (std::cmp::Reverse(depth), i as u32, q)
+        }));
+        self.sched_worklist.clear();
+        // `(Reverse(depth), insertion index)` is a total order, so the
+        // unstable sort reproduces the historical stable deepest-first
+        // order exactly — without the stable sort's merge buffer.
+        order.sort_unstable_by_key(|&(depth, idx, _)| (depth, idx));
         let mut progress = false;
-        for q in list {
+        let mut prev: Option<QubitId> = None;
+        for &(_, _, q) in &order {
+            // The historical `dedup()` collapsed consecutive duplicates
+            // only; replicate that exactly (advance_qubit is idempotent,
+            // so non-adjacent duplicates were — and are — simply re-run).
+            if prev == Some(q) {
+                continue;
+            }
+            prev = Some(q);
             progress |= self.advance_qubit(q);
         }
+        order.clear();
+        self.scratch.worklist_order = order;
         progress
     }
 
@@ -855,7 +992,7 @@ impl RtEngine<'_> {
         // Per-region urgency override on top: work homed next to a
         // promoted region's ancillas is raised to the region's class —
         // a factory region outranks compute regions.
-        let adj = self.fabric.layout.data_adjacency(home);
+        let adj = &self.adjacency[home.index()];
         let promoted = adj
             .side
             .iter()
@@ -886,7 +1023,7 @@ impl RtEngine<'_> {
                     ladder: InjectionLadder::new(angle),
                     prep_sites,
                     helper_sites,
-                    holders: Vec::new(),
+                    holders: self.pools.holders.take(),
                     injecting: false,
                     awaiting_decode: false,
                     pending_prep_decodes: 0,
@@ -927,10 +1064,11 @@ impl RtEngine<'_> {
         class: TaskClass,
     ) -> (Vec<(AncillaIndex, bool)>, Vec<AncillaIndex>) {
         let orient = self.fabric.orientation[qubit.index()];
-        let adj = self.fabric.layout.data_adjacency(qubit);
-        let mut prep_sites = Vec::new();
-        let mut helper_sites = Vec::new();
-        let mut x_side: Vec<AncillaIndex> = Vec::new();
+        let adj = &self.adjacency[qubit.index()];
+        let mut prep_sites = self.pools.sites.take();
+        let mut helper_sites = self.pools.helpers.take();
+        let mut x_side = std::mem::take(&mut self.scratch.x_side);
+        x_side.clear();
 
         for &(side, tile) in &adj.side {
             let Some(a) = self.fabric.graph.index_of(tile) else {
@@ -988,13 +1126,12 @@ impl RtEngine<'_> {
             // site (side-adjacent preferred — it can inject alone) plus at
             // most one helper, returning every other claim to the pool.
             if let Some(keep_at) = prep_sites.iter().position(|&(_, side)| side) {
-                for &(a, _) in prep_sites
-                    .iter()
-                    .filter(|&&(a, _)| a != prep_sites[keep_at].0)
-                {
+                let keep = prep_sites[keep_at];
+                for &(a, _) in prep_sites.iter().filter(|&&(a, _)| a != keep.0) {
                     self.ledger.remove_task(a, id);
                 }
-                prep_sites = vec![prep_sites[keep_at]];
+                prep_sites.clear();
+                prep_sites.push(keep);
                 for &h in &helper_sites {
                     self.ledger.remove_task(h, id);
                 }
@@ -1016,36 +1153,48 @@ impl RtEngine<'_> {
                         self.ledger.remove_task(h, id);
                     }
                 }
-                helper_sites = keep_helper.into_iter().collect();
+                helper_sites.clear();
+                helper_sites.extend(keep_helper);
             }
         }
+        x_side.clear();
+        self.scratch.x_side = x_side;
         (prep_sites, helper_sites)
     }
 
-    /// Plans a route for `id`'s CNOT. `id` matters for re-planning: the
-    /// task's own queued Route entries are excluded from the load estimate,
-    /// so holding a path never biases the planner against that same path.
-    fn plan_cnot_path(
+    /// Plans a route for `id`'s CNOT into `best` (cleared; left empty when
+    /// no route exists). `id` matters for re-planning: the task's own
+    /// queued Route entries are excluded from the load estimate, so holding
+    /// a path never biases the planner against that same path.
+    fn plan_cnot_path_into(
         &mut self,
         id: TaskId,
         control: QubitId,
         target: QubitId,
-    ) -> Vec<AncillaIndex> {
-        let expected_free = self.expected_free_vec(id);
-        let plan = plan_cnot_route(
-            &self.fabric.layout,
+        best: &mut Vec<AncillaIndex>,
+    ) {
+        let mut expected_free = std::mem::take(&mut self.scratch.expected_free);
+        self.fill_expected_free(id, &mut expected_free);
+        let mut route = std::mem::take(&mut self.scratch.route);
+        let adjacency = self.adjacency;
+        let _ = plan_cnot_route_into(
             &self.fabric.graph,
             self.mst.current(),
             self.mst.generation(),
             &mut self.path_cache,
             control,
             target,
+            &adjacency[control.index()],
+            &adjacency[target.index()],
             &self.fabric.orientation,
             &self.costs,
             self.d,
             |a| expected_free[a as usize],
+            &mut route,
+            best,
         );
-        plan.map(|p| p.path).unwrap_or_default()
+        self.scratch.route = route;
+        self.scratch.expected_free = expected_free;
     }
 
     fn plan_and_enqueue_cnot(
@@ -1055,9 +1204,10 @@ impl RtEngine<'_> {
         target: QubitId,
         class: TaskClass,
     ) -> Vec<AncillaIndex> {
-        let path = self.plan_cnot_path(id, control, target);
+        let mut path = self.pools.paths.take();
+        self.plan_cnot_path_into(id, control, target, &mut path);
         self.enqueue_route_claims(id, &path, class);
-        self.emit(TraceEvent::RoutePlanned {
+        self.emit_with(|| TraceEvent::RoutePlanned {
             round: self.clock,
             task: id.0 as u64,
             hops: path.len() as u32,
@@ -1088,29 +1238,39 @@ impl RtEngine<'_> {
         }
     }
 
-    /// `E[f_a]` for every ancilla: the sum of expected durations of its
-    /// queued operations (§4.2), excluding entries of `exclude` itself.
-    /// Per-ancilla terms are independent, so the shard executor computes
-    /// region slices in parallel — the planner's hottest read.
-    fn expected_free_vec(&self, exclude: TaskId) -> Vec<u64> {
+    /// `E[f_a]` for every ancilla into `out`: the sum of expected durations
+    /// of its queued operations (§4.2), excluding entries of `exclude`
+    /// itself. Per-ancilla terms are independent, so the shard executor
+    /// computes region slices in parallel — the planner's hottest read.
+    /// An empty queue's estimate is exactly `clock`, so the fill is sparse
+    /// over the ledger's nonempty bitmap: idle ancillas cost one word-wide
+    /// memset lane instead of a queue walk each.
+    fn fill_expected_free(&self, exclude: TaskId, out: &mut Vec<u64>) {
         let d = self.d as u64;
         let cnot = self.costs.cnot_cycles as u64 * d;
         let inj = self.costs.cnot_injection_cycles as u64 * d;
         let rz = self.rz_entry_cost;
-        self.exec.fill_u64(&self.partition, &|a| {
-            self.clock
-                + self.ledger.queue(a).expected_free_rounds(|e| {
-                    if e.task == exclude {
-                        return 0;
-                    }
-                    match e.role {
-                        Role::Route => cnot,
-                        Role::Helper => inj,
-                        Role::EdgeRotate => 3 * d,
-                        _ => rz,
-                    }
-                })
-        })
+        let clock = self.clock;
+        self.exec.fill_u64_sparse_into(
+            &self.partition,
+            self.ledger.nonempty_words(),
+            clock,
+            &|a| {
+                clock
+                    + self.ledger.queue(a).expected_free_rounds(|e| {
+                        if e.task == exclude {
+                            return 0;
+                        }
+                        match e.role {
+                            Role::Route => cnot,
+                            Role::Helper => inj,
+                            Role::EdgeRotate => 3 * d,
+                            _ => rz,
+                        }
+                    })
+            },
+            out,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1225,7 +1385,7 @@ impl RtEngine<'_> {
         let rounds = self.prep_model.sample_prep_rounds(&mut self.rng);
         // The task is preparing again: its class displacement (if any) is
         // over for stall-attribution purposes.
-        self.displaced_by_class.remove(&task);
+        self.displaced_by_class.remove(task.0 as usize);
         self.prepping[a as usize] = Some(angle);
         self.ledger.set_top_status(a, EntryStatus::Preparing);
         self.counters.preps_started += 1;
@@ -1345,18 +1505,28 @@ impl RtEngine<'_> {
             return; // already injection-or-better (e.g. factory)
         }
         self.tasks[id.index()].class = injection;
-        let (sites, helpers) = match &self.tasks[id.index()].body {
+        let (num_sites, num_helpers) = match &self.tasks[id.index()].body {
             TaskBody::Rz {
                 prep_sites,
                 helper_sites,
                 ..
-            } => (prep_sites.clone(), helper_sites.clone()),
+            } => (prep_sites.len(), helper_sites.len()),
             _ => return, // only rotations are ever enqueued speculatively
         };
-        for (a, _) in sites {
+        // Indexed re-fetch: `update_class` rewrites ledger entries, never
+        // the task body, so the site lists are stable across iterations.
+        for i in 0..num_sites {
+            let a = match &self.tasks[id.index()].body {
+                TaskBody::Rz { prep_sites, .. } => prep_sites[i].0,
+                _ => unreachable!("task body cannot change kind"),
+            };
             self.ledger.update_class(a, id, injection);
         }
-        for a in helpers {
+        for i in 0..num_helpers {
+            let a = match &self.tasks[id.index()].body {
+                TaskBody::Rz { helper_sites, .. } => helper_sites[i],
+                _ => unreachable!("task body cannot change kind"),
+            };
             self.ledger.update_class(a, id, injection);
         }
     }
@@ -1387,7 +1557,7 @@ impl RtEngine<'_> {
                 );
                 self.cancel_displaced_prep(a, displaced_top);
                 if class_won {
-                    self.displaced_by_class.insert(displaced_top);
+                    self.displaced_by_class.insert(displaced_top.0 as usize);
                 }
                 progress = true;
             }
@@ -1414,7 +1584,7 @@ impl RtEngine<'_> {
         let current = ladder.current_angle();
         let data = self.fabric.layout.data_tile(qubit);
         let orient = self.fabric.orientation[qubit.index()];
-        let adj = self.fabric.layout.data_adjacency(qubit);
+        let adj = &self.adjacency[qubit.index()];
 
         // Pick the cheapest feasible injection among ready holders (Table 1).
         // Diagonal holders route through any side-adjacent ancilla touching
@@ -1507,6 +1677,7 @@ impl RtEngine<'_> {
                 self.counters.states_discarded += 1;
             }
             self.fabric.occupy_ancilla(h, self.clock, until);
+            self.occupancy_expiries.push(std::cmp::Reverse((until, h)));
         }
         if let TaskBody::Rz {
             holders, injecting, ..
@@ -1516,7 +1687,7 @@ impl RtEngine<'_> {
             *injecting = true;
         }
         self.ledger.set_top_status(holder, EntryStatus::Executing);
-        self.displaced_by_class.remove(&id);
+        self.displaced_by_class.remove(id.0 as usize);
         self.counters.injections += 1;
         self.events.push(
             until,
@@ -1549,7 +1720,13 @@ impl RtEngine<'_> {
         {
             return false;
         }
-        let path = path.clone();
+        // Take the path out of the task body for the duration of the
+        // attempt (restored on every exit) — the historical code cloned it
+        // here, once per attempt on the hot path.
+        let path = match &mut self.tasks[id.index()].body {
+            TaskBody::Cnot { path, .. } => std::mem::take(path),
+            _ => unreachable!("checked above"),
+        };
         let mut all_ready = self.cnot_path_ready(id, &path);
         // Preemption for stalled CNOTs: always armed on constrained fabrics
         // (where routes starve without it), and on any fabric when the
@@ -1566,6 +1743,7 @@ impl RtEngine<'_> {
             // ledger tags such reorders in its cross-shard counter).
             let home = ShardId(self.partition.region_of(path[0]));
             let mut preempted = false;
+            let mut spec = std::mem::take(&mut self.scratch.spec_tasks);
             for &a in &path {
                 if self.ledger.queue(a).top().is_some_and(|e| e.task == id) {
                     continue;
@@ -1573,18 +1751,21 @@ impl RtEngine<'_> {
                 // A preparation may yield when its task is younger than the
                 // stalled CNOT, or when it is still fully speculative — its
                 // owner's predecessor gates are incomplete, so the prepared
-                // state could not be consumed yet anyway.
-                let speculative: std::collections::HashSet<TaskId> = self
-                    .ledger
-                    .queue(a)
-                    .iter()
-                    .filter(|e| e.task != id && (e.role.is_prep() || e.role == Role::Helper))
-                    .map(|e| e.task)
-                    .filter(|&t| self.is_speculative(t))
-                    .collect();
+                // state could not be consumed yet anyway. (Snapshotted into
+                // recycled scratch: each task has at most one entry per
+                // queue, so the per-entry filter equals set membership.)
+                spec.clear();
+                for e in self.ledger.queue(a).iter() {
+                    if e.task != id
+                        && (e.role.is_prep() || e.role == Role::Helper)
+                        && self.is_speculative(e.task)
+                    {
+                        spec.push(e.task);
+                    }
+                }
                 let host = ShardId(self.partition.region_of(a));
                 let outcome = self.ledger.try_preempt_across(id, a, home, host, |e| {
-                    e.task > id || speculative.contains(&e.task)
+                    e.task > id || spec.contains(&e.task)
                 });
                 if let Preemption::Applied {
                     displaced_top,
@@ -1594,11 +1775,13 @@ impl RtEngine<'_> {
                     debug_assert!(self.ledger.is_acyclic(), "preemption broke acyclicity");
                     self.cancel_displaced_prep(a, displaced_top);
                     if class_won {
-                        self.displaced_by_class.insert(displaced_top);
+                        self.displaced_by_class.insert(displaced_top.0 as usize);
                     }
                     preempted = true;
                 }
             }
+            spec.clear();
+            self.scratch.spec_tasks = spec;
             if preempted {
                 all_ready = self.cnot_path_ready(id, &path);
             }
@@ -1610,43 +1793,53 @@ impl RtEngine<'_> {
             // for free by routing at dispatch time).
             let stalled_rounds = self.costs.cnot_cycles as u64 * self.d as u64;
             if self.constrained && self.clock.saturating_sub(planned_round) >= stalled_rounds {
-                let old = path.clone();
                 // Plan first and only move if the route actually changes:
                 // re-enqueueing an identical path would surrender the
                 // task's queue seniority for nothing (priority inversion).
-                let new_path = self.plan_cnot_path(id, control, target);
-                if new_path != old {
+                let mut new_path = self.pools.paths.take();
+                self.plan_cnot_path_into(id, control, target, &mut new_path);
+                if new_path != path {
                     let class = self.tasks[id.index()].class;
-                    for &a in &old {
+                    for &a in &path {
                         self.ledger.remove_task(a, id);
                     }
                     self.enqueue_route_claims(id, &new_path, class);
-                    self.emit(TraceEvent::RoutePlanned {
+                    self.emit_with(|| TraceEvent::RoutePlanned {
                         round: self.clock,
                         task: id.0 as u64,
                         hops: new_path.len() as u32,
                         replanned: true,
                     });
-                    if let TaskBody::Cnot { path, .. } = &mut self.tasks[id.index()].body {
-                        *path = new_path;
-                    }
                     self.counters.cnot_replans += 1;
+                    self.pools.paths.put(path);
+                    if let TaskBody::Cnot {
+                        path,
+                        planned_round,
+                        ..
+                    } = &mut self.tasks[id.index()].body
+                    {
+                        *path = new_path;
+                        *planned_round = self.clock;
+                    }
+                    return false;
                 }
+                self.pools.paths.put(new_path);
                 if let TaskBody::Cnot { planned_round, .. } = &mut self.tasks[id.index()].body {
                     *planned_round = self.clock;
                 }
+            }
+            if let TaskBody::Cnot { path: p, .. } = &mut self.tasks[id.index()].body {
+                *p = path;
             }
             return false;
         }
         // Validate boundary orientations at the endpoints; rotate lazily if a
         // Hadamard (or an earlier rotation) flipped them since planning.
-        for (&endpoint, qubit, want) in [
-            (path.first().expect("non-empty"), control, EdgeType::Z),
-            (path.last().expect("non-empty"), target, EdgeType::X),
-        ]
-        .iter()
-        .map(|&(e, q, w)| (e, q, w))
-        {
+        let mut rotate: Option<(AncillaIndex, QubitId)> = None;
+        for (endpoint, qubit, want) in [
+            (*path.first().expect("non-empty"), control, EdgeType::Z),
+            (*path.last().expect("non-empty"), target, EdgeType::X),
+        ] {
             let data = self.fabric.layout.data_tile(qubit);
             let tile = self.fabric.graph.tile(endpoint);
             let side = self
@@ -1656,17 +1849,27 @@ impl RtEngine<'_> {
                 .side_towards(data, tile)
                 .expect("endpoint adjacent to its data qubit");
             if self.fabric.orientation[qubit.index()].edge_at(side) != want {
-                let until = self.clock + self.costs.edge_rotation_cycles as u64 * self.d as u64;
-                self.fabric.occupy_qubit(qubit, self.clock, until);
-                self.fabric.occupy_ancilla(endpoint, self.clock, until);
-                if let TaskBody::Cnot { rotating, .. } = &mut self.tasks[id.index()].body {
-                    *rotating = true;
-                }
-                self.counters.edge_rotations += 1;
-                self.events
-                    .push(until, Ev::RotationDone { task: id, qubit });
-                return true;
+                rotate = Some((endpoint, qubit));
+                break;
             }
+        }
+        if let Some((endpoint, qubit)) = rotate {
+            let until = self.clock + self.costs.edge_rotation_cycles as u64 * self.d as u64;
+            self.fabric.occupy_qubit(qubit, self.clock, until);
+            self.fabric.occupy_ancilla(endpoint, self.clock, until);
+            self.occupancy_expiries
+                .push(std::cmp::Reverse((until, endpoint)));
+            if let TaskBody::Cnot {
+                path: p, rotating, ..
+            } = &mut self.tasks[id.index()].body
+            {
+                *p = path;
+                *rotating = true;
+            }
+            self.counters.edge_rotations += 1;
+            self.events
+                .push(until, Ev::RotationDone { task: id, qubit });
+            return true;
         }
         // All clear: run the 2-cycle merge/split surgery.
         let until = self.clock + self.costs.cnot_cycles as u64 * self.d as u64;
@@ -1674,12 +1877,16 @@ impl RtEngine<'_> {
         self.fabric.occupy_qubit(target, self.clock, until);
         for &a in &path {
             self.fabric.occupy_ancilla(a, self.clock, until);
+            self.occupancy_expiries.push(std::cmp::Reverse((until, a)));
             self.ledger.set_top_status(a, EntryStatus::Executing);
         }
         if let TaskBody::Cnot {
-            surgery_started, ..
+            path: p,
+            surgery_started,
+            ..
         } = &mut self.tasks[id.index()].body
         {
+            *p = path;
             *surgery_started = true;
         }
         self.counters.cnot_surgeries += 1;
@@ -1749,6 +1956,7 @@ impl RtEngine<'_> {
     /// queue-level wait-for graph cannot see. Real work restarts on the next
     /// dispatch.
     fn break_stall(&mut self) {
+        let mut stale = std::mem::take(&mut self.scratch.stale);
         for i in 0..self.tasks.len() {
             if self.tasks[i].done {
                 continue;
@@ -1763,13 +1971,15 @@ impl RtEngine<'_> {
                 continue;
             };
             let current = ladder.current_angle();
-            let stale: Vec<AncillaIndex> = holders
-                .iter()
-                .filter(|&&(_, ang)| speculative || ang != current)
-                .map(|&(a, _)| a)
-                .collect();
+            stale.clear();
+            stale.extend(
+                holders
+                    .iter()
+                    .filter(|&&(_, ang)| speculative || ang != current)
+                    .map(|&(a, _)| a),
+            );
             let discarded = !stale.is_empty();
-            for a in stale {
+            for &a in &stale {
                 self.fabric.release_ancilla(a, self.clock);
                 self.ledger
                     .set_top_status_if(a, TaskId(i as u32), EntryStatus::Ready);
@@ -1788,17 +1998,23 @@ impl RtEngine<'_> {
                 // stale correction angle and the task livelocks through
                 // the stall breaker forever (pinned regression:
                 // factory_n12 @ 25% compression, seed 8).
-                let sites = match &self.tasks[i].body {
-                    TaskBody::Rz { prep_sites, .. } => prep_sites.clone(),
+                let num_sites = match &self.tasks[i].body {
+                    TaskBody::Rz { prep_sites, .. } => prep_sites.len(),
                     _ => unreachable!("loop body is Rz-only"),
                 };
-                for (s, _) in sites {
+                for si in 0..num_sites {
+                    let s = match &self.tasks[i].body {
+                        TaskBody::Rz { prep_sites, .. } => prep_sites[si].0,
+                        _ => unreachable!("loop body is Rz-only"),
+                    };
                     if !self.is_holding(TaskId(i as u32), s) {
                         self.ledger.update_angle(s, TaskId(i as u32), current);
                     }
                 }
             }
         }
+        stale.clear();
+        self.scratch.stale = stale;
         // Reset the stall clock so the breaker does not spin.
         self.last_progress = self.clock;
     }
@@ -1855,7 +2071,7 @@ impl RtEngine<'_> {
                         None // executing
                     } else if *pending_prep_decodes > 0 {
                         Some(StallCause::DecoderBacklog)
-                    } else if self.displaced_by_class.contains(&id) {
+                    } else if self.displaced_by_class.contains(id.0 as usize) {
                         Some(StallCause::ClassDisplacement)
                     } else {
                         Some(StallCause::AncillaContention)
@@ -1872,7 +2088,7 @@ impl RtEngine<'_> {
                 StallCause::RouteBlocked => self.counters.stall_route_cycles += 1,
                 StallCause::ClassDisplacement => self.counters.stall_class_cycles += 1,
             }
-            self.emit(TraceEvent::Stall {
+            self.emit_with(|| TraceEvent::Stall {
                 round: self.clock,
                 task: id.0 as u64,
                 cause,
@@ -1911,7 +2127,7 @@ impl RtEngine<'_> {
     fn trace_window_enqueued(&mut self, window: WindowId, ready_at: u64) {
         if self.recorder.is_some() {
             self.traced_windows.insert(window, self.clock);
-            self.emit(TraceEvent::WindowEnqueued {
+            self.emit_with(|| TraceEvent::WindowEnqueued {
                 round: self.clock,
                 window: window.0,
                 ready_at,
@@ -1924,7 +2140,7 @@ impl RtEngine<'_> {
     fn trace_window_retired(&mut self, window: WindowId) {
         if self.recorder.is_some() {
             let submitted = self.traced_windows.remove(&window).unwrap_or(self.clock);
-            self.emit(TraceEvent::WindowRetired {
+            self.emit_with(|| TraceEvent::WindowRetired {
                 round: self.clock,
                 window: window.0,
                 stalled_rounds: self.clock - submitted,
@@ -1939,18 +2155,21 @@ impl RtEngine<'_> {
     fn handle_event(&mut self, ev: Ev) {
         match ev {
             Ev::CycleTick => {
-                let act = self.fabric.take_cycle_activity(self.clock);
-                self.activity.record_cycle(&act);
+                let act = self.fabric.end_cycle_activity(self.clock);
+                self.activity.record_cycle(act);
                 self.sample_stalls();
                 self.sample_occupancy();
                 let cycle = self.clock / self.d as u64;
                 let activity = &self.activity;
                 self.mst
-                    .on_cycle(cycle, |edges| activity.edge_weights(edges));
+                    .on_cycle(cycle, |edges, out| activity.edge_weights_into(edges, out));
                 if self.clock.saturating_sub(self.last_progress)
                     > STALL_BREAK_CYCLES * self.d as u64
                 {
                     self.break_stall();
+                }
+                if let Some(probe) = self.cycle_probe {
+                    probe(cycle);
                 }
                 if self.done_count < self.circuit.len() {
                     self.events.push(self.clock + self.d as u64, Ev::CycleTick);
@@ -2045,10 +2264,12 @@ impl RtEngine<'_> {
             }
             Ev::SurgeryDone { task } => {
                 let gate = self.tasks[task.index()].gate;
-                if let TaskBody::Cnot { ref path, .. } = self.tasks[task.index()].body {
-                    for &a in &path.clone() {
+                if let TaskBody::Cnot { path, .. } = &mut self.tasks[task.index()].body {
+                    let path = std::mem::take(path);
+                    for &a in &path {
                         self.ledger.remove_task(a, task);
                     }
+                    self.pools.paths.put(path);
                 }
                 let latency =
                     (self.clock - self.tasks[task.index()].sched_round).div_ceil(self.d as u64);
@@ -2076,14 +2297,20 @@ impl RtEngine<'_> {
         let current = ladder.current_angle();
         let next = ladder.next_correction_angle();
         let fresh_current = angle == current;
-        let sites = prep_sites.clone();
+        let num_sites = prep_sites.len();
         if let TaskBody::Rz { holders, .. } = &mut self.tasks[task.index()].body {
             holders.push((a, angle));
         }
         if fresh_current && !next.is_clifford() {
             // First success for the needed angle: rewrite every sibling prep
             // entry in place to the correction state |m2θ⟩ (§4.1 / Fig 1e).
-            for &(s, _) in &sites {
+            // Indexed re-fetch: neither `is_holding` nor `update_angle`
+            // mutates the task body, so the site list is stable.
+            for si in 0..num_sites {
+                let s = match &self.tasks[task.index()].body {
+                    TaskBody::Rz { prep_sites, .. } => prep_sites[si].0,
+                    _ => unreachable!("task body cannot change kind"),
+                };
                 if s == a || self.is_holding(task, s) {
                     continue;
                 }
@@ -2113,6 +2340,9 @@ impl RtEngine<'_> {
         if !reused {
             self.fabric.release_ancilla(holder, self.clock);
         }
+        // The holder's injection occupancy expires now (whether or not the
+        // hold survives) — re-examine it on the next dispatch pass.
+        self.ledger.mark_dirty(holder);
         let (window, ready_at) = self.decoder.submit(holder, rounds.max(1), self.clock);
         self.trace_window_enqueued(window, ready_at);
         if ready_at > self.clock {
@@ -2165,30 +2395,40 @@ impl RtEngine<'_> {
             LadderStep::NeedCorrection(next) => {
                 // Discard holders of stale angles; retarget every non-holding
                 // site (including the consumed holder) to the new angle.
-                type SitesAndStale = (Vec<(AncillaIndex, bool)>, Vec<(AncillaIndex, Angle)>);
-                let (sites, stale): SitesAndStale = match &self.tasks[task.index()].body {
+                let mut stale = std::mem::take(&mut self.scratch.stale);
+                stale.clear();
+                let num_sites = match &self.tasks[task.index()].body {
                     TaskBody::Rz {
                         prep_sites,
                         holders,
                         ..
-                    } => (
-                        prep_sites.clone(),
-                        holders
-                            .iter()
-                            .copied()
-                            .filter(|&(_, ang)| ang != next)
-                            .collect(),
-                    ),
+                    } => {
+                        stale.extend(
+                            holders
+                                .iter()
+                                .filter(|&&(_, ang)| ang != next)
+                                .map(|&(a, _)| a),
+                        );
+                        prep_sites.len()
+                    }
                     _ => unreachable!(),
                 };
-                for (a, _) in &stale {
-                    self.fabric.release_ancilla(*a, self.clock);
+                for &a in &stale {
+                    self.fabric.release_ancilla(a, self.clock);
                     self.counters.states_discarded += 1;
                 }
+                stale.clear();
+                self.scratch.stale = stale;
                 if let TaskBody::Rz { holders, .. } = &mut self.tasks[task.index()].body {
                     holders.retain(|&(_, ang)| ang == next);
                 }
-                for &(s, _) in &sites {
+                // Indexed re-fetch: nothing in this loop mutates the task
+                // body, so the site list is stable across iterations.
+                for si in 0..num_sites {
+                    let s = match &self.tasks[task.index()].body {
+                        TaskBody::Rz { prep_sites, .. } => prep_sites[si].0,
+                        _ => unreachable!("task body cannot change kind"),
+                    };
                     if !self.is_holding(task, s) {
                         self.ledger.update_angle(s, task, next);
                         if self.ledger.queue(s).top().is_some_and(|e| {
@@ -2204,33 +2444,43 @@ impl RtEngine<'_> {
     }
 
     fn complete_rz(&mut self, task: TaskId, gate: GateId) {
-        let (sites, helpers, holders) = match &self.tasks[task.index()].body {
+        // The task is finished: take its site lists outright (nothing below
+        // reads them back through the body) and recycle the buffers.
+        let (sites, helpers, holders) = match &mut self.tasks[task.index()].body {
             TaskBody::Rz {
                 prep_sites,
                 helper_sites,
                 holders,
                 ..
-            } => (prep_sites.clone(), helper_sites.clone(), holders.clone()),
+            } => (
+                std::mem::take(prep_sites),
+                std::mem::take(helper_sites),
+                std::mem::take(holders),
+            ),
             _ => unreachable!(),
         };
-        for (a, _) in holders {
+        for &(a, _) in &holders {
             self.fabric.release_ancilla(a, self.clock);
             self.counters.states_discarded += 1;
         }
-        for (a, _) in sites {
+        for &(a, _) in &sites {
             self.cancel_prep_for(a, task);
             self.ledger.remove_task(a, task);
         }
-        for h in helpers {
+        for &h in &helpers {
             self.ledger.remove_task(h, task);
         }
+        self.pools.sites.put(sites);
+        self.pools.helpers.put(helpers);
+        self.pools.holders.put(holders);
         let latency = (self.clock - self.tasks[task.index()].sched_round).div_ceil(self.d as u64);
         self.rz_latency.record(latency);
         self.complete_task(task, gate);
     }
 
     fn complete_task(&mut self, task: TaskId, gate: GateId) {
-        self.displaced_by_class.remove(&task);
+        self.displaced_by_class.remove(task.0 as usize);
+        self.ledger.recycle_task(task);
         self.tasks[task.index()].done = true;
         self.gate_done[gate.index()] = true;
         self.done_count += 1;

@@ -30,6 +30,10 @@ pub struct Fabric {
     /// Ancillas currently *held* (claimed open-ended, e.g. holding a prepared
     /// state) and by whom; counted as active every cycle until released.
     held: Vec<Option<u64>>,
+    /// Double buffer for [`Self::end_cycle_activity`]: the finished cycle's
+    /// flags are assembled here while `active_this_cycle` is rewound to the
+    /// carry-over set, so ending a cycle allocates nothing.
+    activity_scratch: Vec<bool>,
 }
 
 impl Fabric {
@@ -48,6 +52,7 @@ impl Fabric {
             qubit_busy_rounds: vec![0; nq],
             active_this_cycle: vec![false; na],
             held: vec![None; na],
+            activity_scratch: vec![false; na],
         }
     }
 
@@ -131,20 +136,16 @@ impl Fabric {
 
     /// Ends a cycle: returns the per-ancilla activity flags (true if the
     /// ancilla was busy or held at any point during it) and resets them for
-    /// the next cycle.
-    pub fn take_cycle_activity(&mut self, cycle_end_round: u64) -> Vec<bool> {
-        let mut out = std::mem::take(&mut self.active_this_cycle);
-        for (i, flag) in out.iter_mut().enumerate() {
-            *flag = *flag || self.held[i].is_some() || self.ancilla_free_at[i] > cycle_end_round;
-        }
-        self.active_this_cycle = vec![false; out.len()];
-        // Ancillas still busy across the boundary stay active next cycle.
+    /// the next cycle. The returned slice is a double buffer valid until
+    /// the next call — no allocation per cycle.
+    pub fn end_cycle_activity(&mut self, cycle_end_round: u64) -> &[bool] {
         for i in 0..self.active_this_cycle.len() {
-            if self.held[i].is_some() || self.ancilla_free_at[i] > cycle_end_round {
-                self.active_this_cycle[i] = true;
-            }
+            // Ancillas still busy across the boundary stay active next cycle.
+            let carry = self.held[i].is_some() || self.ancilla_free_at[i] > cycle_end_round;
+            self.activity_scratch[i] = self.active_this_cycle[i] || carry;
+            self.active_this_cycle[i] = carry;
         }
-        out
+        &self.activity_scratch
     }
 }
 
@@ -199,12 +200,12 @@ mod tests {
         let mut f = fabric();
         f.occupy_ancilla(1, 0, 5); // within the first cycle (rounds 0..7)
         f.hold_ancilla(2, 9);
-        let act = f.take_cycle_activity(7);
+        let act = f.end_cycle_activity(7).to_vec();
         assert!(act[1]);
         assert!(act[2]);
         assert!(!act[0]);
         // Held ancilla remains active in the new cycle; the finished one not.
-        let act2 = f.take_cycle_activity(14);
+        let act2 = f.end_cycle_activity(14);
         assert!(!act2[1]);
         assert!(act2[2]);
     }

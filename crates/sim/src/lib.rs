@@ -41,7 +41,7 @@ pub mod runner;
 
 pub use artifacts::{build_layout, simulate_prepared, simulate_prepared_traced, SimArtifacts};
 pub use config::{SimConfig, SimConfigBuilder};
-pub use engine::{simulate, simulate_traced, SimError};
+pub use engine::{simulate, simulate_traced, simulate_with_cycle_probe, SimError};
 pub use fabric::Fabric;
 pub use metrics::{metrics_snapshot, ExecutionReport, LatencyHistogram, RunCounters};
 pub use priority::factory_qubits;

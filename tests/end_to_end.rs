@@ -47,7 +47,9 @@ fn sharded_engine_matches_the_golden_on_every_thread_count() {
     // The sharded-engine determinism contract pinned on a paper workload:
     // the same golden round count (and the full report) for 1, 2 and 4
     // engine threads, with 1-thread output matching the historical engine
-    // exactly.
+    // exactly. Multi-thread runs go through the lock-free proposal-ring
+    // handoff (serial runs bypass it), so this golden also pins the ring
+    // path against the PR 4 numbers.
     let circuit = rescq_repro::workloads::generate("wstate_n27", 1).unwrap();
     let mk = |threads: usize| SimConfig::builder().seed(7).engine_threads(threads).build();
     let reference = simulate(&circuit, &mk(1)).unwrap();

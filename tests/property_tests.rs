@@ -347,6 +347,69 @@ fn sharded_engine_is_thread_count_invariant() {
     }
 }
 
+/// Seeded stress for the lock-free proposal-ring handoff: congested
+/// compressed fabrics run at 2 and 4 threads for thousands of dispatch
+/// passes. The ring's capacity is the ancilla count rounded up to a power
+/// of two and its head index only ever grows (slots recycle by masking),
+/// so a run whose committed actions outnumber the fabric's ancillas — every
+/// one of these, by orders of magnitude — wraps the ring repeatedly; the
+/// wrap mechanics themselves are unit-pinned in `shard.rs`
+/// (`proposal_ring_wraps_across_passes`). On top of that the corpus must
+/// exercise cross-shard preemption, and every sharded schedule must stay
+/// byte-identical to the serial engine's.
+#[test]
+fn proposal_ring_stress_wraps_and_preserves_bit_identity() {
+    let mut cross_shard_preemptions = 0u64;
+    for (name, compression, seed) in [
+        ("qft_n18", 0.5, 7u64),
+        ("qft_n18", 0.75, 11),
+        ("factory_n12", 0.25, 5),
+        ("wstate_n27", 0.5, 3),
+    ] {
+        let circuit = rescq_repro::workloads::generate(name, 1).unwrap();
+        let build = |t: usize| {
+            SimConfig::builder()
+                .scheduler(SchedulerKind::Rescq)
+                .compression(compression)
+                .engine_threads(t)
+                .seed(seed)
+                .max_cycles(500_000)
+                .build()
+        };
+        let reference = simulate(&circuit, &build(1))
+            .unwrap_or_else(|e| panic!("{name}@{compression} serial: {e}"));
+        assert_eq!(
+            reference.gates_executed,
+            circuit.len(),
+            "{name}@{compression}"
+        );
+        // Far more committed proposals than any ring capacity for these
+        // fabrics (the largest here is 54 ancillas → 64 slots): the pooled
+        // runs below cannot avoid wrapping. Injections (RUS attempts) are
+        // the proposal count's dominant term — factory circuits have few
+        // gates but every rotation retries ~2 injections.
+        assert!(
+            reference.counters.injections > 128,
+            "{name}@{compression}: {} injections is too few to force a ring wrap",
+            reference.counters.injections
+        );
+        for threads in [2usize, 4] {
+            let mut sharded = simulate(&circuit, &build(threads))
+                .unwrap_or_else(|e| panic!("{name}@{compression} x{threads}: {e}"));
+            sharded.engine_threads = reference.engine_threads;
+            assert_eq!(
+                sharded, reference,
+                "{name}@{compression}: ring handoff diverged at {threads} threads"
+            );
+        }
+        cross_shard_preemptions += reference.counters.preemptions_cross_shard;
+    }
+    assert!(
+        cross_shard_preemptions > 0,
+        "the stress corpus must exercise cross-shard preemption"
+    );
+}
+
 /// Regression: the naive move-top-entry-to-back yield that was tried before
 /// the ledger existed deadlocks on exactly this shape — one task's route
 /// entries re-planned behind another task's preparations on two ancillas.
