@@ -15,7 +15,7 @@
 //! base_seed = 1
 //! engine_threads = 4       # realtime-engine shards; 0 = auto, schedule unchanged
 //! priority_classes = factory>injection>compute>speculative  # or `off` (default)
-//! decoder = adaptive       # ideal | fixed | adaptive
+//! decoder = adaptive       # ideal | fixed | adaptive | union_find
 //! decoder_throughput = 0.5 # syndrome rounds decoded per round
 //! decoder_workers = 4      # adaptive only
 //! ```

@@ -71,7 +71,7 @@ fn print_usage() {
     println!("  sim merge-checkpoints <spec.toml> <out.csv> <in.ckpt...> [--json FILE]");
     println!("            [--allow-missing]         merge shard checkpoints into one CSV/JSON");
     println!("  sim bench <name> [--seeds N] [--compression F] [--distance D] [--csv DIR]");
-    println!("            [--decoder ideal|fixed|adaptive] [--decoder-throughput F]");
+    println!("            [--decoder ideal|fixed|adaptive|union_find] [--decoder-throughput F]");
     println!("            [--decoder-workers N] [--decoder-prep]");
     println!("            [--engine-threads N]   realtime-engine shards (0 = auto;");
     println!("                                   schedule is bit-identical for any N)");

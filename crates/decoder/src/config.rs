@@ -18,6 +18,11 @@ pub enum DecoderKind {
     /// bounded syndrome ring buffer, with throughput scaling up as the ring
     /// fills (occupancy-adaptive window batching).
     Adaptive,
+    /// A real union-find syndrome decoder: every window samples a seeded
+    /// error configuration on the tile's detector graph, decodes it with
+    /// DSU cluster growth + peeling, and reports a latency derived from the
+    /// work the decode actually performed.
+    UnionFind,
 }
 
 impl fmt::Display for DecoderKind {
@@ -26,6 +31,7 @@ impl fmt::Display for DecoderKind {
             DecoderKind::Ideal => "ideal",
             DecoderKind::Fixed => "fixed",
             DecoderKind::Adaptive => "adaptive",
+            DecoderKind::UnionFind => "union_find",
         })
     }
 }
@@ -36,10 +42,11 @@ impl FromStr for DecoderKind {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "ideal" | "none" => Ok(DecoderKind::Ideal),
-            "fixed" | "uf" | "union-find" => Ok(DecoderKind::Fixed),
+            "fixed" => Ok(DecoderKind::Fixed),
             "adaptive" | "triage" => Ok(DecoderKind::Adaptive),
+            "union_find" | "union-find" | "uf" => Ok(DecoderKind::UnionFind),
             other => Err(format!(
-                "unknown decoder `{other}` (expected ideal | fixed | adaptive)"
+                "unknown decoder `{other}` (expected ideal | fixed | adaptive | union_find)"
             )),
         }
     }
@@ -112,6 +119,17 @@ impl DecoderConfig {
         }
     }
 
+    /// A real union-find syndrome decoder converting decode work to rounds
+    /// at `throughput` work units per round (the engines supply the error
+    /// channel: physical error rate and seed).
+    pub fn union_find(throughput: f64) -> Self {
+        DecoderConfig {
+            kind: DecoderKind::UnionFind,
+            throughput,
+            ..DecoderConfig::default()
+        }
+    }
+
     /// The same configuration with preparation-verification decoding on.
     pub fn with_prep_decoding(mut self) -> Self {
         self.decode_prep = true;
@@ -135,6 +153,13 @@ impl fmt::Display for DecoderConfig {
                 "adaptive(tp={}, base={}, W={}, ring={})",
                 self.throughput, self.base_latency, self.workers, self.ring_capacity
             )?,
+            DecoderKind::UnionFind => {
+                write!(
+                    f,
+                    "union_find(tp={}, base={})",
+                    self.throughput, self.base_latency
+                )?;
+            }
         }
         if self.decode_prep {
             write!(f, "+prep")?;
@@ -165,7 +190,11 @@ mod tests {
     #[test]
     fn kind_parses_aliases() {
         assert_eq!("ideal".parse::<DecoderKind>().unwrap(), DecoderKind::Ideal);
-        assert_eq!("uf".parse::<DecoderKind>().unwrap(), DecoderKind::Fixed);
+        assert_eq!("uf".parse::<DecoderKind>().unwrap(), DecoderKind::UnionFind);
+        assert_eq!(
+            "union-find".parse::<DecoderKind>().unwrap(),
+            DecoderKind::UnionFind
+        );
         assert_eq!(
             "TRIAGE".parse::<DecoderKind>().unwrap(),
             DecoderKind::Adaptive
@@ -179,6 +208,7 @@ mod tests {
             DecoderKind::Ideal,
             DecoderKind::Fixed,
             DecoderKind::Adaptive,
+            DecoderKind::UnionFind,
         ] {
             assert_eq!(k.to_string().parse::<DecoderKind>().unwrap(), k);
         }

@@ -1,0 +1,214 @@
+//! A brute-force minimum-weight reference decoder for differential testing.
+//!
+//! Exhaustively optimal and exponentially slow: BFS shortest paths between
+//! every pair of defects (routes through the virtual boundary vertices are
+//! allowed — a chain through a boundary is two boundary-terminated chains),
+//! then a bitmask DP over all defect pairings, each defect pairing with
+//! another defect or with its nearest boundary. The union-find decoder is
+//! differentially tested against this oracle: wherever minimum-weight
+//! decoding preserves the logical state, union-find must too.
+
+use crate::graph::DetectorGraph;
+use crate::syndrome::SyndromeBits;
+
+/// Largest defect count the exhaustive pairing accepts (the DP is
+/// `O(3^n)`-ish over `2^n` masks).
+pub const MAX_EXACT_DEFECTS: usize = 16;
+
+/// BFS shortest-path tree from `src` over the whole graph, boundary
+/// vertices included. Returns `(dist, parent_edge)` per node
+/// (`u32::MAX` = unreachable / root).
+fn bfs(graph: &DetectorGraph, src: u32) -> (Vec<u32>, Vec<u32>) {
+    let n = graph.num_nodes() as usize;
+    let mut dist = vec![u32::MAX; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &e in graph.incident(v) {
+            let [a, b] = graph.endpoints(e);
+            let w = if a == v { b } else { a };
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dist[v as usize] + 1;
+                parent_edge[w as usize] = e;
+                queue.push_back(w);
+            }
+        }
+    }
+    (dist, parent_edge)
+}
+
+/// XORs the BFS-tree path from `src`'s tree root down to `dst` into `chain`.
+fn xor_path(
+    graph: &DetectorGraph,
+    parent_edge: &[u32],
+    src: u32,
+    dst: u32,
+    chain: &mut SyndromeBits,
+) {
+    let mut v = dst;
+    while v != src {
+        let e = parent_edge[v as usize];
+        debug_assert_ne!(e, u32::MAX, "dst unreachable from src");
+        chain.toggle(e);
+        let [a, b] = graph.endpoints(e);
+        v = if a == v { b } else { a };
+    }
+}
+
+/// The minimum-weight correction for `syndrome` on `graph`, by exhaustive
+/// defect pairing. Returns `(correction, weight)`.
+///
+/// # Panics
+///
+/// Panics if the syndrome has more than [`MAX_EXACT_DEFECTS`] defects —
+/// this decoder exists to check small corpus graphs, not to run at scale.
+pub fn min_weight_correction(
+    graph: &DetectorGraph,
+    syndrome: &SyndromeBits,
+) -> (SyndromeBits, u32) {
+    debug_assert_eq!(syndrome.len(), graph.num_detectors());
+    let defects: Vec<u32> = syndrome.iter_ones().collect();
+    let n = defects.len();
+    assert!(
+        n <= MAX_EXACT_DEFECTS,
+        "{n} defects exceed the exhaustive decoder's limit of {MAX_EXACT_DEFECTS}"
+    );
+    if n == 0 {
+        return (SyndromeBits::new(graph.num_edges()), 0);
+    }
+
+    // Shortest-path metric from every defect.
+    let trees: Vec<(Vec<u32>, Vec<u32>)> = defects.iter().map(|&v| bfs(graph, v)).collect();
+    let pair_dist = |i: usize, j: usize| trees[i].0[defects[j] as usize];
+    let boundary_of = |i: usize| {
+        let (dist, _) = &trees[i];
+        let (t, b) = (graph.top(), graph.bottom());
+        if dist[t as usize] <= dist[b as usize] {
+            (dist[t as usize], t)
+        } else {
+            (dist[b as usize], b)
+        }
+    };
+
+    // f[mask] = minimum weight clearing the defects in `mask`.
+    let full = (1u32 << n) - 1;
+    let mut f = vec![u32::MAX; (full + 1) as usize];
+    f[0] = 0;
+    for mask in 1..=full {
+        let i = mask.trailing_zeros() as usize;
+        let rest = mask & !(1 << i);
+        // Match defect i to its nearest boundary.
+        let (bd, _) = boundary_of(i);
+        let mut best = f[rest as usize].saturating_add(bd);
+        // Or with another defect still in the mask.
+        let mut js = rest;
+        while js != 0 {
+            let j = js.trailing_zeros() as usize;
+            js &= js - 1;
+            let sub = rest & !(1 << j);
+            best = best.min(f[sub as usize].saturating_add(pair_dist(i, j)));
+        }
+        f[mask as usize] = best;
+    }
+
+    // Walk the DP back down, XORing each chosen path into the correction.
+    let mut correction = SyndromeBits::new(graph.num_edges());
+    let mut mask = full;
+    while mask != 0 {
+        let i = mask.trailing_zeros() as usize;
+        let rest = mask & !(1 << i);
+        let (bd, bv) = boundary_of(i);
+        if f[mask as usize] == f[rest as usize].saturating_add(bd) {
+            xor_path(graph, &trees[i].1, defects[i], bv, &mut correction);
+            mask = rest;
+            continue;
+        }
+        let mut chosen = None;
+        let mut js = rest;
+        while js != 0 {
+            let j = js.trailing_zeros() as usize;
+            js &= js - 1;
+            let sub = rest & !(1 << j);
+            if f[mask as usize] == f[sub as usize].saturating_add(pair_dist(i, j)) {
+                chosen = Some(j);
+                break;
+            }
+        }
+        let j = chosen.expect("DP value must decompose into one of its options");
+        xor_path(graph, &trees[i].1, defects[i], defects[j], &mut correction);
+        mask = rest & !(1 << j);
+    }
+
+    debug_assert_eq!(
+        graph.syndrome_of(&correction),
+        *syndrome,
+        "minimum-weight correction must reproduce the syndrome"
+    );
+    let weight = f[full as usize];
+    (correction, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_syndrome_needs_no_correction() {
+        let g = DetectorGraph::new(3, 1);
+        let s = SyndromeBits::new(g.num_detectors());
+        let (c, w) = min_weight_correction(&g, &s);
+        assert_eq!(c.popcount(), 0);
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn adjacent_defect_pair_costs_one_edge() {
+        let g = DetectorGraph::new(5, 1);
+        // One internal vertical edge flips two adjacent detectors; the
+        // cheapest repair is that very edge.
+        let e = g.distance() + 1;
+        let mut error = SyndromeBits::new(g.num_edges());
+        error.set(e);
+        let (c, w) = min_weight_correction(&g, &g.syndrome_of(&error));
+        assert_eq!(w, 1);
+        assert_eq!(c, error);
+    }
+
+    #[test]
+    fn lone_defect_matches_its_nearest_boundary() {
+        let g = DetectorGraph::new(5, 1);
+        // A top boundary edge error leaves one defect one step from TOP.
+        let mut error = SyndromeBits::new(g.num_edges());
+        error.set(0);
+        let (c, w) = min_weight_correction(&g, &g.syndrome_of(&error));
+        assert_eq!(w, 1);
+        assert_eq!(c, error);
+    }
+
+    #[test]
+    fn correction_is_minimum_over_random_chains() {
+        // The correction's weight can never exceed the error's own weight
+        // (the error itself reproduces its syndrome), and the syndrome must
+        // always round-trip.
+        let g = DetectorGraph::new(3, 2);
+        let mut state = 5u64;
+        for _ in 0..40 {
+            let mut error = SyndromeBits::new(g.num_edges());
+            for _ in 0..3 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                error.set(((state >> 33) as u32) % g.num_edges());
+            }
+            let syndrome = g.syndrome_of(&error);
+            if syndrome.popcount() as usize > MAX_EXACT_DEFECTS {
+                continue;
+            }
+            let (c, w) = min_weight_correction(&g, &syndrome);
+            assert_eq!(g.syndrome_of(&c), syndrome);
+            assert!(w <= error.popcount(), "oracle beat by the error itself");
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The decoder models: ideal, fixed-latency union-find-style, and the
 //! Triage-style adaptive parallel-window decoder.
 
+use crate::union_find::{DecodeWork, ErrorChannel, UnionFindDecoder};
 use crate::DecoderConfig;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -19,6 +20,14 @@ pub trait DecoderModel: fmt::Debug {
     /// `now`; returns the round at which the decode result becomes visible
     /// to the scheduler (always `>= now`).
     fn decode_ready_at(&mut self, tile: u32, rounds: u32, now: u64) -> u64;
+
+    /// Drains the decode-work accounting accumulated since the last call.
+    /// Latency models perform no real decode work and report zeros; the
+    /// union-find decoder reports defects, growth steps and peels the
+    /// runtime folds into [`DecoderStats`](crate::DecoderStats).
+    fn take_work(&mut self) -> DecodeWork {
+        DecodeWork::default()
+    }
 }
 
 /// Zero-latency decoding: results are visible the round they are measured.
@@ -152,13 +161,20 @@ impl DecoderModel for AdaptiveDecoder {
     }
 }
 
-/// Instantiates the model a configuration names.
-pub fn build_model(config: &DecoderConfig) -> Box<dyn DecoderModel + Send + Sync> {
+/// Instantiates the model a configuration names. `distance` sizes the
+/// union-find detector graphs and `channel` feeds its error sampling; the
+/// latency models ignore both.
+pub fn build_model(
+    config: &DecoderConfig,
+    distance: u32,
+    channel: ErrorChannel,
+) -> Box<dyn DecoderModel + Send + Sync> {
     use crate::DecoderKind;
     match config.kind {
         DecoderKind::Ideal => Box::new(IdealDecoder),
         DecoderKind::Fixed => Box::new(FixedLatencyDecoder::new(config)),
         DecoderKind::Adaptive => Box::new(AdaptiveDecoder::new(config)),
+        DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(config, distance, channel)),
     }
 }
 
@@ -232,12 +248,20 @@ mod tests {
             (DecoderKind::Ideal, "ideal"),
             (DecoderKind::Fixed, "fixed"),
             (DecoderKind::Adaptive, "adaptive"),
+            (DecoderKind::UnionFind, "union_find"),
         ] {
             let cfg = DecoderConfig {
                 kind,
                 ..DecoderConfig::default()
             };
-            assert_eq!(build_model(&cfg).name(), name);
+            assert_eq!(build_model(&cfg, 3, ErrorChannel::default()).name(), name);
         }
+    }
+
+    #[test]
+    fn latency_models_report_zero_work() {
+        let mut m = FixedLatencyDecoder::new(&DecoderConfig::fixed(1.0));
+        m.decode_ready_at(0, 7, 0);
+        assert_eq!(m.take_work(), DecodeWork::default());
     }
 }

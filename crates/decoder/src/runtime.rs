@@ -2,6 +2,7 @@
 //! behind a two-call interface (`submit`, `retire`).
 
 use crate::models::build_model;
+use crate::union_find::ErrorChannel;
 use crate::{DecodeBacklog, DecoderConfig, DecoderModel, WindowId};
 
 /// Aggregate decoder statistics for one simulation run.
@@ -16,6 +17,18 @@ pub struct DecoderStats {
     pub stall_rounds: u64,
     /// Largest number of windows simultaneously in flight.
     pub peak_backlog: u64,
+    /// Defects (flipped detectors) the decoder observed. Zero for the
+    /// latency models — only the union-find decoder samples real syndromes.
+    pub defects: u64,
+    /// Union-find cluster-growth half-steps performed (the dominant decode
+    /// work term).
+    pub growth_steps: u64,
+    /// DSU merges of distinct clusters during growth.
+    pub merges: u64,
+    /// Erasure edges peeled into corrections.
+    pub peeled_edges: u64,
+    /// Windows whose residual (error ⊕ correction) crossed the logical cut.
+    pub logical_failures: u64,
 }
 
 /// Wraps a [`DecoderModel`] and a [`DecodeBacklog`] behind the interface the
@@ -47,12 +60,26 @@ const _: () = {
 impl DecoderRuntime {
     /// Builds the runtime a configuration describes. `rounds_per_cycle` is
     /// the code distance `d` (one lattice-surgery cycle = `d` rounds).
+    /// A union-find decoder built this way samples the default
+    /// [`ErrorChannel`]; engines use [`DecoderRuntime::with_channel`] to
+    /// feed it the simulation's physical error rate and seed.
     pub fn new(config: &DecoderConfig, rounds_per_cycle: u32) -> Self {
+        DecoderRuntime::with_channel(config, rounds_per_cycle, ErrorChannel::default())
+    }
+
+    /// Builds the runtime with an explicit error channel for the union-find
+    /// decoder (the latency models ignore it).
+    pub fn with_channel(
+        config: &DecoderConfig,
+        rounds_per_cycle: u32,
+        channel: ErrorChannel,
+    ) -> Self {
+        let rounds_per_cycle = rounds_per_cycle.max(1);
         DecoderRuntime {
-            model: build_model(config),
+            model: build_model(config, rounds_per_cycle, channel),
             backlog: DecodeBacklog::new(),
             stats: DecoderStats::default(),
-            rounds_per_cycle: rounds_per_cycle.max(1),
+            rounds_per_cycle,
             decode_prep: config.decode_prep,
         }
     }
@@ -74,6 +101,12 @@ impl DecoderRuntime {
         self.stats.windows_submitted += 1;
         self.stats.stall_rounds += ready_at - now;
         self.stats.peak_backlog = self.stats.peak_backlog.max(self.backlog.in_flight() as u64);
+        let work = self.model.take_work();
+        self.stats.defects += work.defects;
+        self.stats.growth_steps += work.growth_steps;
+        self.stats.merges += work.merges;
+        self.stats.peeled_edges += work.peeled_edges;
+        self.stats.logical_failures += work.logical_failures;
         (id, ready_at)
     }
 
@@ -126,6 +159,37 @@ mod tests {
         assert_eq!(rt.stats().stall_rounds, 15);
         assert_eq!(rt.stats().windows_submitted, 1);
         assert_eq!(rt.stats().windows_decoded, 1);
+    }
+
+    #[test]
+    fn union_find_runtime_accumulates_real_work() {
+        let channel = ErrorChannel::new(0.05, 42);
+        let mut rt = DecoderRuntime::with_channel(&DecoderConfig::union_find(8.0), 5, channel);
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            ids.push(rt.submit(i % 3, 5, (i as u64) * 100).0);
+        }
+        let s = rt.stats();
+        assert!(s.defects > 0, "p=0.05 windows must produce defects");
+        assert!(s.growth_steps > 0);
+        assert!(s.peeled_edges > 0);
+        assert!(s.stall_rounds > 0, "real decode work must cost rounds");
+        for id in ids {
+            let ready = rt.backlog().get(id).unwrap().ready_at;
+            rt.retire(id, ready);
+        }
+        assert!(rt.backlog().is_conserved());
+        assert_eq!(rt.model_name(), "union_find");
+    }
+
+    #[test]
+    fn latency_models_leave_work_stats_zero() {
+        let mut rt = DecoderRuntime::new(&DecoderConfig::fixed(0.5), 7);
+        rt.submit(0, 7, 0);
+        let s = rt.stats();
+        assert_eq!(s.defects, 0);
+        assert_eq!(s.growth_steps, 0);
+        assert_eq!(s.logical_failures, 0);
     }
 
     #[test]

@@ -219,6 +219,9 @@ mod tests {
             cnot_p50: 0,
             cnot_p99: 0,
             decode_p99: 0,
+            decode_defects: 5,
+            decode_growth_steps: 40,
+            decode_failures: 0,
         };
         let fp = job_fingerprint(&job, 42, 1);
         {
@@ -269,6 +272,9 @@ mod tests {
             cnot_p50: 0,
             cnot_p99: 0,
             decode_p99: 0,
+            decode_defects: 0,
+            decode_growth_steps: 0,
+            decode_failures: 0,
         };
         let fp = job_fingerprint(&job, 7, 1);
         {
@@ -281,6 +287,71 @@ mod tests {
             Some(&metrics),
             "the record appended after a truncated line must survive"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_skips_old_schema_rows_and_keeps_current_ones() {
+        // A checkpoint written before the decode-work columns existed holds
+        // 30-column rows. Resuming against it must silently drop those rows
+        // (the jobs simply re-run) while current-width rows restore fine.
+        let dir = std::env::temp_dir().join("rescq_harness_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("schema_resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let spec = SweepSpec {
+            workloads: vec!["dnn_n16".into()],
+            seeds: 2,
+            ..SweepSpec::default()
+        };
+        let jobs = spec.expand();
+        let metrics = JobMetrics {
+            seed: 1,
+            total_cycles: 55.0,
+            idle_fraction: 0.1,
+            stall_cycles: 2.0,
+            decode_windows: 4,
+            peak_backlog: 1,
+            injections: 3,
+            injection_failures: 0,
+            preps_started: 3,
+            preps_cancelled: 0,
+            preemptions: 0,
+            preemptions_rejected: 0,
+            waitgraph_peak_edges: 0,
+            preemptions_class: 0,
+            stall_ancilla: 0,
+            stall_decoder: 2,
+            stall_route: 0,
+            stall_class: 0,
+            cnot_p50: 1,
+            cnot_p99: 2,
+            decode_p99: 3,
+            decode_defects: 7,
+            decode_growth_steps: 21,
+            decode_failures: 0,
+        };
+        let current_row = crate::results::csv_row(&jobs[0], &metrics);
+        // Simulate the pre-decode-work schema by stripping the three newest
+        // columns off a current row.
+        let old_row = current_row
+            .rsplitn(4, ',')
+            .nth(3)
+            .expect("row has more than 3 columns")
+            .to_string();
+        let fp_old = job_fingerprint(&jobs[1], 42, 1);
+        let fp_new = job_fingerprint(&jobs[0], 42, 1);
+        std::fs::write(
+            &path,
+            format!("{HEADER}\n{fp_old:016x} {old_row}\n{fp_new:016x} {current_row}\n"),
+        )
+        .unwrap();
+
+        let ckpt = Checkpoint::open(&path).unwrap();
+        assert_eq!(ckpt.loaded(), 1, "only the current-width row restores");
+        assert_eq!(ckpt.lookup(fp_new), Some(&metrics));
+        assert_eq!(ckpt.lookup(fp_old), None, "old-schema row must re-run");
         let _ = std::fs::remove_file(&path);
     }
 

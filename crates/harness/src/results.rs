@@ -57,6 +57,12 @@ pub struct JobMetrics {
     pub cnot_p99: u64,
     /// 99th-percentile decode-window latency in cycles.
     pub decode_p99: u64,
+    /// Defects the union-find decoder observed (0 for latency models).
+    pub decode_defects: u64,
+    /// Union-find cluster-growth half-steps performed.
+    pub decode_growth_steps: u64,
+    /// Windows whose residual error crossed the logical cut.
+    pub decode_failures: u64,
 }
 
 impl JobMetrics {
@@ -84,6 +90,9 @@ impl JobMetrics {
             cnot_p50: report.cnot_latency.percentile(0.5),
             cnot_p99: report.cnot_latency.percentile(0.99),
             decode_p99: report.decode_latency.percentile(0.99),
+            decode_defects: report.counters.decode_defects,
+            decode_growth_steps: report.counters.decode_growth_steps,
+            decode_failures: report.counters.decode_failures,
         }
     }
 }
@@ -102,7 +111,7 @@ pub struct JobRecord {
 /// The CSV column header of per-job rows. `engine_threads` and `priority`
 /// sit with the grid columns (they are spec axes, not results — the
 /// schedule is bit-identical along `engine_threads`, and `priority` names
-/// the arbitration policy a point ran under). The stall-attribution
+/// the arbitration policy a point ran under). The union-find decode-work
 /// counters are the last metric columns, per the strip-last-column
 /// convention for newly added counters; they are sim-time derived, so the
 /// rows stay byte-identical whether or not a run was traced.
@@ -111,12 +120,12 @@ engine_threads,priority,seed,\
 total_cycles,idle_fraction,stall_cycles,decode_windows,peak_backlog,injections,\
 injection_failures,preps_started,preps_cancelled,preemptions,preemptions_rejected,\
 waitgraph_peak_edges,preemptions_class,stall_ancilla,stall_decoder,stall_route,stall_class,\
-cnot_p50,cnot_p99,decode_p99";
+cnot_p50,cnot_p99,decode_p99,decode_defects,decode_growth_steps,decode_failures";
 
 /// Formats one job + metrics as a CSV row (no trailing newline).
 pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         job.workload,
         job.config.scheduler,
         job.config.distance,
@@ -147,6 +156,9 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
         m.cnot_p50,
         m.cnot_p99,
         m.decode_p99,
+        m.decode_defects,
+        m.decode_growth_steps,
+        m.decode_failures,
     )
 }
 
@@ -155,11 +167,11 @@ pub fn csv_row(job: &JobSpec, m: &JobMetrics) -> String {
 /// fingerprint, not re-parsed).
 pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
     let cols: Vec<&str> = row.split(',').collect();
-    // 30 columns since the latency-quantile rollups; older 20/21/23/27-column
-    // checkpoint rows fail here and are skipped gracefully by the
-    // checkpoint loader (the jobs simply re-run).
-    if cols.len() != 30 {
-        return Err(format!("expected 30 columns, got {}", cols.len()));
+    // 33 columns since the union-find decode-work counters; older
+    // 20/21/23/27/30-column checkpoint rows fail here and are skipped
+    // gracefully by the checkpoint loader (the jobs simply re-run).
+    if cols.len() != 33 {
+        return Err(format!("expected 33 columns, got {}", cols.len()));
     }
     let f = |i: usize| -> Result<f64, String> {
         cols[i]
@@ -193,6 +205,9 @@ pub fn parse_csv_metrics(row: &str) -> Result<JobMetrics, String> {
         cnot_p50: u(27)?,
         cnot_p99: u(28)?,
         decode_p99: u(29)?,
+        decode_defects: u(30)?,
+        decode_growth_steps: u(31)?,
+        decode_failures: u(32)?,
     })
 }
 
@@ -243,6 +258,12 @@ pub struct PointSummary {
     pub cnot_p99: u64,
     /// Worst per-seed p99 decode-window latency across seeds (cycles).
     pub decode_p99: u64,
+    /// Total defects the union-find decoder observed across seeds.
+    pub decode_defects: u64,
+    /// Total union-find growth half-steps across seeds.
+    pub decode_growth_steps: u64,
+    /// Total logical-cut crossings after correction across seeds.
+    pub decode_failures: u64,
 }
 
 /// Smallest value `v` in sorted `xs` such that at least `p` of samples ≤ `v`.
@@ -359,6 +380,9 @@ impl SweepResults {
                 cnot_p50: ok.iter().map(|m| m.cnot_p50 as f64).sum::<f64>() / n,
                 cnot_p99: ok.iter().map(|m| m.cnot_p99).max().unwrap_or(0),
                 decode_p99: ok.iter().map(|m| m.decode_p99).max().unwrap_or(0),
+                decode_defects: ok.iter().map(|m| m.decode_defects).sum(),
+                decode_growth_steps: ok.iter().map(|m| m.decode_growth_steps).sum(),
+                decode_failures: ok.iter().map(|m| m.decode_failures).sum(),
             });
         }
         out
@@ -388,7 +412,7 @@ impl SweepResults {
         for (i, s) in summaries.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"priority\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"preemptions_class\": {}, \"waitgraph_peak_edges\": {}, \"stall_ancilla\": {}, \"stall_decoder\": {}, \"stall_route\": {}, \"stall_class\": {}, \"cnot_p50\": {}, \"cnot_p99\": {}, \"decode_p99\": {}}}",
+                "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"distance\": {}, \"error_rate\": {}, \"k\": \"{}\", \"compression\": {}, \"decoder\": \"{}\", \"engine_threads\": {}, \"priority\": \"{}\", \"completed\": {}, \"mean_cycles\": {}, \"p50_cycles\": {}, \"p99_cycles\": {}, \"min_cycles\": {}, \"max_cycles\": {}, \"mean_stall_cycles\": {}, \"stall_fraction\": {}, \"peak_backlog\": {}, \"preemptions\": {}, \"preemptions_rejected\": {}, \"preemptions_class\": {}, \"waitgraph_peak_edges\": {}, \"stall_ancilla\": {}, \"stall_decoder\": {}, \"stall_route\": {}, \"stall_class\": {}, \"cnot_p50\": {}, \"cnot_p99\": {}, \"decode_p99\": {}, \"decode_defects\": {}, \"decode_growth_steps\": {}, \"decode_failures\": {}}}",
                 json_escape(&s.job.workload),
                 s.job.config.scheduler,
                 s.job.config.distance,
@@ -417,7 +441,10 @@ impl SweepResults {
                 s.stall_class,
                 s.cnot_p50,
                 s.cnot_p99,
-                s.decode_p99
+                s.decode_p99,
+                s.decode_defects,
+                s.decode_growth_steps,
+                s.decode_failures
             );
             out.push_str(if i + 1 < summaries.len() { ",\n" } else { "\n" });
         }
@@ -481,6 +508,9 @@ mod tests {
             cnot_p50: 21,
             cnot_p99: 35,
             decode_p99: 12,
+            decode_defects: 9,
+            decode_growth_steps: 88,
+            decode_failures: 1,
         };
         let row = csv_row(&job, &m);
         assert_eq!(

@@ -29,8 +29,8 @@ use std::fmt;
 use std::str::FromStr;
 
 /// One decoder configuration of a sweep grid, with a compact, CSV-safe
-/// textual form: `ideal`, `fixed:<throughput>`, or
-/// `adaptive:<throughput>x<workers>`.
+/// textual form: `ideal`, `fixed:<throughput>`,
+/// `adaptive:<throughput>x<workers>`, or `union_find:<throughput>`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecoderPoint(pub DecoderConfig);
 
@@ -55,6 +55,7 @@ impl fmt::Display for DecoderPoint {
             DecoderKind::Adaptive => {
                 write!(f, "adaptive:{}x{}", self.0.throughput, self.0.workers)
             }
+            DecoderKind::UnionFind => write!(f, "union_find:{}", self.0.throughput),
         }
     }
 }
@@ -67,9 +68,9 @@ impl FromStr for DecoderPoint {
         if s.eq_ignore_ascii_case("ideal") {
             return Ok(DecoderPoint::ideal());
         }
-        let (kind, rest) = s
-            .split_once(':')
-            .ok_or_else(|| format!("bad decoder point `{s}` (ideal | fixed:TP | adaptive:TPxW)"))?;
+        let (kind, rest) = s.split_once(':').ok_or_else(|| {
+            format!("bad decoder point `{s}` (ideal | fixed:TP | adaptive:TPxW | union_find:TP)")
+        })?;
         match kind.to_ascii_lowercase().as_str() {
             "fixed" => {
                 let tp: f64 = rest
@@ -86,6 +87,12 @@ impl FromStr for DecoderPoint {
                     .parse()
                     .map_err(|_| format!("bad worker count in `{s}`"))?;
                 Ok(DecoderPoint(DecoderConfig::adaptive(tp, workers)))
+            }
+            "union_find" | "union-find" | "uf" => {
+                let tp: f64 = rest
+                    .parse()
+                    .map_err(|_| format!("bad throughput in `{s}`"))?;
+                Ok(DecoderPoint(DecoderConfig::union_find(tp)))
             }
             other => Err(format!("unknown decoder kind `{other}` in `{s}`")),
         }
@@ -361,7 +368,7 @@ impl SweepSpec {
     /// | `error_rates` | number array | `[1e-4]` |
     /// | `k` | integer-or-`"dynamic"` array | `[25]` |
     /// | `compressions` | number array | `[0.0]` |
-    /// | `decoders` | string array (`ideal`, `fixed:TP`, `adaptive:TPxW`) | `["ideal"]` |
+    /// | `decoders` | string array (`ideal`, `fixed:TP`, `adaptive:TPxW`, `union_find:TP`) | `["ideal"]` |
     /// | `engine_threads` | integer array (`0` = auto; schedule-invariant) | `[1]` |
     /// | `priority_classes` | string array (`"off"`, or a lattice like `"factory>injection>compute>speculative"`) | `["off"]` |
     /// | `seeds` | integer | `3` |
@@ -602,7 +609,7 @@ mod tests {
 
     #[test]
     fn decoder_points_round_trip() {
-        for s in ["ideal", "fixed:0.5", "adaptive:0.25x8"] {
+        for s in ["ideal", "fixed:0.5", "adaptive:0.25x8", "union_find:16"] {
             let p: DecoderPoint = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }

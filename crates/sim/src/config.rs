@@ -1,7 +1,7 @@
 //! Simulation configuration (mirrors the artifact's config files).
 
 use rescq_core::{ClassLattice, KPolicy, SchedulerKind, SurgeryCosts, TauModel};
-use rescq_decoder::{DecoderConfig, DecoderKind};
+use rescq_decoder::{DecoderConfig, DecoderKind, ErrorChannel};
 use rescq_lattice::LayoutKind;
 use rescq_rus::{PrepCalibration, RusParams};
 use std::fmt;
@@ -109,6 +109,18 @@ impl SimConfig {
     /// Rounds of syndrome measurement per lattice-surgery cycle.
     pub fn rounds_per_cycle(&self) -> u32 {
         self.distance
+    }
+
+    /// The error channel the union-find decoder samples: the run's physical
+    /// error rate, with the channel seed derived from (but distinct from)
+    /// the run seed so the decoder's error stream never aliases the RUS
+    /// outcome stream. Both engines use this, so decoder behaviour is
+    /// engine-independent.
+    pub fn decoder_channel(&self) -> ErrorChannel {
+        ErrorChannel::new(
+            self.physical_error_rate,
+            self.seed ^ 0x00DE_C0DE_5EED_u64.rotate_left(17),
+        )
     }
 }
 

@@ -472,7 +472,7 @@ pub(crate) fn run_realtime(
         counters: RunCounters::default(),
         cnot_latency: LatencyHistogram::new(),
         rz_latency: LatencyHistogram::new(),
-        decoder: DecoderRuntime::new(&config.decoder, d),
+        decoder: DecoderRuntime::with_channel(&config.decoder, d, config.decoder_channel()),
         decode_latency: LatencyHistogram::new(),
         gates_executed: 0,
         rz_entry_cost,
@@ -569,6 +569,9 @@ impl RtEngine<'_> {
                 c.decode_windows = dec.windows_submitted;
                 c.decoder_stall_rounds = dec.stall_rounds;
                 c.decoder_peak_backlog = dec.peak_backlog;
+                c.decode_defects = dec.defects;
+                c.decode_growth_steps = dec.growth_steps;
+                c.decode_failures = dec.logical_failures;
                 let ls = self.ledger.stats();
                 c.preemptions = ls.preemptions;
                 c.preemptions_rejected_cycle = ls.preemptions_rejected_cycle;

@@ -137,7 +137,7 @@ pub(crate) fn run_static(
     };
     let mut cnot_latency = LatencyHistogram::new();
     let mut rz_latency = LatencyHistogram::new();
-    let mut decoder = DecoderRuntime::new(&config.decoder, d);
+    let mut decoder = DecoderRuntime::with_channel(&config.decoder, d, config.decoder_channel());
     let mut decode_latency = LatencyHistogram::new();
     let mut gates_executed = 0usize;
     let achieved_compression = fabric.layout.compression();
@@ -295,6 +295,9 @@ pub(crate) fn run_static(
     counters.decode_windows = dec.windows_submitted;
     counters.decoder_stall_rounds = dec.stall_rounds;
     counters.decoder_peak_backlog = dec.peak_backlog;
+    counters.decode_defects = dec.defects;
+    counters.decode_growth_steps = dec.growth_steps;
+    counters.decode_failures = dec.logical_failures;
     counters.waitgraph_peak_edges = ledger.stats().waitgraph_peak_edges;
     debug_assert_eq!(
         ledger.stats().preemptions,

@@ -171,6 +171,15 @@ pub struct RunCounters {
     pub decoder_stall_rounds: u64,
     /// Largest decode backlog (windows simultaneously in flight).
     pub decoder_peak_backlog: u64,
+    /// Defects (flipped detectors) the decoder observed; non-zero only for
+    /// the union-find decoder, which samples real syndromes.
+    pub decode_defects: u64,
+    /// Union-find cluster-growth half-steps performed (the dominant decode
+    /// work term; zero for the latency-model decoders).
+    pub decode_growth_steps: u64,
+    /// Windows whose residual error crossed the logical cut after
+    /// correction (union-find decoder only).
+    pub decode_failures: u64,
 }
 
 /// The result of one simulation run.
@@ -293,6 +302,9 @@ pub fn metrics_snapshot(report: &ExecutionReport) -> MetricsSnapshot {
         .counter("rescq_decode_windows", c.decode_windows)
         .counter("rescq_decoder_stall_rounds", c.decoder_stall_rounds)
         .counter("rescq_decoder_peak_backlog", c.decoder_peak_backlog)
+        .counter("rescq_decode_defects", c.decode_defects)
+        .counter("rescq_decode_growth_steps", c.decode_growth_steps)
+        .counter("rescq_decode_failures", c.decode_failures)
         .gauge("rescq_total_cycles", report.total_cycles())
         .gauge("rescq_idle_fraction", report.idle_fraction())
         .gauge("rescq_achieved_compression", report.achieved_compression)

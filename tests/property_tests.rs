@@ -159,10 +159,10 @@ fn simulated_runs_drain_the_decode_backlog() {
     for_each_case("simulated_runs_drain_the_decode_backlog", |rng| {
         let circuit = arb_circuit(rng);
         let seed = rng.gen_range(0u64..50);
-        let decoder = if rng.gen_bool(0.5) {
-            DecoderConfig::fixed(rng.gen_range(0.25f64..2.0))
-        } else {
-            DecoderConfig::adaptive(rng.gen_range(0.25f64..2.0), rng.gen_range(1usize..5))
+        let decoder = match rng.gen_range(0u32..3) {
+            0 => DecoderConfig::fixed(rng.gen_range(0.25f64..2.0)),
+            1 => DecoderConfig::adaptive(rng.gen_range(0.25f64..2.0), rng.gen_range(1usize..5)),
+            _ => DecoderConfig::union_find(rng.gen_range(2.0f64..16.0)),
         };
         for scheduler in [SchedulerKind::Rescq, SchedulerKind::Greedy] {
             let config = SimConfig::builder()
@@ -532,6 +532,117 @@ fn uniform_class_ledgers_reproduce_the_seed_arbitration() {
                 );
             }
         },
+    );
+}
+
+/// The union-find decoder is thread-count invariant: its sampled error
+/// stream, cluster-growth work and emergent window latencies are keyed on
+/// (channel seed, tile, per-tile window index), all functions of the
+/// schedule — so a sharded run's report, decode-work counters included,
+/// is byte-identical to the 1-thread run. The corpus must provably
+/// exercise the real decoder (nonzero defects and growth steps).
+#[test]
+fn union_find_decoder_is_thread_count_invariant() {
+    let mut decode_activity = 0u64;
+    for case in 0..12u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0F1D_0000 ^ case);
+        let n = rng.gen_range(4u32..10);
+        let len = rng.gen_range(10usize..40);
+        let gates: Vec<Gate> = (0..len).map(|_| arb_gate(&mut rng, n)).collect();
+        let circuit = Circuit::from_gates(n, gates).unwrap();
+        // High physical error rates make every window carry defects, so the
+        // invariance claim covers real cluster growth, not empty syndromes.
+        let p = [1e-4, 0.02, 0.05][(case % 3) as usize];
+        let seed = rng.gen_range(0u64..1000);
+        let build = |t: usize| {
+            SimConfig::builder()
+                .scheduler(SchedulerKind::Rescq)
+                .decoder(DecoderConfig::union_find(rng_free_throughput(case)))
+                .physical_error_rate(p)
+                .engine_threads(t)
+                .seed(seed)
+                .max_cycles(500_000)
+                .build()
+        };
+        let reference = simulate(&circuit, &build(1))
+            .unwrap_or_else(|e| panic!("case {case}: 1-thread run failed: {e}"));
+        assert_eq!(reference.gates_executed, circuit.len(), "case {case}");
+        decode_activity +=
+            reference.counters.decode_defects + reference.counters.decode_growth_steps;
+        for threads in [2usize, 4] {
+            let mut sharded = simulate(&circuit, &build(threads))
+                .unwrap_or_else(|e| panic!("case {case} ({threads} threads): {e}"));
+            sharded.engine_threads = reference.engine_threads;
+            assert_eq!(
+                sharded, reference,
+                "case {case}: {threads}-thread union-find schedule diverged"
+            );
+        }
+    }
+    assert!(
+        decode_activity > 0,
+        "the corpus must exercise real decode work at least once"
+    );
+}
+
+/// Deterministic per-case throughput for the union-find invariance corpus
+/// (kept outside the closure so every thread count sees the same value).
+fn rng_free_throughput(case: u64) -> f64 {
+    [2.0, 4.0, 8.0, 16.0][(case % 4) as usize]
+}
+
+/// The union-find decoder's latency is emergent, so it must respond to the
+/// physics: mean window decode latency is monotone non-decreasing in the
+/// physical error rate (more defects → more growth/peeling work) and in
+/// the code distance (bigger detector graphs → more syndrome words and
+/// longer windows). This is the honesty check on the whole
+/// emergent-latency design — a hardcoded latency table would fail it.
+#[test]
+fn union_find_window_latency_is_monotone_in_p_and_d() {
+    let circuit = rescq_repro::workloads::generate("dnn_n16", 1).unwrap();
+    let mean_latency = |p: f64, d: u32| {
+        let config = SimConfig::builder()
+            .scheduler(SchedulerKind::Rescq)
+            .decoder(DecoderConfig::union_find(4.0))
+            .physical_error_rate(p)
+            .distance(d)
+            .seed(3)
+            .max_cycles(500_000)
+            .build();
+        let r = simulate(&circuit, &config).unwrap();
+        assert!(
+            r.counters.decode_windows > 0,
+            "p={p} d={d}: run must decode windows"
+        );
+        r.decode_latency.mean()
+    };
+    let by_p: Vec<f64> = [1e-4, 0.01, 0.05]
+        .iter()
+        .map(|&p| mean_latency(p, 5))
+        .collect();
+    for w in by_p.windows(2) {
+        assert!(
+            w[0] <= w[1],
+            "mean window latency must not decrease with p: {by_p:?}"
+        );
+    }
+    assert!(
+        by_p[0] < by_p[2],
+        "the p sweep must actually move the latency: {by_p:?}"
+    );
+    let by_d: Vec<f64> = [3u32, 5, 7]
+        .iter()
+        .map(|&d| mean_latency(0.02, d))
+        .collect();
+    for w in by_d.windows(2) {
+        assert!(
+            w[0] <= w[1],
+            "mean window latency must not decrease with d: {by_d:?}"
+        );
+    }
+    assert!(
+        by_d[0] < by_d[2],
+        "the d sweep must actually move the latency: {by_d:?}"
     );
 }
 

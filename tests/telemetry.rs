@@ -11,6 +11,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rescq_repro::circuit::{Angle, Circuit, Gate};
 use rescq_repro::core::SchedulerKind;
+use rescq_repro::decoder::DecoderConfig;
 use rescq_repro::sim::{metrics_snapshot, simulate_traced, ExecutionReport, SimConfig};
 use rescq_repro::telemetry::{
     analyze_events, normalize_timestamps, parse_trace, validate_trace, AnalyzeReport, RingRecorder,
@@ -68,42 +69,48 @@ fn reports_csv(reports: &[ExecutionReport]) -> Vec<u8> {
 }
 
 /// The central telemetry contract: attaching a recorder changes nothing
-/// observable. For random circuits and 1/2/4 engine threads, the reports
-/// CSV of a traced run is byte-identical to the untraced run — including
-/// the stall-attribution columns, which are computed whether or not
-/// anyone is recording.
+/// observable. For random circuits, 1/2/4 engine threads and both the
+/// ideal and the union-find decoder, the reports CSV of a traced run is
+/// byte-identical to the untraced run — including the stall-attribution
+/// and decode-work columns, which are computed whether or not anyone is
+/// recording. The union-find rows matter most: the decoder samples its
+/// own error stream and reports real cluster-growth work, all of which
+/// must be a function of the schedule alone.
 #[test]
 fn tracing_is_inert() {
     for_each_case("tracing_is_inert", |rng| {
         let circuit = arb_circuit(rng);
         let seed = rng.gen_range(1u64..1000);
         for threads in [1usize, 2, 4] {
-            let config = SimConfig::builder()
-                .scheduler(SchedulerKind::Rescq)
-                .seed(seed)
-                .engine_threads(threads)
-                .build();
-            let untraced = simulate_traced(&circuit, &config, None).unwrap();
-            let recorder = RingRecorder::new();
-            let traced = simulate_traced(&circuit, &config, Some(&recorder)).unwrap();
-            assert!(
-                !recorder.events().is_empty(),
-                "a traced realtime run must record events"
-            );
-            assert_eq!(
-                reports_csv(std::slice::from_ref(&untraced)),
-                reports_csv(std::slice::from_ref(&traced)),
-                "reports CSV must be byte-identical with tracing on vs. off \
-                 (threads={threads})"
-            );
-            // The metrics snapshot is schedule-derived end to end (no
-            // wall-clock fields), so it must be byte-identical too.
-            assert_eq!(
-                metrics_snapshot(&untraced).to_json(),
-                metrics_snapshot(&traced).to_json(),
-                "metrics snapshot must be byte-identical with tracing on vs. \
-                 off (threads={threads})"
-            );
+            for decoder in [DecoderConfig::ideal(), DecoderConfig::union_find(4.0)] {
+                let config = SimConfig::builder()
+                    .scheduler(SchedulerKind::Rescq)
+                    .seed(seed)
+                    .engine_threads(threads)
+                    .decoder(decoder)
+                    .build();
+                let untraced = simulate_traced(&circuit, &config, None).unwrap();
+                let recorder = RingRecorder::new();
+                let traced = simulate_traced(&circuit, &config, Some(&recorder)).unwrap();
+                assert!(
+                    !recorder.events().is_empty(),
+                    "a traced realtime run must record events"
+                );
+                assert_eq!(
+                    reports_csv(std::slice::from_ref(&untraced)),
+                    reports_csv(std::slice::from_ref(&traced)),
+                    "reports CSV must be byte-identical with tracing on vs. off \
+                     (threads={threads}, decoder={decoder})"
+                );
+                // The metrics snapshot is schedule-derived end to end (no
+                // wall-clock fields), so it must be byte-identical too.
+                assert_eq!(
+                    metrics_snapshot(&untraced).to_json(),
+                    metrics_snapshot(&traced).to_json(),
+                    "metrics snapshot must be byte-identical with tracing on vs. \
+                     off (threads={threads}, decoder={decoder})"
+                );
+            }
         }
     });
 }
@@ -120,7 +127,9 @@ fn analyze_run(circuit: &Circuit, config: &SimConfig) -> AnalyzeReport {
 /// fraction is a valid fraction, and the whole analyze report — built
 /// from sim-time rounds only — is identical at 1, 2 and 4 engine threads
 /// (the trace stream is a function of the schedule, which is sharding-
-/// invariant).
+/// invariant). Half the cases run the union-find decoder, whose sampled
+/// error stream and emergent window latencies must obey the same
+/// invariance.
 #[test]
 fn utilization_fractions_are_valid_and_thread_invariant() {
     for_each_case(
@@ -128,12 +137,18 @@ fn utilization_fractions_are_valid_and_thread_invariant() {
         |rng| {
             let circuit = arb_circuit(rng);
             let seed = rng.gen_range(1u64..1000);
+            let decoder = if rng.gen_bool(0.5) {
+                DecoderConfig::union_find(rng.gen_range(2.0f64..16.0))
+            } else {
+                DecoderConfig::ideal()
+            };
             let mut reports = Vec::new();
             for threads in [1usize, 2, 4] {
                 let config = SimConfig::builder()
                     .scheduler(SchedulerKind::Rescq)
                     .seed(seed)
                     .engine_threads(threads)
+                    .decoder(decoder)
                     .build();
                 let report = analyze_run(&circuit, &config);
                 for u in &report.utilization {
